@@ -1,0 +1,53 @@
+//! End-to-end encrypted allreduce latency on the thread-backed runtime:
+//! 16 B messages, 2 and 4 ranks, secure vs plain — the Fig. 4 comm-phase
+//! numbers, Criterion-grade.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hear::core::{Backend, CommKeys};
+use hear::layer::SecureComm;
+use hear::mpi::Simulator;
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce_16B");
+    for world in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("plain", world), &world, |b, &world| {
+            b.iter_custom(|iters| {
+                let times = Simulator::new(world).run(|comm| {
+                    let data = [1u32, 2, 3, 4];
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(comm.allreduce(&data, |x, y| x.wrapping_add(*y)));
+                    }
+                    t0.elapsed()
+                });
+                times[0]
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("hear", world), &world, |b, &world| {
+            b.iter_custom(|iters| {
+                let times = Simulator::new(world).run(move |comm| {
+                    let keys = CommKeys::generate(world, 1, Backend::best_available())
+                        .into_iter()
+                        .nth(comm.rank())
+                        .unwrap();
+                    let mut sc = SecureComm::new(comm.clone(), keys);
+                    let data = [1u32, 2, 3, 4];
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(sc.allreduce_sum_u32(&data));
+                    }
+                    t0.elapsed()
+                });
+                times[0]
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_allreduce
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! HFP arithmetic microbenchmarks: the ⊗ operator, ciphertext-domain ring
+//! addition, and decryption division — the FPU operations §5.3.6 says
+//! hardware could accelerate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hear::hfp::format::Hfp;
+use hear::hfp::ops;
+
+fn bench_hfp(c: &mut Criterion) {
+    let a = Hfp::from_f64(1.375 * 1024.0, 10, 23).unwrap();
+    let b = Hfp::from_f64(-7.25e-3, 10, 23).unwrap();
+    c.bench_function("hfp_mul", |bch| {
+        bch.iter(|| std::hint::black_box(ops::mul(&a, &b, 10, 23)))
+    });
+    c.bench_function("hfp_add_ring", |bch| {
+        bch.iter(|| std::hint::black_box(ops::add(&a, &b)))
+    });
+    c.bench_function("hfp_div", |bch| {
+        bch.iter(|| std::hint::black_box(ops::div(&a, &b, 10, 23)))
+    });
+    c.bench_function("hfp_encode_f64", |bch| {
+        bch.iter(|| std::hint::black_box(Hfp::from_f64(3.14159, 10, 23).unwrap()))
+    });
+    // IEEE comparison point.
+    c.bench_function("native_f64_mul", |bch| {
+        let (x, y) = (1.375e3f64, -7.25e-3f64);
+        bch.iter(|| std::hint::black_box(std::hint::black_box(x) * std::hint::black_box(y)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_hfp
+}
+criterion_main!(benches);

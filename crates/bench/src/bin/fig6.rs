@@ -1,0 +1,120 @@
+//! Figure 6 regenerator: 16 MiB encrypted allreduce throughput per rank
+//! versus the Iallreduce pipelining block size, against the native
+//! (unencrypted, equally pipelined — Cray MPICH pipelines internally)
+//! runtime and the non-pipelined synchronous variant.
+//!
+//! The fabric uses the Aries per-rank delay model with per-link bandwidth
+//! serialization, so overlap is physical. Paper optimum: 131–262 KiB at
+//! ~86 % of native. `HEAR_SCALE=full` multiplies repetitions ×10.
+
+use hear::core::{Backend, CommKeys};
+use hear::layer::SecureComm;
+use hear::mpi::{Communicator, NetConfig, SimConfig, Simulator};
+use hear_bench::scale_factor;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+const MSG_BYTES: usize = 16 * 1024 * 1024;
+const ELEMS: usize = MSG_BYTES / 4;
+
+fn secure(comm: &Communicator) -> SecureComm {
+    let keys = CommKeys::generate(comm.world(), 0xF19, Backend::best_available())
+        .into_iter()
+        .nth(comm.rank())
+        .unwrap();
+    SecureComm::new(comm.clone(), keys)
+}
+
+/// Plain (unencrypted) pipelined ring allreduce over blocks — the
+/// Cray-MPICH-equivalent baseline at the same block size.
+fn native_pipelined(comm: &Communicator, data: &[u32], block_elems: usize) -> Vec<u32> {
+    let mut out = vec![0u32; data.len()];
+    let mut inflight: VecDeque<(usize, hear::mpi::Request<Vec<u32>>)> = VecDeque::new();
+    let mut offset = 0usize;
+    while offset < data.len() {
+        let end = (offset + block_elems).min(data.len());
+        let buf = data[offset..end].to_vec();
+        inflight.push_back((offset, comm.iallreduce_ring(buf, |a: &u32, b: &u32| a.wrapping_add(*b))));
+        if inflight.len() >= 2 {
+            let (o, req) = inflight.pop_front().unwrap();
+            let agg = req.wait();
+            out[o..o + agg.len()].copy_from_slice(&agg);
+        }
+        offset = end;
+    }
+    while let Some((o, req)) = inflight.pop_front() {
+        let agg = req.wait();
+        out[o..o + agg.len()].copy_from_slice(&agg);
+    }
+    out
+}
+
+fn main() {
+    let reps = scale_factor();
+    let cfg = SimConfig::default().with_net(NetConfig::aries_per_rank());
+    let data: Vec<u32> = (0..ELEMS as u32).collect();
+
+    println!("# Figure 6: 16 MiB encrypted allreduce, 2 ranks, Aries per-rank delay model");
+    println!(
+        "{:<16} {:>13} {:>13} {:>12}",
+        "block size [B]", "HEAR GB/s", "native GB/s", "% of native"
+    );
+
+    // Naive synchronous variant (one bar in the paper's figure) vs native
+    // pipelined at the paper's optimal block.
+    let data_sync = data.clone();
+    let (t_sync, t_nat_opt) = {
+        let r = Simulator::with_config(2, cfg).run(move |comm| {
+            let mut sc = secure(comm);
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                let _ = sc.allreduce_sum_u32_blocked_sync(&data_sync, ELEMS);
+            }
+            let t_sync = t0.elapsed().as_secs_f64() / reps as f64;
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                let _ = native_pipelined(comm, &data_sync, 131_072 / 4);
+            }
+            (t_sync, t0.elapsed().as_secs_f64() / reps as f64)
+        });
+        r[0]
+    };
+    let sync_tput = MSG_BYTES as f64 / t_sync / 1e9;
+    let nat_opt_tput = MSG_BYTES as f64 / t_nat_opt / 1e9;
+    println!(
+        "{:<16} {:>13.3} {:>13.3} {:>11.1}%",
+        "naive (sync)", sync_tput, nat_opt_tput, 100.0 * sync_tput / nat_opt_tput
+    );
+
+    // Pipelined sweep over block sizes (bytes), 4 KiB … 4 MiB, HEAR and
+    // native at the SAME block size.
+    for shift in 12..=22 {
+        let block_bytes = 1usize << shift;
+        let block_elems = block_bytes / 4;
+        let data_b = data.clone();
+        let (t_hear, t_native) = Simulator::with_config(2, cfg).run(move |comm| {
+            let mut sc = secure(comm);
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                let _ = sc.allreduce_sum_u32_pipelined(&data_b, block_elems);
+            }
+            let t_hear = t0.elapsed().as_secs_f64() / reps as f64;
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                let _ = native_pipelined(comm, &data_b, block_elems);
+            }
+            (t_hear, t0.elapsed().as_secs_f64() / reps as f64)
+        })[0];
+        let hear_tput = MSG_BYTES as f64 / t_hear / 1e9;
+        let native_tput = MSG_BYTES as f64 / t_native / 1e9;
+        println!(
+            "{:<16} {:>13.3} {:>13.3} {:>11.1}%",
+            block_bytes,
+            hear_tput,
+            native_tput,
+            100.0 * hear_tput / native_tput
+        );
+    }
+    println!("# paper shape: HEAR throughput rises with block size, peaks near");
+    println!("# 128-512 KiB at ~86% of native, then declines for oversized blocks.");
+}

@@ -1,0 +1,38 @@
+//! Figure 8 regenerator: 16 B MPI_Allreduce latency scaling with rank
+//! count (PPN section then node section), native vs HEAR, with the noise
+//! band (min/mean/max) that grows with scale and eventually swallows the
+//! HEAR overhead — the paper's observation.
+
+use hear::net::{latency_with_noise, Allocation, CryptoRates, Machine};
+
+fn main() {
+    let machine = Machine::piz_daint();
+    let aes = CryptoRates::aes_ni_paper();
+    println!("# Figure 8: 16 B allreduce latency (µs), recursive doubling");
+    println!(
+        "{:<8} {:<7} {:<5} {:>22} {:>22} {:>10}",
+        "ranks", "nodes", "ppn", "native [min mean max]", "HEAR [min mean max]", "overhead"
+    );
+    for a in Allocation::paper_scaling_points(machine) {
+        let n = latency_with_noise(&a, 16.0, None);
+        let h = latency_with_noise(&a, 16.0, Some(&aes));
+        let us = 1e6;
+        let hidden = h.mean < n.max;
+        println!(
+            "{:<8} {:<7} {:<5} {:>6.2} {:>6.2} {:>7.2} {:>7.2} {:>6.2} {:>7.2} {:>8.2}µs{}",
+            a.ranks(),
+            a.nodes,
+            a.ppn,
+            n.min * us,
+            n.mean * us,
+            n.max * us,
+            h.min * us,
+            h.mean * us,
+            h.max * us,
+            (h.mean - n.mean) * us,
+            if hidden { "  (within noise band)" } else { "" },
+        );
+    }
+    println!("# paper: HEAR scales like native; at high rank counts the network noise");
+    println!("# band exceeds the HEAR overhead (HEAR sometimes measures *below* native).");
+}

@@ -1,0 +1,34 @@
+//! Figure 9 regenerator: simulated relative execution time of one
+//! distributed-DNN training iteration under libhear, for the paper's four
+//! proxy workloads at their published rank layouts.
+
+use hear::dnn::{float_crypto_paper, iteration_time, paper_workloads, relative_time};
+use hear::net::Machine;
+
+fn main() {
+    let machine = Machine::piz_daint();
+    let crypto = float_crypto_paper();
+    println!("# Figure 9: relative DNN training iteration time (HEAR / native)");
+    println!(
+        "{:<12} {:>6} {:>11} {:>12} {:>12} {:>10} {:>9}",
+        "model", "ranks", "layout", "native [s]", "HEAR [s]", "relative", "paper"
+    );
+    let paper_vals = [1.312, 1.173, 1.113, 1.031];
+    for (w, paper) in paper_workloads().iter().zip(paper_vals) {
+        let native = iteration_time(w, machine, None);
+        let hear = iteration_time(w, machine, Some(&crypto));
+        let rel = relative_time(w, machine, &crypto);
+        println!(
+            "{:<12} {:>6} {:>11} {:>12.3} {:>12.3} {:>9.1}% {:>8.1}%",
+            w.name,
+            w.ranks(),
+            format!("{}x{}", w.nodes, w.ppn),
+            native,
+            hear,
+            rel * 100.0,
+            paper * 100.0
+        );
+    }
+    println!("# ordering must match the paper: ResNet-152 > DLRM > CosmoFlow > GPT3;");
+    println!("# ResNet is the worst case (communication = Allreduce only).");
+}

@@ -1,0 +1,38 @@
+//! §5.3.1 experiment: the MAP (maximum a posteriori) ciphertext-only
+//! adversary against HFP mantissas — exact enumeration at increasing
+//! widths, showing the edge ratio is a small width-stable constant (the
+//! paper reports avg 3.57e-7 vs uniform 1.19e-7 ≈ 3x at FP32 widths).
+
+use hear::core::map_adversary;
+
+fn main() {
+    println!("# MAP adversary success probability (exact enumeration)");
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>12} {:>7}",
+        "widths (x/f/c)", "avg", "max", "min", "uniform", "edge"
+    );
+    let mut last = None;
+    for mw in [6u32, 8, 10, 12] {
+        let s = map_adversary(mw, mw, mw);
+        println!(
+            "{:<18} {:>12.4e} {:>12.4e} {:>12.4e} {:>12.4e} {:>6.2}x",
+            format!("{mw}/{mw}/{mw}"),
+            s.avg,
+            s.max,
+            s.min,
+            s.uniform,
+            s.edge_ratio()
+        );
+        last = Some(s);
+    }
+    let s = last.unwrap();
+    println!("\n# extrapolation to FP32 (23-bit mantissas): edge ratio stays ≈{:.1}x, so", s.edge_ratio());
+    println!("# avg ≈ {:.2e} vs uniform 2^-23 = 1.19e-7 — same conclusion as the paper's", s.edge_ratio() / f64::powi(2.0, 23));
+    println!("# 3.57e-7: the adversary gains only a negligible constant-factor edge,");
+    println!("# and the attack cost grows exponentially with γ (COA security).");
+    println!("\n# gamma sensitivity (wider noise/ciphertext mantissas):");
+    for gamma in [0u32, 1, 2] {
+        let s = map_adversary(8, 8 + gamma, 8 + gamma);
+        println!("#   gamma={gamma}: avg {:.4e} (edge {:.2}x)", s.avg, s.edge_ratio());
+    }
+}

@@ -1,0 +1,59 @@
+//! OSU-micro-benchmark-style message-size sweep on the real (thread-backed)
+//! runtime: `osu_allreduce`-like latency for native vs HEAR at each size —
+//! the measurement tool the paper used (OSU v7.1), in-process.
+//!
+//! Also prints the model's predicted algorithm crossover for reference.
+
+use hear::core::{Backend, CommKeys};
+use hear::layer::SecureComm;
+use hear::mpi::Simulator;
+use hear::net::{crossover_bytes, Allocation, Machine};
+use hear_bench::scale_factor;
+use std::time::Instant;
+
+fn main() {
+    let world = 4;
+    println!("# OSU-style allreduce latency sweep, {world} ranks (thread-backed runtime)");
+    println!(
+        "{:<12} {:>14} {:>14} {:>10}",
+        "size [B]", "native [µs]", "HEAR [µs]", "overhead"
+    );
+    for shift in [2usize, 4, 6, 8, 10, 12, 14, 16, 18, 20] {
+        let elems = (1usize << shift) / 4;
+        let elems = elems.max(1);
+        let iters = (20_000 >> (shift / 2)).max(20) as u32 * scale_factor() as u32;
+        let results = Simulator::new(world).run(move |comm| {
+            let data: Vec<u32> = (0..elems as u32).collect();
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(comm.allreduce(&data, |a, b| a.wrapping_add(*b)));
+            }
+            let native = t0.elapsed().as_secs_f64() / iters as f64;
+
+            let keys = CommKeys::generate(world, 0x05, Backend::best_available())
+                .into_iter()
+                .nth(comm.rank())
+                .unwrap();
+            let mut sc = SecureComm::new(comm.clone(), keys);
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(sc.allreduce_sum_u32(&data));
+            }
+            let hear = t0.elapsed().as_secs_f64() / iters as f64;
+            (native, hear)
+        });
+        let (native, hear) = results[0];
+        println!(
+            "{:<12} {:>14.2} {:>14.2} {:>9.1}%",
+            elems * 4,
+            native * 1e6,
+            hear * 1e6,
+            100.0 * (hear - native) / native
+        );
+    }
+    let a = Allocation { machine: Machine::piz_daint(), nodes: 2, ppn: 2 };
+    println!(
+        "# model-predicted rd/ring crossover at this scale: {:.0} KiB",
+        crossover_bytes(&a, None) / 1024.0
+    );
+}

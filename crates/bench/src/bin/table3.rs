@@ -1,0 +1,80 @@
+//! Table 3 regenerator: the worked encryption/decryption examples, printed
+//! in the paper's layout and recomputed live (the same arithmetic is
+//! asserted by tests/table3_walkthrough.rs).
+
+use hear::hfp::format::Hfp;
+use hear::hfp::ops;
+use hear::hfp::ringexp::ring_from_i64;
+
+fn m16(v: u64) -> u64 {
+    v & 0xf
+}
+
+fn main() {
+    println!("# Table 3: worked examples (4-bit ints mod 16, subgroup generator 3;");
+    println!("#          half precision l_e=5, l_m=10)\n");
+
+    // --- MPI_SUM (ints) ---
+    println!("MPI_SUM (Eq. 1)      rank1=[1,5] rank2=[3,8], noise [2,1]/[1,7]");
+    let enc1 = [m16(1 + 2 + 16 - 1), m16(5 + 1 + 16 - 7)];
+    let enc2 = [m16(3 + 1), m16(8 + 7)];
+    let red = [m16(enc1[0] + enc2[0]), m16(enc1[1] + enc2[1])];
+    let dec = [m16(red[0] + 16 - 2), m16(red[1] + 16 - 1)];
+    println!("  encrypted {enc1:?} {enc2:?}  reduced {red:?}  decrypted {dec:?} (expected [4,13])");
+
+    // --- MPI_PROD (ints) ---
+    println!("MPI_PROD (Eq. 2)     rank1=[2,4] rank2=[7,2], noise powers [1,2]/[1,0] of g=3");
+    let enc1 = [m16(2), m16(4 * 9)];
+    let enc2 = [m16(7 * 3), m16(2)];
+    let red = [m16(enc1[0] * enc2[0]), m16(enc1[1] * enc2[1])];
+    let dec = [m16(red[0] * 11), m16(red[1] * 9)]; // 3⁻¹=11, 9⁻¹=9 mod 16
+    println!("  encrypted {enc1:?} {enc2:?}  reduced {red:?}  decrypted {dec:?} (expected [14,8])");
+
+    // --- MPI_BXOR ---
+    println!("MPI_BXOR (Eq. 3)     rank1=0011 rank2=0010, noise 0101/1001");
+    let enc1 = 0b0011u64 ^ 0b0101 ^ 0b1001;
+    let enc2 = 0b0010u64 ^ 0b1001;
+    let red = enc1 ^ enc2;
+    let dec = red ^ 0b0101;
+    println!("  encrypted {enc1:04b} {enc2:04b}  reduced {red:04b}  decrypted {dec:04b} (expected 0001)");
+
+    // --- Float MPI_SUM ---
+    println!("Float MPI_SUM (Eq.7) 1.75*2^7 + 1.25*2^9, shared noise 1.5*2^13, delta=2");
+    let (ew, mw) = (7u32, 10u32);
+    let x1 = Hfp::from_f64(1.75 * 128.0, 5, 10).unwrap();
+    let x2 = Hfp::from_f64(1.25 * 512.0, 5, 10).unwrap();
+    let noise = Hfp { sign: false, exp: ring_from_i64(13, ew), sig: (1 << mw) | (1 << (mw - 1)), ew, mw };
+    let c1 = ops::mul(&x1, &noise, ew, mw);
+    let c2 = ops::mul(&x2, &noise, ew, mw);
+    let red = ops::add(&c1, &c2);
+    let dec = ops::div(&red, &noise, ew, mw);
+    println!(
+        "  encrypted {:.4}*2^{} and {:.4}*2^{}  reduced {:.4}*2^{}  decrypted {:.4}*2^{} (expected 1.6875*2^9)",
+        c1.sig as f64 / 1024.0, c1.exponent(),
+        c2.sig as f64 / 1024.0, c2.exponent(),
+        red.sig as f64 / 1024.0, red.exponent(),
+        dec.sig as f64 / 1024.0, dec.exponent()
+    );
+
+    // --- Float MPI_PROD ---
+    println!("Float MPI_PROD (Eq.6) 1.125*2^9 x 1.375*2^1, noise 1.75*2^22 / 1.25*2^-13, delta=0");
+    let (ew, mw) = (5u32, 10u32);
+    let x1 = Hfp::from_f64(1.125 * 512.0, ew, mw).unwrap();
+    let x2 = Hfp::from_f64(1.375 * 2.0, ew, mw).unwrap();
+    let n1 = Hfp { sign: false, exp: ring_from_i64(22, ew), sig: (1 << mw) | (0b11 << (mw - 2)), ew, mw };
+    let n2 = Hfp { sign: false, exp: ring_from_i64(-13, ew), sig: (1 << mw) | (1 << (mw - 2)), ew, mw };
+    let c1 = ops::div(&ops::mul(&x1, &n1, ew, mw), &n2, ew, mw);
+    let c2 = ops::mul(&x2, &n2, ew, mw);
+    let red = ops::mul(&c1, &c2, ew, mw);
+    let dec = ops::div(&red, &n1, ew, mw);
+    println!(
+        "  encrypted {:.4}*2^{} and {:.4}*2^{} (ring exps; paper prints unwrapped 2^44/2^-12)",
+        c1.sig as f64 / 1024.0, c1.exponent(),
+        c2.sig as f64 / 1024.0, c2.exponent()
+    );
+    println!(
+        "  reduced {:.4}*2^{} (paper: 1.354*2^33 = ring 2^1)  decrypted {:.4}*2^{} (expected 1.547*2^10)",
+        red.sig as f64 / 1024.0, red.exponent(),
+        dec.sig as f64 / 1024.0, dec.exponent()
+    );
+}

@@ -1,0 +1,174 @@
+//! Fixed-point transmissions (paper §5.2).
+//!
+//! Fixed-point values ride on the integer schemes: an implicit binary
+//! scale factor is agreed before any computation and shared securely with
+//! all ranks. Summation needs no scale adjustment; for multiplication the
+//! number of involved processes determines the output scale
+//! (`P` factors of `2^{-f}` multiply to `2^{-Pf}`).
+
+/// Codec between `f64` values and scaled two's-complement integers carried
+/// on `u64` ring lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedCodec {
+    frac_bits: u32,
+}
+
+impl FixedCodec {
+    pub fn new(frac_bits: u32) -> Self {
+        assert!(frac_bits < 63, "scale must leave room for an integer part");
+        FixedCodec { frac_bits }
+    }
+
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Quantization step `2^{-f}`.
+    pub fn resolution(&self) -> f64 {
+        f64::powi(2.0, -(self.frac_bits as i32))
+    }
+
+    /// Encode to the ring lane (round-to-nearest).
+    pub fn encode(&self, v: f64) -> u64 {
+        let scaled = v * f64::powi(2.0, self.frac_bits as i32);
+        (scaled.round_ties_even() as i64) as u64
+    }
+
+    /// Decode a summed value (scale unchanged under addition).
+    pub fn decode(&self, lane: u64) -> f64 {
+        (lane as i64) as f64 * self.resolution()
+    }
+
+    /// Decode a product of `world` factors: the scale compounds to
+    /// `world × frac_bits`.
+    pub fn decode_prod(&self, lane: u64, world: usize) -> f64 {
+        let total = self.frac_bits as i64 * world as i64;
+        let mut v = (lane as i64) as f64;
+        let mut t = total;
+        while t > 60 {
+            v *= f64::powi(2.0, -60);
+            t -= 60;
+        }
+        v * f64::powi(2.0, -(t as i32))
+    }
+
+    pub fn encode_slice(&self, vals: &[f64], out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(vals.iter().map(|v| self.encode(*v)));
+    }
+
+    pub fn decode_slice(&self, lanes: &[u64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(lanes.iter().map(|l| self.decode(*l)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::int::{IntProd, IntSum, Scratch};
+    use crate::keys::CommKeys;
+    use hear_prf::Backend;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let c = FixedCodec::new(16);
+        for v in [0.0, 1.0, -1.0, 3.14159, -1000.5, 0.0000152587890625] {
+            let got = c.decode(c.encode(v));
+            assert!((got - v).abs() <= c.resolution() / 2.0, "{v} -> {got}");
+        }
+    }
+
+    #[test]
+    fn negative_values_wrap_correctly() {
+        let c = FixedCodec::new(8);
+        assert_eq!(c.decode(c.encode(-2.5)), -2.5);
+        assert_eq!(c.decode(c.encode(-0.00390625)), -0.00390625); // -2^-8
+    }
+
+    #[test]
+    fn rounding_is_to_nearest() {
+        let c = FixedCodec::new(1); // resolution 0.5
+        assert_eq!(c.decode(c.encode(0.3)), 0.5);
+        assert_eq!(c.decode(c.encode(0.2)), 0.0);
+        assert_eq!(c.decode(c.encode(0.25)), 0.0); // tie to even (0)
+        assert_eq!(c.decode(c.encode(0.75)), 1.0); // tie to even (2×0.5)
+    }
+
+    #[test]
+    fn encrypted_fixed_sum_end_to_end() {
+        let c = FixedCodec::new(20);
+        let keys = CommKeys::generate(3, 13, Backend::AesSoft);
+        let mut scratch = Scratch::default();
+        let data = [
+            vec![1.25, -3.5, 0.875],
+            vec![2.5, 1.0, -0.125],
+            vec![-1.0, 0.5, 4.0],
+        ];
+        let mut agg = vec![0u64; 3];
+        let mut lanes = Vec::new();
+        for (rank, keys) in keys.iter().enumerate() {
+            c.encode_slice(&data[rank], &mut lanes);
+            IntSum::encrypt_in_place(keys, 0, &mut lanes, &mut scratch);
+            for (a, l) in agg.iter_mut().zip(&lanes) {
+                *a = a.wrapping_add(*l);
+            }
+        }
+        IntSum::decrypt_in_place(&keys[0], 0, &mut agg, &mut scratch);
+        let mut out = Vec::new();
+        c.decode_slice(&agg, &mut out);
+        let expect = [2.75, -2.0, 4.75];
+        for j in 0..3 {
+            assert!((out[j] - expect[j]).abs() < 1e-6, "j={j}: {} vs {}", out[j], expect[j]);
+        }
+    }
+
+    #[test]
+    fn encrypted_fixed_prod_scales_by_world() {
+        // 2 ranks: product scale is 2×frac_bits.
+        let c = FixedCodec::new(12);
+        let keys = CommKeys::generate(2, 17, Backend::AesSoft);
+        let mut scratch = Scratch::default();
+        let data = [vec![1.5, 2.0], vec![3.0, 0.25]];
+        let mut agg = vec![1u64; 2];
+        let mut lanes = Vec::new();
+        for (rank, keys) in keys.iter().enumerate() {
+            c.encode_slice(&data[rank], &mut lanes);
+            IntProd::encrypt_in_place(keys, 0, &mut lanes, &mut scratch);
+            for (a, l) in agg.iter_mut().zip(&lanes) {
+                *a = a.wrapping_mul(*l);
+            }
+        }
+        IntProd::decrypt_in_place(&keys[0], 0, &mut agg, &mut scratch);
+        assert!((c.decode_prod(agg[0], 2) - 4.5).abs() < 1e-5);
+        assert!((c.decode_prod(agg[1], 2) - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn oversized_scale_rejected() {
+        FixedCodec::new(63);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn quantization_error_bounded(v in -1.0e6f64..1.0e6, f in 4u32..32) {
+            let c = FixedCodec::new(f);
+            let err = (c.decode(c.encode(v)) - v).abs();
+            prop_assert!(err <= c.resolution() / 2.0 + 1e-12);
+        }
+
+        #[test]
+        fn addition_homomorphism(a in -1000.0f64..1000.0, b in -1000.0f64..1000.0) {
+            let c = FixedCodec::new(24);
+            let sum = c.decode(c.encode(a).wrapping_add(c.encode(b)));
+            prop_assert!((sum - (a + b)).abs() <= c.resolution() + 1e-12);
+        }
+    }
+}

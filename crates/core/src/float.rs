@@ -1,0 +1,547 @@
+//! Floating-point schemes (paper §5.3) on the HFP format.
+//!
+//! * [`FloatSum`] — Eq. (7): every rank multiplies by the *same* PRF noise
+//!   `F_ke(kc + j)` so the untrusted network can add ciphertexts with the
+//!   ring-exponent logic (δ = 2). Provides temporal and local safety but —
+//!   by construction — not global safety.
+//! * [`FloatProd`] — Eq. (6): per-rank noise with the cancelling technique
+//!   (δ = 0, no inflation). We implement the telescoping orientation
+//!   consistent with the stated Θ(1) decryption (see DESIGN.md).
+//! * [`FloatSumExp`] — §5.3.4 alternative addition: values are encoded as
+//!   `e^x` and reduced multiplicatively, trading precision and dynamic
+//!   range for global safety.
+
+use crate::keys::CommKeys;
+use hear_hfp::format::{Hfp, HfpError, HfpFormat};
+use hear_hfp::ops;
+use hear_hfp::ringexp::mask;
+use hear_prf::Prf;
+
+/// Derive an HFP noise value from one PRF block: uniform sign, uniform
+/// ring exponent, uniform mantissa (hidden one attached).
+#[inline]
+fn noise_from_block(block: u128, ew: u32, mw: u32) -> Hfp {
+    let frac = (block as u64) & mask(mw);
+    let exp = ((block >> mw) as u64) & mask(ew);
+    let sign = (block >> (mw + ew)) & 1 == 1;
+    Hfp { sign, exp, sig: (1u64 << mw) | frac, ew, mw }
+}
+
+/// Derive an HFP noise value from the PRF: one PRF block per element.
+#[inline]
+pub fn noise_at(prf: &dyn Prf, base: u128, j: u64, ew: u32, mw: u32) -> Hfp {
+    noise_from_block(prf.eval_block(base.wrapping_add(j as u128)), ew, mw)
+}
+
+/// Bulk noise derivation of exactly `n` values starting at element `first`.
+pub fn noise_fill_n(
+    prf: &dyn Prf,
+    base: u128,
+    first: u64,
+    n: usize,
+    ew: u32,
+    mw: u32,
+    out: &mut Vec<Hfp>,
+) {
+    out.clear();
+    out.reserve(n);
+    const BATCH: usize = 256;
+    let mut blocks = [0u128; BATCH];
+    let mut j = first;
+    let mut left = n;
+    while left > 0 {
+        let take = left.min(BATCH);
+        prf.fill_blocks(base.wrapping_add(j as u128), &mut blocks[..take]);
+        for b in &blocks[..take] {
+            out.push(noise_from_block(*b, ew, mw));
+        }
+        j += take as u64;
+        left -= take;
+    }
+}
+
+/// Homomorphic float summation, Eq. (7).
+pub struct FloatSum {
+    fmt: HfpFormat,
+}
+
+impl FloatSum {
+    /// `fmt` must be an addition layout (δ = 2).
+    pub fn new(fmt: HfpFormat) -> Self {
+        assert_eq!(fmt.delta, 2, "the addition scheme requires δ = 2 (§5.3.5)");
+        FloatSum { fmt }
+    }
+
+    pub fn format(&self) -> HfpFormat {
+        self.fmt
+    }
+
+    /// Encrypt: encode each f64 into the plaintext layout, then ⊗ with the
+    /// collective noise stream (no per-rank key — Eq. 7).
+    pub fn encrypt_f64(
+        &self,
+        keys: &CommKeys,
+        first: u64,
+        x: &[f64],
+        out: &mut Vec<Hfp>,
+    ) -> Result<(), HfpError> {
+        let (le, lm) = self.fmt.plain_widths();
+        let (cew, cmw) = self.fmt.cipher_widths();
+        let mut noise = Vec::new();
+        noise_fill_n(keys.prf(), keys.base_collective(), first, x.len(), cew, cmw, &mut noise);
+        out.clear();
+        out.reserve(x.len());
+        for (&v, n) in x.iter().zip(&noise) {
+            let plain = Hfp::from_f64(v, le, lm)?;
+            out.push(ops::mul(&plain, n, cew, cmw));
+        }
+        Ok(())
+    }
+
+    /// Decrypt an aggregated vector: divide by the collective noise.
+    pub fn decrypt_f64(&self, keys: &CommKeys, first: u64, agg: &[Hfp], out: &mut Vec<f64>) {
+        let (cew, cmw) = self.fmt.cipher_widths();
+        let mut noise = Vec::new();
+        noise_fill_n(keys.prf(), keys.base_collective(), first, agg.len(), cew, cmw, &mut noise);
+        out.clear();
+        out.reserve(agg.len());
+        for (c, n) in agg.iter().zip(&noise) {
+            out.push(ops::div(c, n, cew, cmw).to_f64());
+        }
+    }
+
+    /// The operation the network applies: ring-exponent addition.
+    #[inline]
+    pub fn combine(a: &Hfp, b: &Hfp) -> Hfp {
+        ops::add(a, b)
+    }
+}
+
+/// Homomorphic float product, Eq. (6) (telescoping orientation).
+pub struct FloatProd {
+    fmt: HfpFormat,
+}
+
+impl FloatProd {
+    /// `fmt` must be a multiplication layout (δ = 0).
+    pub fn new(fmt: HfpFormat) -> Self {
+        assert_eq!(fmt.delta, 0, "the multiplication scheme requires δ = 0");
+        FloatProd { fmt }
+    }
+
+    pub fn format(&self) -> HfpFormat {
+        self.fmt
+    }
+
+    pub fn encrypt_f64(
+        &self,
+        keys: &CommKeys,
+        first: u64,
+        x: &[f64],
+        out: &mut Vec<Hfp>,
+    ) -> Result<(), HfpError> {
+        let (le, lm) = self.fmt.plain_widths();
+        let (cew, cmw) = self.fmt.cipher_widths();
+        let mut own = Vec::new();
+        noise_fill_n(keys.prf(), keys.base_own(), first, x.len(), cew, cmw, &mut own);
+        let mut next = Vec::new();
+        if !keys.is_last() {
+            noise_fill_n(keys.prf(), keys.base_next(), first, x.len(), cew, cmw, &mut next);
+        }
+        out.clear();
+        out.reserve(x.len());
+        for (i, &v) in x.iter().enumerate() {
+            let plain = Hfp::from_f64(v, le, lm)?;
+            let c = ops::mul(&plain, &own[i], cew, cmw);
+            let c = if keys.is_last() {
+                c
+            } else {
+                ops::div(&c, &next[i], cew, cmw)
+            };
+            out.push(c);
+        }
+        Ok(())
+    }
+
+    pub fn decrypt_f64(&self, keys: &CommKeys, first: u64, agg: &[Hfp], out: &mut Vec<f64>) {
+        let (cew, cmw) = self.fmt.cipher_widths();
+        let mut zero = Vec::new();
+        noise_fill_n(keys.prf(), keys.base_zero(), first, agg.len(), cew, cmw, &mut zero);
+        out.clear();
+        out.reserve(agg.len());
+        for (c, z) in agg.iter().zip(&zero) {
+            out.push(ops::div(c, z, cew, cmw).to_f64());
+        }
+    }
+
+    #[inline]
+    pub fn combine(a: &Hfp, b: &Hfp) -> Hfp {
+        let (ew, mw) = (a.ew, a.mw);
+        ops::mul(a, b, ew, mw)
+    }
+}
+
+/// Alternative addition (§5.3.4): `x → e^x`, multiplicative reduction,
+/// `ln` after decryption. Useful for values in a small range (e.g.
+/// normalized ML weights); provides global safety, unlike [`FloatSum`].
+pub struct FloatSumExp {
+    prod: FloatProd,
+}
+
+impl FloatSumExp {
+    pub fn new(fmt: HfpFormat) -> Self {
+        FloatSumExp { prod: FloatProd::new(fmt) }
+    }
+
+    pub fn format(&self) -> HfpFormat {
+        self.prod.format()
+    }
+
+    pub fn encrypt_f64(
+        &self,
+        keys: &CommKeys,
+        first: u64,
+        x: &[f64],
+        out: &mut Vec<Hfp>,
+    ) -> Result<(), HfpError> {
+        let encoded: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        for e in &encoded {
+            if !e.is_finite() || *e == 0.0 {
+                // exp() over/underflowed: the value is outside the scheme's
+                // dynamic range.
+                return Err(HfpError::ExponentOverflow(0));
+            }
+        }
+        self.prod.encrypt_f64(keys, first, &encoded, out)
+    }
+
+    pub fn decrypt_f64(&self, keys: &CommKeys, first: u64, agg: &[Hfp], out: &mut Vec<f64>) {
+        self.prod.decrypt_f64(keys, first, agg, out);
+        for v in out.iter_mut() {
+            *v = v.ln();
+        }
+    }
+
+    #[inline]
+    pub fn combine(a: &Hfp, b: &Hfp) -> Hfp {
+        FloatProd::combine(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hear_prf::{Backend, PrfCipher};
+
+    fn keys(world: usize) -> Vec<CommKeys> {
+        CommKeys::generate(world, 0xBEEF, Backend::AesSoft)
+    }
+
+    #[test]
+    fn noise_is_canonical_and_varied() {
+        let prf = PrfCipher::new(Backend::AesSoft, 1).unwrap();
+        let mut exps = std::collections::HashSet::new();
+        for j in 0..256 {
+            let n = noise_at(&prf, 7, j, 10, 23);
+            assert!(n.is_canonical());
+            assert!(!n.is_zero());
+            exps.insert(n.exp);
+        }
+        // 10-bit exponents over 256 draws: expect wide coverage.
+        assert!(exps.len() > 150, "noise exponents must be spread over the ring");
+    }
+
+    /// Full encrypted allreduce for float sum: every rank encrypts, the
+    /// network adds ciphertexts, one rank decrypts.
+    fn float_sum_roundtrip(world: usize, fmt: HfpFormat, data: &[Vec<f64>]) -> Vec<f64> {
+        let keys = keys(world);
+        let scheme = FloatSum::new(fmt);
+        let n = data[0].len();
+        let (cew, cmw) = fmt.cipher_widths();
+        let mut agg = vec![Hfp::zero(cew, cmw); n];
+        let mut ct = Vec::new();
+        for (rank, keys) in keys.iter().enumerate() {
+            scheme.encrypt_f64(keys, 0, &data[rank], &mut ct).unwrap();
+            for (a, c) in agg.iter_mut().zip(ct.iter()) {
+                *a = FloatSum::combine(a, c);
+            }
+        }
+        let mut out = Vec::new();
+        scheme.decrypt_f64(&keys[0], 0, &agg, &mut out);
+        out
+    }
+
+    #[test]
+    fn float_sum_fp32_gamma2_accuracy() {
+        let fmt = HfpFormat::fp32(2, 2);
+        let data = vec![
+            vec![1.5, -2.25, 3.0e-3, 1000.0],
+            vec![0.5, 4.5, 2.0e-3, -500.0],
+            vec![-1.0, 1.75, -1.0e-3, 250.0],
+        ];
+        let got = float_sum_roundtrip(3, fmt, &data);
+        for j in 0..4 {
+            let expect: f64 = data.iter().map(|v| v[j]).sum();
+            let rel = (got[j] - expect).abs() / expect.abs().max(1e-12);
+            assert!(rel < 1e-5, "j={j} got={} expect={expect} rel={rel}", got[j]);
+        }
+    }
+
+    #[test]
+    fn float_sum_large_magnitude_spread() {
+        // Exponent differences exercise the ring alignment.
+        let fmt = HfpFormat::fp32(2, 2);
+        let data = vec![vec![1.0e10, 1.0e-10], vec![-1.0e10, 2.0e-10]];
+        let got = float_sum_roundtrip(2, fmt, &data);
+        // 1e10 - 1e10 = 0 exactly (same noise, same ciphertext magnitudes).
+        assert!(
+            got[0].abs() < 1.0,
+            "cancellation should be near-exact, got {}",
+            got[0]
+        );
+        let rel = (got[1] - 3.0e-10).abs() / 3.0e-10;
+        assert!(rel < 1e-5, "rel={rel}");
+    }
+
+    #[test]
+    fn float_sum_gamma0_loses_more_precision_than_gamma2() {
+        let data: Vec<Vec<f64>> = (0..4)
+            .map(|r| (0..64).map(|j| ((r * 64 + j) as f64).sin() * 3.0 + 3.5).collect())
+            .collect();
+        let expect: Vec<f64> = (0..64)
+            .map(|j| data.iter().map(|v| v[j]).sum::<f64>())
+            .collect();
+        let err = |gamma: u32| -> f64 {
+            let got = float_sum_roundtrip(4, HfpFormat::fp32(2, gamma), &data);
+            got.iter()
+                .zip(&expect)
+                .map(|(g, e)| ((g - e) / e).abs())
+                .sum::<f64>()
+                / 64.0
+        };
+        let (e0, e2) = (err(0), err(2));
+        assert!(e0 > e2, "γ=0 mean rel err {e0} should exceed γ=2 {e2}");
+        assert!(e2 < 1e-5);
+    }
+
+    #[test]
+    fn float_sum_rejects_nan() {
+        let keys = keys(2);
+        let scheme = FloatSum::new(HfpFormat::fp32(2, 2));
+        let mut out = Vec::new();
+        assert_eq!(
+            scheme.encrypt_f64(&keys[0], 0, &[f64::NAN], &mut out),
+            Err(HfpError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn float_sum_zero_inputs_become_smallest() {
+        let fmt = HfpFormat::fp32(2, 2);
+        let data = vec![vec![0.0, 5.0], vec![0.0, 0.0]];
+        let got = float_sum_roundtrip(2, fmt, &data);
+        // Zeros decode to tiny magnitudes, not exact zero.
+        assert!(got[0].abs() < 1e-30);
+        assert!((got[1] - 5.0).abs() / 5.0 < 1e-5);
+    }
+
+    fn float_prod_roundtrip(world: usize, fmt: HfpFormat, data: &[Vec<f64>]) -> Vec<f64> {
+        let keys = keys(world);
+        let scheme = FloatProd::new(fmt);
+        let n = data[0].len();
+        let (cew, cmw) = fmt.cipher_widths();
+        let mut agg = vec![Hfp::one(cew, cmw); n];
+        let mut ct = Vec::new();
+        for (rank, keys) in keys.iter().enumerate() {
+            scheme.encrypt_f64(keys, 0, &data[rank], &mut ct).unwrap();
+            for (a, c) in agg.iter_mut().zip(ct.iter()) {
+                *a = FloatProd::combine(a, c);
+            }
+        }
+        let mut out = Vec::new();
+        scheme.decrypt_f64(&keys[0], 0, &agg, &mut out);
+        out
+    }
+
+    #[test]
+    fn float_prod_fp32_accuracy() {
+        let fmt = HfpFormat::fp32(0, 0);
+        let data = vec![
+            vec![1.5, -2.0, 0.125],
+            vec![2.0, 3.0, -8.0],
+            vec![-4.0, 0.5, 2.0],
+        ];
+        let got = float_prod_roundtrip(3, fmt, &data);
+        let expect = [1.5 * 2.0 * -4.0, -2.0 * 3.0 * 0.5, 0.125 * -8.0 * 2.0];
+        for j in 0..3 {
+            let rel = (got[j] - expect[j]).abs() / expect[j].abs();
+            assert!(rel < 1e-5, "j={j} got={} expect={} rel={rel}", got[j], expect[j]);
+        }
+    }
+
+    #[test]
+    fn float_prod_single_rank() {
+        // world=1: the rank is last, no cancellation division at all.
+        let got = float_prod_roundtrip(1, HfpFormat::fp32(0, 0), &[vec![3.25, -0.5]]);
+        assert!((got[0] - 3.25).abs() < 1e-6);
+        assert!((got[1] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn float_prod_fp64_tighter_than_fp16() {
+        let data = vec![vec![1.1; 8], vec![0.9; 8]];
+        let expect = 1.1 * 0.9;
+        let rel = |fmt: HfpFormat| -> f64 {
+            let got = float_prod_roundtrip(2, fmt, &data);
+            got.iter().map(|g| ((g - expect) / expect).abs()).sum::<f64>() / 8.0
+        };
+        let r16 = rel(HfpFormat::fp16(0, 0));
+        let r64 = rel(HfpFormat::fp64(0, 0));
+        assert!(r64 < r16 / 1e6, "fp64 {r64} must be far tighter than fp16 {r16}");
+    }
+
+    #[test]
+    fn float_sum_exp_small_range() {
+        let keys = keys(2);
+        let scheme = FloatSumExp::new(HfpFormat::fp64(0, 0));
+        let data = vec![vec![0.5, -0.25, 0.01], vec![0.1, 0.05, -0.02]];
+        let (cew, cmw) = scheme.format().cipher_widths();
+        let mut agg = vec![Hfp::one(cew, cmw); 3];
+        let mut ct = Vec::new();
+        for (rank, k) in keys.iter().enumerate() {
+            scheme.encrypt_f64(k, 0, &data[rank], &mut ct).unwrap();
+            for (a, c) in agg.iter_mut().zip(ct.iter()) {
+                *a = FloatSumExp::combine(a, c);
+            }
+        }
+        let mut out = Vec::new();
+        scheme.decrypt_f64(&keys[0], 0, &agg, &mut out);
+        let expect = [0.6, -0.2, -0.01];
+        for j in 0..3 {
+            assert!(
+                (out[j] - expect[j]).abs() < 1e-9,
+                "j={j} got={} expect={}",
+                out[j],
+                expect[j]
+            );
+        }
+    }
+
+    #[test]
+    fn float_sum_exp_rejects_out_of_range() {
+        let keys = keys(2);
+        let scheme = FloatSumExp::new(HfpFormat::fp64(0, 0));
+        let mut out = Vec::new();
+        // e^1000 overflows f64.
+        assert!(scheme.encrypt_f64(&keys[0], 0, &[1000.0], &mut out).is_err());
+    }
+
+    #[test]
+    fn sum_no_global_safety_but_prod_has_it() {
+        // Same plaintext on two ranks: Eq. 7 (shared noise) produces equal
+        // ciphertexts (no global safety — the paper's documented trade),
+        // while Eq. 6 (per-rank noise) produces different ones.
+        let keys = keys(3);
+        let sum = FloatSum::new(HfpFormat::fp32(2, 2));
+        let prod = FloatProd::new(HfpFormat::fp32(0, 0));
+        let x = [std::f64::consts::PI];
+        let (mut c0, mut c1) = (Vec::new(), Vec::new());
+        sum.encrypt_f64(&keys[0], 0, &x, &mut c0).unwrap();
+        sum.encrypt_f64(&keys[1], 0, &x, &mut c1).unwrap();
+        assert_eq!(c0[0], c1[0], "Eq. 7 shares the noise stream");
+        prod.encrypt_f64(&keys[0], 0, &x, &mut c0).unwrap();
+        prod.encrypt_f64(&keys[1], 0, &x, &mut c1).unwrap();
+        assert_ne!(c0[0], c1[0], "Eq. 6 uses per-rank noise");
+    }
+
+    #[test]
+    fn temporal_safety_for_floats() {
+        let mut ks = keys(2);
+        let scheme = FloatSum::new(HfpFormat::fp32(2, 2));
+        let x = [42.0];
+        let (mut c1, mut c2) = (Vec::new(), Vec::new());
+        scheme.encrypt_f64(&ks[0], 0, &x, &mut c1).unwrap();
+        ks[0].advance();
+        scheme.encrypt_f64(&ks[0], 0, &x, &mut c2).unwrap();
+        assert_ne!(c1[0], c2[0]);
+    }
+
+    #[test]
+    fn block_offsets_compose_for_floats() {
+        let ks = keys(2);
+        let scheme = FloatSum::new(HfpFormat::fp32(2, 2));
+        let x: Vec<f64> = (1..=8).map(|v| v as f64).collect();
+        let mut whole = Vec::new();
+        scheme.encrypt_f64(&ks[0], 0, &x, &mut whole).unwrap();
+        let (mut p1, mut p2) = (Vec::new(), Vec::new());
+        scheme.encrypt_f64(&ks[0], 0, &x[..3], &mut p1).unwrap();
+        scheme.encrypt_f64(&ks[0], 3, &x[3..], &mut p2).unwrap();
+        assert_eq!(&whole[..3], &p1[..]);
+        assert_eq!(&whole[3..], &p2[..]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use hear_prf::Backend;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn float_sum_roundtrip_error_bounded(
+            world in 1usize..5,
+            seed in any::<u64>(),
+            vals in proptest::collection::vec(0.1f64..10.0, 1..16),
+        ) {
+            let keys = CommKeys::generate(world, seed, Backend::AesSoft);
+            let fmt = HfpFormat::fp32(2, 2);
+            let scheme = FloatSum::new(fmt);
+            let (cew, cmw) = fmt.cipher_widths();
+            let mut agg = vec![Hfp::zero(cew, cmw); vals.len()];
+            let mut ct = Vec::new();
+            for k in &keys {
+                scheme.encrypt_f64(k, 0, &vals, &mut ct).unwrap();
+                for (a, c) in agg.iter_mut().zip(ct.iter()) {
+                    *a = FloatSum::combine(a, c);
+                }
+            }
+            let mut out = Vec::new();
+            scheme.decrypt_f64(&keys[0], 0, &agg, &mut out);
+            for (j, got) in out.iter().enumerate() {
+                let expect = vals[j] * world as f64;
+                let rel = (got - expect).abs() / expect;
+                prop_assert!(rel < 1e-4, "j={} got={} expect={} rel={}", j, got, expect, rel);
+            }
+        }
+
+        #[test]
+        fn float_prod_roundtrip_error_bounded(
+            world in 1usize..4,
+            seed in any::<u64>(),
+            vals in proptest::collection::vec(0.5f64..2.0, 1..12),
+        ) {
+            let keys = CommKeys::generate(world, seed, Backend::AesSoft);
+            let fmt = HfpFormat::fp32(0, 0);
+            let scheme = FloatProd::new(fmt);
+            let (cew, cmw) = fmt.cipher_widths();
+            let mut agg = vec![Hfp::one(cew, cmw); vals.len()];
+            let mut ct = Vec::new();
+            for k in &keys {
+                scheme.encrypt_f64(k, 0, &vals, &mut ct).unwrap();
+                for (a, c) in agg.iter_mut().zip(ct.iter()) {
+                    *a = FloatProd::combine(a, c);
+                }
+            }
+            let mut out = Vec::new();
+            scheme.decrypt_f64(&keys[0], 0, &agg, &mut out);
+            for (j, got) in out.iter().enumerate() {
+                let expect = vals[j].powi(world as i32);
+                let rel = (got - expect).abs() / expect;
+                prop_assert!(rel < 1e-4, "j={} rel={}", j, rel);
+            }
+        }
+    }
+}

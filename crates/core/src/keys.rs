@@ -1,0 +1,251 @@
+//! Key generation and progression (paper §5, "Key Generation").
+//!
+//! Per communicator, each rank `i` of `P` draws a local starting key
+//! `ks_i`; rank 0 additionally draws the collective key `kc`, the
+//! encryption PRF key `ke` and the progression PRF key `kp`, which are
+//! broadcast securely. After initialization every rank holds exactly six
+//! keys — `ks_i`, `ks_{(i+1) mod P}`, `ks_0`, `kc`, `ke`, `kp` — so key
+//! state is Θ(1) in the communicator size.
+//!
+//! (The paper's prose says ranks store the keys of ranks *i−1* and 0, but
+//! its Eq. 1 cancels against rank *i+1*'s noise; we follow the equation —
+//! see DESIGN.md.)
+//!
+//! Before every Allreduce all ranks advance the collective key,
+//! `kc ← F_kp(kc)`, which provides temporal safety: the same plaintext
+//! encrypts differently across consecutive calls.
+
+use crate::rng::KeyRng;
+use hear_prf::{Backend, Prf, PrfCipher};
+
+/// The Θ(1) per-rank key state for one communicator.
+pub struct CommKeys {
+    rank: usize,
+    world: usize,
+    ks_own: u64,
+    ks_next: u64,
+    ks_zero: u64,
+    kc: u64,
+    ke_prf: PrfCipher,
+    kp_prf: PrfCipher,
+}
+
+impl CommKeys {
+    /// Run the initialization phase for a `world`-rank communicator,
+    /// returning each rank's key state. Deterministic in `seed` (the secure
+    /// environment's entropy source in the real deployment).
+    pub fn generate(world: usize, seed: u64, backend: Backend) -> Vec<CommKeys> {
+        let (keys, _) = Self::generate_with_registry(world, seed, backend);
+        keys
+    }
+
+    /// Like [`CommKeys::generate`] but also returns the full key registry,
+    /// needed by the non-cancelling naive scheme (Fig. 1) whose decryption
+    /// aggregates all `P` local keys, and by white-box tests.
+    pub fn generate_with_registry(
+        world: usize,
+        seed: u64,
+        backend: Backend,
+    ) -> (Vec<CommKeys>, KeyRegistry) {
+        assert!(world >= 1, "communicator needs at least one rank");
+        assert!(backend.is_available(), "PRF backend not available on this CPU");
+        let mut rng = KeyRng::new(seed);
+        let ks: Vec<u64> = (0..world).map(|_| rng.next_u64()).collect();
+        let kc = rng.next_u64();
+        let ke = rng.next_u128();
+        let kp = rng.next_u128();
+        let keys = (0..world)
+            .map(|rank| CommKeys {
+                rank,
+                world,
+                ks_own: ks[rank],
+                ks_next: ks[(rank + 1) % world],
+                ks_zero: ks[0],
+                kc,
+                ke_prf: PrfCipher::new(backend, ke).expect("backend availability checked"),
+                kp_prf: PrfCipher::new(backend, kp).expect("backend availability checked"),
+            })
+            .collect();
+        let registry = KeyRegistry {
+            ks,
+            kc,
+            ke_prf: PrfCipher::new(backend, ke).expect("backend availability checked"),
+            kp_prf: PrfCipher::new(backend, kp).expect("backend availability checked"),
+        };
+        (keys, registry)
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// True for the rank that applies un-cancelled noise (Eq. 1's `i = P−1`
+    /// case).
+    pub fn is_last(&self) -> bool {
+        self.rank == self.world - 1
+    }
+
+    /// Advance the collective key: `kc ← F_kp(kc)`. Every rank of the
+    /// communicator must call this once per Allreduce, in the same order.
+    pub fn advance(&mut self) {
+        self.kc = self.kp_prf.eval_block(self.kc as u128) as u64;
+    }
+
+    /// Current collective-key epoch (for cross-rank consistency asserts).
+    pub fn epoch(&self) -> u64 {
+        self.kc
+    }
+
+    /// The encryption PRF `F_ke`.
+    pub fn prf(&self) -> &PrfCipher {
+        &self.ke_prf
+    }
+
+    /// PRF input base `ks_i + kc` for this rank's own noise stream.
+    pub fn base_own(&self) -> u128 {
+        self.ks_own.wrapping_add(self.kc) as u128
+    }
+
+    /// PRF input base for the next rank's noise stream (cancellation).
+    pub fn base_next(&self) -> u128 {
+        self.ks_next.wrapping_add(self.kc) as u128
+    }
+
+    /// PRF input base for rank 0's noise stream (decryption).
+    pub fn base_zero(&self) -> u128 {
+        self.ks_zero.wrapping_add(self.kc) as u128
+    }
+
+    /// PRF input base `kc` alone — the shared noise stream of the float
+    /// addition scheme (Eq. 7), which deliberately involves no per-rank key.
+    pub fn base_collective(&self) -> u128 {
+        self.kc as u128
+    }
+}
+
+/// The full key material of a communicator, as known to the trusted
+/// initialization context. Required only by the naive (non-cancelling)
+/// scheme whose decryption cost is Θ(P), and by tests.
+pub struct KeyRegistry {
+    ks: Vec<u64>,
+    kc: u64,
+    ke_prf: PrfCipher,
+    kp_prf: PrfCipher,
+}
+
+impl KeyRegistry {
+    pub fn world(&self) -> usize {
+        self.ks.len()
+    }
+
+    pub fn advance(&mut self) {
+        self.kc = self.kp_prf.eval_block(self.kc as u128) as u64;
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.kc
+    }
+
+    pub fn prf(&self) -> &PrfCipher {
+        &self.ke_prf
+    }
+
+    /// PRF base `ks_r + kc` for an arbitrary rank `r`.
+    pub fn base_of(&self, rank: usize) -> u128 {
+        self.ks[rank].wrapping_add(self.kc) as u128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(world: usize) -> Vec<CommKeys> {
+        CommKeys::generate(world, 0xc0ffee, Backend::AesSoft)
+    }
+
+    #[test]
+    fn ring_of_keys_is_consistent() {
+        let keys = gen(4);
+        for i in 0..4 {
+            assert_eq!(keys[i].rank(), i);
+            assert_eq!(keys[i].world(), 4);
+            // ks_next of rank i equals ks_own of rank i+1 (mod P):
+            assert_eq!(keys[i].base_next(), keys[(i + 1) % 4].base_own());
+            // everyone agrees on rank 0's stream:
+            assert_eq!(keys[i].base_zero(), keys[0].base_own());
+        }
+        assert!(keys[3].is_last());
+        assert!(!keys[0].is_last());
+    }
+
+    #[test]
+    fn single_rank_communicator() {
+        let keys = gen(1);
+        assert!(keys[0].is_last());
+        assert_eq!(keys[0].base_next(), keys[0].base_own());
+        assert_eq!(keys[0].base_zero(), keys[0].base_own());
+    }
+
+    #[test]
+    fn advance_stays_synchronized() {
+        let mut keys = gen(3);
+        let e0 = keys[0].epoch();
+        for k in &mut keys {
+            k.advance();
+        }
+        assert_ne!(keys[0].epoch(), e0, "temporal safety: kc must change");
+        assert!(keys.iter().all(|k| k.epoch() == keys[0].epoch()));
+        // Bases change with the epoch.
+        for k in &mut keys {
+            let b = k.base_own();
+            k.advance();
+            assert_ne!(k.base_own(), b);
+        }
+    }
+
+    #[test]
+    fn registry_matches_rank_views() {
+        let (mut keys, mut reg) = CommKeys::generate_with_registry(5, 7, Backend::AesSoft);
+        for i in 0..5 {
+            assert_eq!(reg.base_of(i), keys[i].base_own());
+        }
+        // Registry advances in lockstep.
+        reg.advance();
+        for k in &mut keys {
+            k.advance();
+        }
+        assert_eq!(reg.epoch(), keys[0].epoch());
+        assert_eq!(reg.base_of(2), keys[2].base_own());
+    }
+
+    #[test]
+    fn different_seeds_different_keys() {
+        let a = CommKeys::generate(2, 1, Backend::AesSoft);
+        let b = CommKeys::generate(2, 2, Backend::AesSoft);
+        assert_ne!(a[0].base_own(), b[0].base_own());
+    }
+
+    #[test]
+    fn prf_streams_agree_across_ranks() {
+        use hear_prf::word_u32;
+        let keys = gen(3);
+        // Rank 0's cancellation noise for rank 1 equals rank 1's own noise.
+        for j in 0..64 {
+            assert_eq!(
+                word_u32(keys[0].prf(), keys[0].base_next(), j),
+                word_u32(keys[1].prf(), keys[1].base_own(), j)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_world_rejected() {
+        CommKeys::generate(0, 1, Backend::AesSoft);
+    }
+}

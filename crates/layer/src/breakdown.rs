@@ -1,0 +1,137 @@
+//! Critical-path phase instrumentation (paper Fig. 4).
+//!
+//! Fig. 4 decomposes a 16-byte `MPI_Allreduce` integer summation into
+//! `mem_alloc → encrypt → comm → decrypt → mem_free` and compares the
+//! crypto overhead of the SHA-1 and AES-NI PRF backends against the bare
+//! runtime. This module reproduces that measurement: each phase is timed
+//! separately over many iterations and reported as accumulated time.
+
+use hear_core::{CommKeys, IntSum, Scratch};
+use hear_mpi::Communicator;
+use std::time::{Duration, Instant};
+
+/// Accumulated per-phase time over a measurement run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseBreakdown {
+    pub mem_alloc: Duration,
+    pub encrypt: Duration,
+    pub comm: Duration,
+    pub decrypt: Duration,
+    pub mem_free: Duration,
+    pub iterations: u32,
+}
+
+impl PhaseBreakdown {
+    pub fn total(&self) -> Duration {
+        self.mem_alloc + self.encrypt + self.comm + self.decrypt + self.mem_free
+    }
+
+    /// Crypto overhead relative to communication time — the percentages
+    /// printed next to the bars in Fig. 4 (75.5 % for SHA-1, 7.1 % for
+    /// AES-NI on the paper's system).
+    pub fn crypto_overhead_pct(&self) -> f64 {
+        let crypto = self.encrypt + self.decrypt;
+        100.0 * crypto.as_secs_f64() / self.comm.as_secs_f64().max(1e-12)
+    }
+
+    /// Mean per-iteration latency of one full secured allreduce.
+    pub fn per_iteration(&self) -> Duration {
+        self.total() / self.iterations.max(1)
+    }
+}
+
+/// Run `iters` instrumented encrypted allreduce calls of `elems` u32
+/// elements (4 elems = the paper's 16 B message) and return the phase
+/// accumulation. When `encrypted` is false, only alloc/comm/free run — the
+/// bare Cray-MPICH-equivalent baseline bar.
+pub fn measure_phases(
+    comm: &Communicator,
+    keys: &mut CommKeys,
+    elems: usize,
+    iters: u32,
+    encrypted: bool,
+) -> PhaseBreakdown {
+    let mut b = PhaseBreakdown { iterations: iters, ..Default::default() };
+    // The scratch is part of libhear's persistent state (memory pool), not
+    // of the per-call critical path.
+    let mut scratch = Scratch::with_capacity(elems);
+    for i in 0..iters {
+        let t0 = Instant::now();
+        let mut buf: Vec<u32> = Vec::with_capacity(elems);
+        buf.extend((0..elems as u32).map(|j| j.wrapping_mul(i)));
+        let t1 = Instant::now();
+        b.mem_alloc += t1 - t0;
+
+        if encrypted {
+            keys.advance();
+            IntSum::encrypt_in_place(keys, 0, &mut buf, &mut scratch);
+        }
+        let t2 = Instant::now();
+        b.encrypt += t2 - t1;
+
+        let mut agg = comm.allreduce(&buf, |a: &u32, c: &u32| a.wrapping_add(*c));
+        let t3 = Instant::now();
+        b.comm += t3 - t2;
+
+        if encrypted {
+            IntSum::decrypt_in_place(keys, 0, &mut agg, &mut scratch);
+        }
+        let t4 = Instant::now();
+        b.decrypt += t4 - t3;
+
+        drop(agg);
+        drop(buf);
+        b.mem_free += t4.elapsed();
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hear_mpi::Simulator;
+    use hear_prf::Backend;
+
+    fn run_breakdown(backend: Backend, encrypted: bool) -> PhaseBreakdown {
+        let results = Simulator::new(2).run(move |comm| {
+            let mut keys = CommKeys::generate(2, 5, backend)
+                .into_iter()
+                .nth(comm.rank())
+                .unwrap();
+            measure_phases(comm, &mut keys, 4, 200, encrypted)
+        });
+        results[0]
+    }
+
+    #[test]
+    fn phases_accumulate() {
+        let b = run_breakdown(Backend::AesSoft, true);
+        assert_eq!(b.iterations, 200);
+        assert!(b.comm > Duration::ZERO);
+        assert!(b.encrypt > Duration::ZERO);
+        assert!(b.decrypt > Duration::ZERO);
+        assert!(b.total() >= b.comm);
+        assert!(b.per_iteration() > Duration::ZERO);
+    }
+
+    #[test]
+    fn baseline_has_no_crypto_time() {
+        let b = run_breakdown(Backend::AesSoft, false);
+        // encrypt/decrypt phases exist but contain only the timestamp takes.
+        assert!(b.encrypt < b.comm, "baseline encrypt phase should be negligible");
+        assert!(b.crypto_overhead_pct() < 50.0);
+    }
+
+    #[test]
+    fn sha1_costs_more_than_aes() {
+        // The Fig. 4 headline: SHA-1's crypto phases are slower than AES's.
+        let sha = run_breakdown(Backend::Sha1, true);
+        let aes = run_breakdown(Backend::AesSoft, true);
+        assert!(
+            sha.encrypt + sha.decrypt > aes.encrypt + aes.decrypt,
+            "sha {:?} vs aes {:?}",
+            sha.encrypt + sha.decrypt,
+            aes.encrypt + aes.decrypt
+        );
+    }
+}

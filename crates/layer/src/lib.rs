@@ -1,0 +1,22 @@
+//! # hear-layer — the libhear interposition layer
+//!
+//! The end-to-end system of paper §6: a drop-in secured Allreduce that
+//! wraps the MPI runtime without application changes. Provides
+//! [`SecureComm`] (transparent encrypt → reduce → decrypt for every
+//! supported datatype/op, with optional HoMAC verification), the
+//! page-aligned [`pool::MemoryPool`], pipelined large-message transfers
+//! ([`SecureComm::allreduce_sum_u32_pipelined`], Fig. 6), and the
+//! critical-path phase instrumentation of Fig. 4 ([`breakdown`]).
+
+pub mod breakdown;
+pub mod dispatch;
+pub mod extensions;
+pub mod pipeline;
+pub mod pool;
+pub mod secure;
+
+pub use breakdown::{measure_phases, PhaseBreakdown};
+pub use pool::{AlignedBuf, MemoryPool};
+pub use dispatch::{DispatchError, TypedSlice, TypedVec};
+pub use extensions::SecureP2p;
+pub use secure::{ReduceAlgo, SecureComm, Tagged, VerificationError};

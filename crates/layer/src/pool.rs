@@ -1,0 +1,192 @@
+//! Page-aligned memory pool (paper §6, "Memory allocation").
+//!
+//! libhear pre-allocates a page-aligned pool for intermediate send-buffer
+//! blocks: it avoids per-call `malloc` on the critical path (the
+//! `mem_alloc` / `mem_free` phases visible in Fig. 4) and keeps buffers
+//! page-aligned so the MPI layer's RDMA registration (memory pinning) can
+//! be amortized.
+
+use parking_lot::Mutex;
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+
+pub const PAGE: usize = 4096;
+
+/// A page-aligned byte buffer.
+pub struct AlignedBuf {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// The buffer is exclusively owned; the raw pointer is not shared.
+unsafe impl Send for AlignedBuf {}
+
+impl AlignedBuf {
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "zero-length pool blocks are useless");
+        let layout = Layout::from_size_align(len, PAGE).expect("valid layout");
+        // SAFETY: layout has non-zero size; allocation failure is checked.
+        let ptr = unsafe { alloc_zeroed(layout) };
+        assert!(!ptr.is_null(), "pool allocation failed");
+        AlignedBuf { ptr, len }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: ptr is valid for len bytes for the lifetime of self.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: exclusive access through &mut self.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+
+    /// View as a u32 lane buffer (the pool allocates page-aligned blocks,
+    /// so alignment always holds).
+    pub fn as_u32_mut(&mut self) -> &mut [u32] {
+        debug_assert_eq!(self.ptr as usize % 4, 0);
+        // SAFETY: page alignment ≥ 4; length truncated to whole lanes.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr as *mut u32, self.len / 4) }
+    }
+
+    pub fn as_u64_mut(&mut self) -> &mut [u64] {
+        debug_assert_eq!(self.ptr as usize % 8, 0);
+        // SAFETY: page alignment ≥ 8; length truncated to whole lanes.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr as *mut u64, self.len / 8) }
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        let layout = Layout::from_size_align(self.len, PAGE).expect("valid layout");
+        // SAFETY: allocated with the same layout in `new`.
+        unsafe { dealloc(self.ptr, layout) }
+    }
+}
+
+/// A fixed-size pool of equally sized page-aligned blocks.
+pub struct MemoryPool {
+    block_bytes: usize,
+    free: Mutex<Vec<AlignedBuf>>,
+}
+
+impl MemoryPool {
+    /// Pre-allocate `blocks` buffers of `block_bytes` each.
+    pub fn new(block_bytes: usize, blocks: usize) -> Self {
+        MemoryPool {
+            block_bytes,
+            free: Mutex::new((0..blocks).map(|_| AlignedBuf::new(block_bytes)).collect()),
+        }
+    }
+
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    /// Number of blocks currently available.
+    pub fn available(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Take a block; falls back to a fresh allocation when the pool is
+    /// exhausted (the paper-accurate behaviour is to size the pool for the
+    /// pipeline depth so this never happens on the hot path).
+    pub fn take(&self) -> AlignedBuf {
+        self.free
+            .lock()
+            .pop()
+            .unwrap_or_else(|| AlignedBuf::new(self.block_bytes))
+    }
+
+    /// Return a block to the pool.
+    pub fn put(&self, buf: AlignedBuf) {
+        assert_eq!(buf.len(), self.block_bytes, "foreign block returned to pool");
+        self.free.lock().push(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_page_aligned() {
+        for len in [1usize, 64, 4096, 100_000] {
+            let b = AlignedBuf::new(len);
+            assert_eq!(b.as_slice().as_ptr() as usize % PAGE, 0, "len={len}");
+            assert_eq!(b.len(), len);
+        }
+    }
+
+    #[test]
+    fn buffer_is_zeroed_and_writable() {
+        let mut b = AlignedBuf::new(128);
+        assert!(b.as_slice().iter().all(|&x| x == 0));
+        b.as_mut_slice()[5] = 7;
+        assert_eq!(b.as_slice()[5], 7);
+        b.as_u32_mut()[0] = 0xdead_beef;
+        assert_eq!(b.as_u32_mut()[0], 0xdead_beef);
+        assert_eq!(b.as_u64_mut().len(), 16);
+    }
+
+    #[test]
+    fn pool_reuses_blocks() {
+        let pool = MemoryPool::new(8192, 2);
+        assert_eq!(pool.available(), 2);
+        let a = pool.take();
+        let ptr_a = a.as_slice().as_ptr();
+        assert_eq!(pool.available(), 1);
+        pool.put(a);
+        assert_eq!(pool.available(), 2);
+        // LIFO reuse returns the same block.
+        let b = pool.take();
+        assert_eq!(b.as_slice().as_ptr(), ptr_a);
+        pool.put(b);
+    }
+
+    #[test]
+    fn pool_overflow_allocates_fresh() {
+        let pool = MemoryPool::new(4096, 1);
+        let a = pool.take();
+        let b = pool.take(); // beyond capacity
+        assert_eq!(b.len(), 4096);
+        pool.put(a);
+        pool.put(b);
+        assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign block")]
+    fn foreign_block_rejected() {
+        let pool = MemoryPool::new(4096, 0);
+        pool.put(AlignedBuf::new(8192));
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let pool = std::sync::Arc::new(MemoryPool::new(4096, 4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let p = pool.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let mut b = p.take();
+                        b.as_mut_slice()[0] = 1;
+                        p.put(b);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(pool.available() >= 4);
+    }
+}

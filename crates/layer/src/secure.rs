@@ -1,0 +1,587 @@
+//! The libhear interposition layer.
+//!
+//! In the paper, libhear sits between the application and the MPI runtime
+//! via PMPI and `LD_PRELOAD`: the application still calls
+//! `MPI_Allreduce(..., MPI_INT, MPI_SUM, comm)` and the library encrypts,
+//! forwards to the real MPI, and decrypts. [`SecureComm`] is the
+//! in-process equivalent: it wraps a [`hear_mpi::Communicator`] and
+//! exposes the same Allreduce surface, with the key progression, scheme
+//! dispatch and optional HoMAC verification handled transparently. The
+//! wrapped communicator — and everything on the other side of it,
+//! including the INC switch tree — only ever sees ciphertexts.
+
+use hear_core::{
+    CommKeys, FixedCodec, FloatProd, FloatSum, FloatSumExp, Hfp, HfpFormat, Homac, IntProd,
+    IntSum, IntXor, RingWord, Scratch,
+};
+use hear_mpi::Communicator;
+
+/// Which allreduce algorithm carries the ciphertexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReduceAlgo {
+    /// Latency-optimal recursive doubling (small messages).
+    #[default]
+    RecursiveDoubling,
+    /// Bandwidth-optimal ring (large messages).
+    Ring,
+    /// In-network switch tree (requires a switch-enabled simulator).
+    Switch,
+}
+
+/// Error returned when HoMAC verification rejects a reduction result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerificationError;
+
+impl std::fmt::Display for VerificationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HoMAC verification failed: the network tampered with the reduction")
+    }
+}
+
+impl std::error::Error for VerificationError {}
+
+/// A ciphertext/tag pair as transported when verification is enabled
+/// (§5.5: "sends to the network a pair of values (σ, c)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tagged<W> {
+    pub c: W,
+    pub sigma: u64,
+}
+
+/// A communicator with transparent HEAR encryption.
+pub struct SecureComm {
+    pub(crate) comm: Communicator,
+    pub(crate) keys: CommKeys,
+    pub(crate) homac: Option<Homac>,
+    pub(crate) algo: ReduceAlgo,
+    pub(crate) scratch_u32: Scratch<u32>,
+    pub(crate) scratch_u64: Scratch<u64>,
+    pub(crate) scratch_u16: Scratch<u16>,
+    pub(crate) scratch_u8: Scratch<u8>,
+}
+
+impl SecureComm {
+    pub fn new(comm: Communicator, keys: CommKeys) -> Self {
+        assert_eq!(comm.world(), keys.world(), "keys generated for a different communicator");
+        assert_eq!(comm.rank(), keys.rank(), "keys belong to a different rank");
+        SecureComm {
+            comm,
+            keys,
+            homac: None,
+            algo: ReduceAlgo::default(),
+            scratch_u32: Scratch::default(),
+            scratch_u64: Scratch::default(),
+            scratch_u16: Scratch::default(),
+            scratch_u8: Scratch::default(),
+        }
+    }
+
+    pub fn with_algo(mut self, algo: ReduceAlgo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    pub fn with_homac(mut self, homac: Homac) -> Self {
+        self.homac = Some(homac);
+        self
+    }
+
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    pub fn world(&self) -> usize {
+        self.comm.world()
+    }
+
+    /// Access to the underlying (untrusted-side) communicator for
+    /// non-reduction traffic, which HEAR leaves to other mechanisms.
+    pub fn raw(&self) -> &Communicator {
+        &self.comm
+    }
+
+    fn transport<T, F>(&self, data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T + Send + Sync + Clone + 'static,
+    {
+        match self.algo {
+            ReduceAlgo::RecursiveDoubling => self.comm.allreduce(&data, op),
+            ReduceAlgo::Ring => self.comm.allreduce_ring(&data, op),
+            ReduceAlgo::Switch => self.comm.allreduce_inc(&data, op),
+        }
+    }
+
+    // ---- integer ops -----------------------------------------------------
+
+    fn int_op<W, Enc, Dec, Op>(&mut self, data: &[W], enc: Enc, dec: Dec, op: Op) -> Vec<W>
+    where
+        W: RingWord,
+        Enc: Fn(&CommKeys, u64, &mut [W], &mut Scratch<W>),
+        Dec: Fn(&CommKeys, u64, &mut [W], &mut Scratch<W>),
+        Op: Fn(&W, &W) -> W + Send + Sync + Clone + 'static,
+        Scratch<W>: ScratchOf<W>,
+    {
+        self.keys.advance();
+        let mut buf = data.to_vec();
+        // Temporarily move the scratch out so keys (shared) and scratch
+        // (mutable) can be borrowed together.
+        let mut scratch = std::mem::take(<Scratch<W> as ScratchOf<W>>::of(self));
+        enc(&self.keys, 0, &mut buf, &mut scratch);
+        let mut agg = self.transport(buf, op);
+        dec(&self.keys, 0, &mut agg, &mut scratch);
+        *<Scratch<W> as ScratchOf<W>>::of(self) = scratch;
+        agg
+    }
+
+    /// `MPI_Allreduce(MPI_UINT32_T, MPI_SUM)`.
+    pub fn allreduce_sum_u32(&mut self, data: &[u32]) -> Vec<u32> {
+        self.int_op(
+            data,
+            IntSum::encrypt_in_place,
+            IntSum::decrypt_in_place,
+            |a: &u32, b: &u32| a.wrapping_add(*b),
+        )
+    }
+
+    /// `MPI_Allreduce(MPI_UINT64_T, MPI_SUM)`.
+    pub fn allreduce_sum_u64(&mut self, data: &[u64]) -> Vec<u64> {
+        self.int_op(
+            data,
+            IntSum::encrypt_in_place,
+            IntSum::decrypt_in_place,
+            |a: &u64, b: &u64| a.wrapping_add(*b),
+        )
+    }
+
+    /// `MPI_Allreduce(MPI_INT, MPI_SUM)` — the paper's headline datatype.
+    pub fn allreduce_sum_i32(&mut self, data: &[i32]) -> Vec<i32> {
+        let lanes = hear_core::word::as_unsigned_i32(data);
+        self.allreduce_sum_u32(lanes).into_iter().map(|v| v as i32).collect()
+    }
+
+    /// `MPI_Allreduce(MPI_INT64_T, MPI_SUM)`.
+    pub fn allreduce_sum_i64(&mut self, data: &[i64]) -> Vec<i64> {
+        let lanes = hear_core::word::as_unsigned_i64(data);
+        self.allreduce_sum_u64(lanes).into_iter().map(|v| v as i64).collect()
+    }
+
+    /// `MPI_Allreduce(MPI_UINT32_T, MPI_PROD)`.
+    pub fn allreduce_prod_u32(&mut self, data: &[u32]) -> Vec<u32> {
+        self.int_op(
+            data,
+            IntProd::encrypt_in_place,
+            IntProd::decrypt_in_place,
+            |a: &u32, b: &u32| a.wrapping_mul(*b),
+        )
+    }
+
+    /// `MPI_Allreduce(MPI_UINT64_T, MPI_PROD)`.
+    pub fn allreduce_prod_u64(&mut self, data: &[u64]) -> Vec<u64> {
+        self.int_op(
+            data,
+            IntProd::encrypt_in_place,
+            IntProd::decrypt_in_place,
+            |a: &u64, b: &u64| a.wrapping_mul(*b),
+        )
+    }
+
+    /// `MPI_Allreduce(MPI_UINT32_T, MPI_BXOR)` (also MPI_LXOR on 0/1 data).
+    pub fn allreduce_xor_u32(&mut self, data: &[u32]) -> Vec<u32> {
+        self.int_op(
+            data,
+            IntXor::encrypt_in_place,
+            IntXor::decrypt_in_place,
+            |a: &u32, b: &u32| a ^ b,
+        )
+    }
+
+    /// `MPI_Allreduce(MPI_UINT64_T, MPI_BXOR)`.
+    pub fn allreduce_xor_u64(&mut self, data: &[u64]) -> Vec<u64> {
+        self.int_op(
+            data,
+            IntXor::encrypt_in_place,
+            IntXor::decrypt_in_place,
+            |a: &u64, b: &u64| a ^ b,
+        )
+    }
+
+    /// `MPI_Allreduce(MPI_UINT16_T, MPI_SUM)` (also MPI_SHORT via cast).
+    pub fn allreduce_sum_u16(&mut self, data: &[u16]) -> Vec<u16> {
+        self.int_op(
+            data,
+            IntSum::encrypt_in_place,
+            IntSum::decrypt_in_place,
+            |a: &u16, b: &u16| a.wrapping_add(*b),
+        )
+    }
+
+    /// `MPI_Allreduce(MPI_BYTE/MPI_UINT8_T, MPI_SUM)`.
+    pub fn allreduce_sum_u8(&mut self, data: &[u8]) -> Vec<u8> {
+        self.int_op(
+            data,
+            IntSum::encrypt_in_place,
+            IntSum::decrypt_in_place,
+            |a: &u8, b: &u8| a.wrapping_add(*b),
+        )
+    }
+
+    /// `MPI_Allreduce(MPI_UINT16_T, MPI_BXOR)`.
+    pub fn allreduce_xor_u16(&mut self, data: &[u16]) -> Vec<u16> {
+        self.int_op(
+            data,
+            IntXor::encrypt_in_place,
+            IntXor::decrypt_in_place,
+            |a: &u16, b: &u16| a ^ b,
+        )
+    }
+
+    // ---- fixed point (§5.2) ----------------------------------------------
+
+    /// Fixed-point sum: encode with `codec`, run the integer SUM scheme.
+    pub fn allreduce_fixed_sum(&mut self, codec: FixedCodec, data: &[f64]) -> Vec<f64> {
+        let mut lanes = Vec::new();
+        codec.encode_slice(data, &mut lanes);
+        let agg = self.allreduce_sum_u64(&lanes);
+        let mut out = Vec::new();
+        codec.decode_slice(&agg, &mut out);
+        out
+    }
+
+    /// Fixed-point product: the output scale compounds with the world size.
+    pub fn allreduce_fixed_prod(&mut self, codec: FixedCodec, data: &[f64]) -> Vec<f64> {
+        let mut lanes = Vec::new();
+        codec.encode_slice(data, &mut lanes);
+        let agg = self.allreduce_prod_u64(&lanes);
+        agg.iter().map(|l| codec.decode_prod(*l, self.world())).collect()
+    }
+
+    // ---- floats (§5.3) ---------------------------------------------------
+
+    /// `MPI_Allreduce(MPI_FLOAT/MPI_DOUBLE, MPI_SUM)` via HFP (Eq. 7).
+    pub fn allreduce_float_sum(
+        &mut self,
+        fmt: HfpFormat,
+        data: &[f64],
+    ) -> Result<Vec<f64>, hear_core::HfpError> {
+        self.keys.advance();
+        let scheme = FloatSum::new(fmt);
+        let mut ct = Vec::new();
+        scheme.encrypt_f64(&self.keys, 0, data, &mut ct)?;
+        let agg = self.transport(ct, |a: &Hfp, b: &Hfp| FloatSum::combine(a, b));
+        let mut out = Vec::new();
+        scheme.decrypt_f64(&self.keys, 0, &agg, &mut out);
+        Ok(out)
+    }
+
+    /// `MPI_Allreduce(MPI_FLOAT, MPI_SUM)` on f32 data (FP32 layout).
+    pub fn allreduce_f32_sum(&mut self, gamma: u32, data: &[f32]) -> Result<Vec<f32>, hear_core::HfpError> {
+        let wide: Vec<f64> = data.iter().map(|v| *v as f64).collect();
+        let out = self.allreduce_float_sum(HfpFormat::fp32(2, gamma), &wide)?;
+        Ok(out.into_iter().map(|v| v as f32).collect())
+    }
+
+    /// `MPI_Allreduce(MPI_DOUBLE, MPI_PROD)` via HFP (Eq. 6).
+    pub fn allreduce_float_prod(
+        &mut self,
+        fmt: HfpFormat,
+        data: &[f64],
+    ) -> Result<Vec<f64>, hear_core::HfpError> {
+        self.keys.advance();
+        let scheme = FloatProd::new(fmt);
+        let mut ct = Vec::new();
+        scheme.encrypt_f64(&self.keys, 0, data, &mut ct)?;
+        let agg = self.transport(ct, |a: &Hfp, b: &Hfp| FloatProd::combine(a, b));
+        let mut out = Vec::new();
+        scheme.decrypt_f64(&self.keys, 0, &agg, &mut out);
+        Ok(out)
+    }
+
+    /// Alternative float sum (§5.3.4): global safety, reduced range.
+    pub fn allreduce_float_sum_v2(
+        &mut self,
+        fmt: HfpFormat,
+        data: &[f64],
+    ) -> Result<Vec<f64>, hear_core::HfpError> {
+        self.keys.advance();
+        let scheme = FloatSumExp::new(fmt);
+        let mut ct = Vec::new();
+        scheme.encrypt_f64(&self.keys, 0, data, &mut ct)?;
+        let agg = self.transport(ct, |a: &Hfp, b: &Hfp| FloatSumExp::combine(a, b));
+        let mut out = Vec::new();
+        scheme.decrypt_f64(&self.keys, 0, &agg, &mut out);
+        Ok(out)
+    }
+
+    // ---- verified reductions (§5.5) ---------------------------------------
+
+    /// Integer sum with HoMAC result verification: the network carries
+    /// `(ciphertext, tag)` pairs and the result is rejected if the
+    /// aggregate fails authentication.
+    pub fn allreduce_sum_u32_verified(
+        &mut self,
+        data: &[u32],
+    ) -> Result<Vec<u32>, VerificationError> {
+        let homac = self.homac.clone().expect("enable verification with with_homac()");
+        self.keys.advance();
+        let mut buf = data.to_vec();
+        IntSum::encrypt_in_place(&self.keys, 0, &mut buf, &mut self.scratch_u32);
+        let tags = homac.tag(&self.keys, 0, &buf);
+        let pairs: Vec<Tagged<u32>> = buf
+            .into_iter()
+            .zip(tags)
+            .map(|(c, sigma)| Tagged { c, sigma })
+            .collect();
+        let agg = self.transport(pairs, |a: &Tagged<u32>, b: &Tagged<u32>| Tagged {
+            c: a.c.wrapping_add(b.c),
+            sigma: Homac::combine(a.sigma, b.sigma),
+        });
+        let (mut cs, sigmas): (Vec<u32>, Vec<u64>) =
+            agg.into_iter().map(|t| (t.c, t.sigma)).unzip();
+        if !homac.verify(&self.keys, 0, &cs, &sigmas) {
+            return Err(VerificationError);
+        }
+        IntSum::decrypt_in_place(&self.keys, 0, &mut cs, &mut self.scratch_u32);
+        Ok(cs)
+    }
+}
+
+/// Selects the right scratch buffer field for a lane width (keeps the
+/// generic `int_op` free of per-width duplication).
+pub(crate) trait ScratchOf<W: RingWord> {
+    fn of(sc: &mut SecureComm) -> &mut Scratch<W>;
+}
+
+impl ScratchOf<u32> for Scratch<u32> {
+    fn of(sc: &mut SecureComm) -> &mut Scratch<u32> {
+        &mut sc.scratch_u32
+    }
+}
+
+impl ScratchOf<u16> for Scratch<u16> {
+    fn of(sc: &mut SecureComm) -> &mut Scratch<u16> {
+        &mut sc.scratch_u16
+    }
+}
+
+impl ScratchOf<u8> for Scratch<u8> {
+    fn of(sc: &mut SecureComm) -> &mut Scratch<u8> {
+        &mut sc.scratch_u8
+    }
+}
+
+impl ScratchOf<u64> for Scratch<u64> {
+    fn of(sc: &mut SecureComm) -> &mut Scratch<u64> {
+        &mut sc.scratch_u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hear_mpi::{SimConfig, Simulator};
+    use hear_prf::Backend;
+
+    /// Build per-rank SecureComms inside a simulator run.
+    fn secure(comm: &Communicator, seed: u64) -> SecureComm {
+        let keys = CommKeys::generate(comm.world(), seed, Backend::AesSoft)
+            .into_iter()
+            .nth(comm.rank())
+            .unwrap();
+        SecureComm::new(comm.clone(), keys)
+    }
+
+    #[test]
+    fn transparent_sum_matches_plaintext_allreduce() {
+        for world in [1usize, 2, 3, 5] {
+            let results = Simulator::new(world).run(move |comm| {
+                let data: Vec<i32> = (0..10).map(|j| (comm.rank() as i32 - 1) * 7 + j).collect();
+                let mut sc = secure(comm, 1);
+                let enc = sc.allreduce_sum_i32(&data);
+                let plain = comm.allreduce(&data, |a, b| a.wrapping_add(*b));
+                (enc, plain)
+            });
+            for (enc, plain) in &results {
+                assert_eq!(enc, plain, "world={world}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_int_ops_roundtrip() {
+        let results = Simulator::new(3).run(|comm| {
+            let mut sc = secure(comm, 2);
+            let r = comm.rank() as u32 + 1;
+            let sum = sc.allreduce_sum_u32(&[r, 100 * r]);
+            let prod = sc.allreduce_prod_u64(&[r as u64 + 1]);
+            let xor = sc.allreduce_xor_u32(&[r * 5]);
+            (sum, prod, xor)
+        });
+        for (sum, prod, xor) in &results {
+            assert_eq!(*sum, vec![6, 600]);
+            assert_eq!(*prod, vec![2 * 3 * 4]);
+            assert_eq!(*xor, vec![5 ^ 10 ^ 15]);
+        }
+    }
+
+    #[test]
+    fn ring_and_switch_algorithms_agree() {
+        let results = Simulator::with_config(4, SimConfig::default().with_switch(4)).run(|comm| {
+            let data: Vec<u32> = (0..50).map(|j| comm.rank() as u32 * 1000 + j).collect();
+            let rd = secure(comm, 3).allreduce_sum_u32(&data);
+            let ring = secure(comm, 3).with_algo(ReduceAlgo::Ring).allreduce_sum_u32(&data);
+            let inc = secure(comm, 3).with_algo(ReduceAlgo::Switch).allreduce_sum_u32(&data);
+            (rd, ring, inc)
+        });
+        for (rd, ring, inc) in &results {
+            assert_eq!(rd, ring);
+            assert_eq!(rd, inc);
+        }
+    }
+
+    #[test]
+    fn float_sum_over_the_network() {
+        let results = Simulator::new(4).run(|comm| {
+            let data: Vec<f64> = (0..8).map(|j| (comm.rank() + 1) as f64 * 0.5 + j as f64).collect();
+            secure(comm, 4).allreduce_float_sum(HfpFormat::fp32(2, 2), &data).unwrap()
+        });
+        for got in &results {
+            for (j, v) in got.iter().enumerate() {
+                let expect = (1..=4).map(|r| r as f64 * 0.5 + j as f64).sum::<f64>();
+                assert!((v - expect).abs() / expect < 1e-5, "j={j} {v} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_api_and_float_prod() {
+        let results = Simulator::new(2).run(|comm| {
+            let mut sc = secure(comm, 5);
+            let s = sc.allreduce_f32_sum(2, &[1.5f32, -2.0]).unwrap();
+            let p = sc
+                .allreduce_float_prod(HfpFormat::fp32(0, 0), &[2.0, 3.0])
+                .unwrap();
+            (s, p)
+        });
+        for (s, p) in &results {
+            assert!((s[0] - 3.0).abs() < 1e-4);
+            assert!((s[1] + 4.0).abs() < 1e-4);
+            assert!((p[0] - 4.0).abs() < 1e-4);
+            assert!((p[1] - 9.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn float_sum_v2_small_values() {
+        let results = Simulator::new(3).run(|comm| {
+            secure(comm, 6)
+                .allreduce_float_sum_v2(HfpFormat::fp64(0, 0), &[0.25, -0.1])
+                .unwrap()
+        });
+        for got in &results {
+            assert!((got[0] - 0.75).abs() < 1e-8);
+            assert!((got[1] + 0.3).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fixed_point_ops() {
+        let results = Simulator::new(2).run(|comm| {
+            let mut sc = secure(comm, 7);
+            let codec = FixedCodec::new(16);
+            let s = sc.allreduce_fixed_sum(codec, &[1.25, -0.5]);
+            let p = sc.allreduce_fixed_prod(codec, &[1.5]);
+            (s, p)
+        });
+        for (s, p) in &results {
+            assert!((s[0] - 2.5).abs() < 1e-4);
+            assert!((s[1] + 1.0).abs() < 1e-4);
+            assert!((p[0] - 2.25).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn verified_sum_accepts_honest_network() {
+        let results = Simulator::new(3).run(|comm| {
+            let homac = Homac::generate(11, Backend::AesSoft);
+            let mut sc = secure(comm, 8).with_homac(homac);
+            sc.allreduce_sum_u32_verified(&[comm.rank() as u32 + 1, 7])
+        });
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap(), &vec![6, 21]);
+        }
+    }
+
+    #[test]
+    fn verified_sum_rejects_tampering_switch() {
+        // A malicious in-network reducer that flips a bit in the data
+        // channel: HoMAC must catch it end-to-end.
+        let results = Simulator::new(2).run(|comm| {
+            let homac = Homac::generate(12, Backend::AesSoft);
+            let keys = CommKeys::generate(2, 9, Backend::AesSoft)
+                .into_iter()
+                .nth(comm.rank())
+                .unwrap();
+            let mut sc = SecureComm::new(comm.clone(), keys).with_homac(homac.clone());
+            // Tamper by post-processing what an evil switch would emit: we
+            // simulate it by corrupting the aggregated pair on one rank
+            // before verification — through the public API this means the
+            // transport was dishonest. Here: run the honest path but then
+            // check that a corrupted aggregate fails `verify`.
+            sc.keys.advance();
+            let mut buf = vec![41u32, 2];
+            hear_core::IntSum::encrypt_in_place(&sc.keys, 0, &mut buf, &mut sc.scratch_u32);
+            let tags = homac.tag(&sc.keys, 0, &buf);
+            let mut agg = comm.allreduce(&buf, |a, b| a.wrapping_add(*b));
+            let sigma = comm.allreduce(&tags, |a, b| Homac::combine(*a, *b));
+            assert!(homac.verify(&sc.keys, 0, &agg, &sigma));
+            agg[0] = agg[0].wrapping_add(3); // the attack
+            assert!(!homac.verify(&sc.keys, 0, &agg, &sigma));
+            true
+        });
+        assert!(results.iter().all(|r| *r));
+    }
+
+    #[test]
+    #[should_panic(expected = "different rank")]
+    fn mismatched_keys_rejected() {
+        Simulator::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                // Deliberately take rank 1's keys on rank 0.
+                let keys = CommKeys::generate(2, 1, Backend::AesSoft).pop().unwrap();
+                let _ = SecureComm::new(comm.clone(), keys);
+            } else {
+                // Panic the other rank too so the scope unwinds cleanly.
+                panic!("keys belong to a different rank (peer)");
+            }
+        });
+    }
+}
+
+
+#[cfg(test)]
+mod narrow_lane_tests {
+    use super::*;
+    use hear_mpi::Simulator;
+    use hear_prf::Backend;
+
+    #[test]
+    fn u16_and_u8_reductions() {
+        let results = Simulator::new(3).run(|comm| {
+            let keys = CommKeys::generate(3, 77, Backend::best_available())
+                .into_iter()
+                .nth(comm.rank())
+                .unwrap();
+            let mut sc = SecureComm::new(comm.clone(), keys);
+            let s16 = sc.allreduce_sum_u16(&[1000, u16::MAX]);
+            let s8 = sc.allreduce_sum_u8(&[50, 200]);
+            let x16 = sc.allreduce_xor_u16(&[0xA5A5]);
+            (s16, s8, x16)
+        });
+        for (s16, s8, x16) in &results {
+            assert_eq!(*s16, vec![3000, u16::MAX.wrapping_mul(3)]);
+            assert_eq!(*s8, vec![150, 200u8.wrapping_mul(3)]);
+            assert_eq!(*x16, vec![0xA5A5]); // odd count
+        }
+    }
+}

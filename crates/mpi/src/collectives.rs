@@ -1,0 +1,679 @@
+//! Blocking collectives over the simulated fabric.
+//!
+//! Algorithms follow the classical MPICH implementations: binomial trees
+//! for broadcast/reduce, recursive doubling for latency-bound allreduce
+//! (with the even/odd fold for non-power-of-two communicators), and a
+//! reduce-scatter + allgather ring for bandwidth-bound allreduce. HEAR's
+//! reduction operators are commutative, which these algorithms require.
+
+use crate::comm::Communicator;
+
+/// Element-wise fold of `src` into `dst`.
+fn fold_into<T, F: Fn(&T, &T) -> T>(dst: &mut [T], src: &[T], op: &F) {
+    assert_eq!(dst.len(), src.len(), "reduction buffers must match in length");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = op(d, s);
+    }
+}
+
+impl Communicator {
+    /// Dissemination barrier: ⌈log₂ P⌉ rounds.
+    pub fn barrier(&self) {
+        let tag = self.next_coll_tag();
+        let (rank, world) = (self.rank(), self.world());
+        let mut dist = 1;
+        while dist < world {
+            let to = (rank + dist) % world;
+            let from = (rank + world - dist) % world;
+            self.send_internal(to, tag, vec![0u8]);
+            let _ = self.recv_internal::<u8>(from, tag);
+            dist *= 2;
+        }
+    }
+
+    /// Binomial-tree broadcast from `root`. Every rank returns the data.
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, data: Vec<T>) -> Vec<T> {
+        let tag = self.next_coll_tag();
+        let (world, rank) = (self.world(), self.rank());
+        if world == 1 {
+            return data;
+        }
+        // Work in a rotated space where the root is rank 0 (canonical
+        // MPICH binomial tree).
+        let vrank = (rank + world - root) % world;
+        let mut buf = data;
+        let mut mask = 1usize;
+        while mask < world {
+            if vrank & mask != 0 {
+                let parent = ((vrank - mask) + root) % world;
+                buf = self.recv_internal::<T>(parent, tag);
+                break;
+            }
+            mask <<= 1;
+        }
+        // `mask` is now the lowest set bit of vrank (or ≥ world for the
+        // root); children sit below it.
+        mask >>= 1;
+        while mask > 0 {
+            let child_v = vrank + mask;
+            if child_v < world {
+                let child = (child_v + root) % world;
+                self.send_internal(child, tag, buf.clone());
+            }
+            mask >>= 1;
+        }
+        buf
+    }
+
+    /// Binomial-tree reduction to `root`; only the root's return value is
+    /// the reduced vector, other ranks get their (consumed) input back.
+    pub fn reduce<T, F>(&self, root: usize, data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let tag = self.next_coll_tag();
+        let (world, rank) = (self.world(), self.rank());
+        if world == 1 {
+            return data;
+        }
+        let vrank = (rank + world - root) % world;
+        let mut acc = data;
+        let mut mask = 1;
+        while mask < world {
+            if vrank & mask != 0 {
+                let parent = ((vrank & !mask) + root) % world;
+                self.send_internal(parent, tag, acc.clone());
+                break;
+            }
+            let child_v = vrank | mask;
+            if child_v < world {
+                let child = (child_v + root) % world;
+                let other = self.recv_internal::<T>(child, tag);
+                fold_into(&mut acc, &other, &op);
+            }
+            mask <<= 1;
+        }
+        acc
+    }
+
+    /// Recursive-doubling allreduce (MPICH's latency-optimal algorithm),
+    /// with the even/odd fold handling non-power-of-two worlds.
+    pub fn allreduce<T, F>(&self, data: &[T], op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let tag = self.next_coll_tag();
+        self.allreduce_tagged(tag, data, op)
+    }
+
+    pub(crate) fn allreduce_tagged<T, F>(&self, tag: u64, data: &[T], op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let (world, rank) = (self.world(), self.rank());
+        let mut acc: Vec<T> = data.to_vec();
+        if world == 1 {
+            return acc;
+        }
+        let pof2 = world.next_power_of_two() / if world.is_power_of_two() { 1 } else { 2 };
+        let rem = world - pof2;
+        // Fold the excess ranks into their even neighbours.
+        let newrank: isize = if rank < 2 * rem {
+            if rank % 2 == 1 {
+                self.send_internal(rank - 1, tag, acc.clone());
+                -1
+            } else {
+                let other = self.recv_internal::<T>(rank + 1, tag);
+                fold_into(&mut acc, &other, &op);
+                (rank / 2) as isize
+            }
+        } else {
+            (rank - rem) as isize
+        };
+        // Recursive doubling among the power-of-two subset.
+        if newrank >= 0 {
+            let to_real = |nr: usize| if nr < rem { nr * 2 } else { nr + rem };
+            let nr = newrank as usize;
+            let mut mask = 1;
+            while mask < pof2 {
+                let partner = to_real(nr ^ mask);
+                let other = self.sendrecv_internal(partner, tag, acc.clone(), partner, tag);
+                fold_into(&mut acc, &other, &op);
+                mask <<= 1;
+            }
+        }
+        // Unfold: even ranks hand the result back to their odd neighbours.
+        if rank < 2 * rem {
+            if rank % 2 == 0 {
+                self.send_internal(rank + 1, tag, acc.clone());
+            } else {
+                acc = self.recv_internal::<T>(rank - 1, tag);
+            }
+        }
+        acc
+    }
+
+    /// Ring allreduce: reduce-scatter followed by allgather — the
+    /// bandwidth-optimal algorithm used for large messages.
+    pub fn allreduce_ring<T, F>(&self, data: &[T], op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let tag = self.next_coll_tag();
+        self.allreduce_ring_tagged(tag, data, op)
+    }
+
+    pub(crate) fn allreduce_ring_tagged<T, F>(&self, tag: u64, data: &[T], op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let (world, rank) = (self.world(), self.rank());
+        let mut acc: Vec<T> = data.to_vec();
+        if world == 1 {
+            return acc;
+        }
+        let n = acc.len();
+        // Chunk boundaries (first `n % world` chunks get one extra element).
+        let bounds: Vec<(usize, usize)> = (0..world)
+            .map(|c| {
+                let base = n / world;
+                let extra = n % world;
+                let start = c * base + c.min(extra);
+                let len = base + usize::from(c < extra);
+                (start, start + len)
+            })
+            .collect();
+        let next = (rank + 1) % world;
+        let prev = (rank + world - 1) % world;
+        // Reduce-scatter: after world-1 steps, rank owns the fully reduced
+        // chunk (rank+1) mod world.
+        for step in 0..world - 1 {
+            let send_chunk = (rank + world - step) % world;
+            let recv_chunk = (rank + world - step - 1) % world;
+            let (s, e) = bounds[send_chunk];
+            let out: Vec<T> = acc[s..e].to_vec();
+            let incoming = self.sendrecv_internal(next, tag, out, prev, tag);
+            let (s, e) = bounds[recv_chunk];
+            fold_into(&mut acc[s..e], &incoming, &op);
+        }
+        // Allgather: circulate the reduced chunks.
+        for step in 0..world - 1 {
+            let send_chunk = (rank + 1 + world - step) % world;
+            let recv_chunk = (rank + world - step) % world;
+            let (s, e) = bounds[send_chunk];
+            let out: Vec<T> = acc[s..e].to_vec();
+            let incoming = self.sendrecv_internal(next, tag, out, prev, tag);
+            let (s, e) = bounds[recv_chunk];
+            acc[s..e].clone_from_slice(&incoming);
+        }
+        acc
+    }
+
+    /// Ring allgather: every rank contributes `data`, everyone returns the
+    /// concatenation ordered by rank.
+    pub fn allgather<T: Clone + Send + 'static>(&self, data: Vec<T>) -> Vec<Vec<T>> {
+        let tag = self.next_coll_tag();
+        let (world, rank) = (self.world(), self.rank());
+        let mut slots: Vec<Vec<T>> = vec![Vec::new(); world];
+        slots[rank] = data;
+        let next = (rank + 1) % world;
+        let prev = (rank + world - 1) % world;
+        for step in 0..world.saturating_sub(1) {
+            let send_slot = (rank + world - step) % world;
+            let recv_slot = (rank + world - step - 1) % world;
+            let out = slots[send_slot].clone();
+            let incoming = self.sendrecv_internal(next, tag, out, prev, tag);
+            slots[recv_slot] = incoming;
+        }
+        slots
+    }
+
+    /// Gather to root: root returns all contributions ordered by rank,
+    /// non-roots return an empty vec.
+    pub fn gather<T: Clone + Send + 'static>(&self, root: usize, data: Vec<T>) -> Vec<Vec<T>> {
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let mut out = vec![Vec::new(); self.world()];
+            out[root] = data;
+            for r in 0..self.world() {
+                if r != root {
+                    out[r] = self.recv_internal::<T>(r, tag);
+                }
+            }
+            out
+        } else {
+            self.send_internal(root, tag, data);
+            Vec::new()
+        }
+    }
+
+    /// Scatter from root: rank r receives `chunks[r]` (only root's `chunks`
+    /// argument is used).
+    pub fn scatter<T: Clone + Send + 'static>(&self, root: usize, chunks: Vec<Vec<T>>) -> Vec<T> {
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            assert_eq!(chunks.len(), self.world(), "need one chunk per rank");
+            let mut own = Vec::new();
+            for (r, chunk) in chunks.into_iter().enumerate() {
+                if r == root {
+                    own = chunk;
+                } else {
+                    self.send_internal(r, tag, chunk);
+                }
+            }
+            own
+        } else {
+            self.recv_internal::<T>(root, tag)
+        }
+    }
+
+    /// Personalized all-to-all: `chunks[r]` goes to rank `r`; the result's
+    /// slot `r` is what rank `r` sent to us.
+    pub fn alltoall<T: Clone + Send + 'static>(&self, chunks: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let tag = self.next_coll_tag();
+        let (world, rank) = (self.world(), self.rank());
+        assert_eq!(chunks.len(), world, "need one chunk per rank");
+        let mut out: Vec<Vec<T>> = vec![Vec::new(); world];
+        // Pairwise exchange pattern: step s exchanges with rank ^ s where
+        // possible; for generality use send-all then receive-all with
+        // eager buffering (the fabric is unbounded).
+        for (r, chunk) in chunks.into_iter().enumerate() {
+            if r == rank {
+                out[r] = chunk;
+            } else {
+                self.send_internal(r, tag, chunk);
+            }
+        }
+        for r in 0..world {
+            if r != rank {
+                out[r] = self.recv_internal::<T>(r, tag);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::simulator::Simulator;
+
+    #[test]
+    fn barrier_completes_for_various_sizes() {
+        for world in [1, 2, 3, 5, 8] {
+            Simulator::new(world).run(|comm| {
+                for _ in 0..3 {
+                    comm.barrier();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        for world in [1usize, 2, 3, 4, 7] {
+            for root in 0..world {
+                let results = Simulator::new(world).run(move |comm| {
+                    let data = if comm.rank() == root {
+                        vec![42u32, 7, root as u32]
+                    } else {
+                        Vec::new()
+                    };
+                    comm.bcast(root, data)
+                });
+                for (r, v) in results.iter().enumerate() {
+                    assert_eq!(*v, vec![42, 7, root as u32], "world={world} root={root} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_to_root() {
+        for world in [1usize, 2, 5, 8] {
+            for root in [0, world - 1] {
+                let results = Simulator::new(world).run(move |comm| {
+                    let data: Vec<u64> = vec![comm.rank() as u64 + 1, 10];
+                    comm.reduce(root, data, |a, b| a + b)
+                });
+                let expect_sum: u64 = (1..=world as u64).sum();
+                assert_eq!(results[root], vec![expect_sum, 10 * world as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_recursive_doubling_all_sizes() {
+        for world in [1usize, 2, 3, 4, 5, 6, 7, 8, 9] {
+            let results = Simulator::new(world).run(move |comm| {
+                let data: Vec<u64> = (0..5).map(|j| (comm.rank() as u64 + 1) * 100 + j).collect();
+                comm.allreduce(&data, |a, b| a.wrapping_add(*b))
+            });
+            for j in 0..5u64 {
+                let expect: u64 = (1..=world as u64).map(|r| r * 100 + j).sum();
+                for (r, v) in results.iter().enumerate() {
+                    assert_eq!(v[j as usize], expect, "world={world} rank={r} j={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_ring_matches_recursive_doubling() {
+        for world in [2usize, 3, 4, 7] {
+            for len in [1usize, 3, 7, 16, 33] {
+                let results = Simulator::new(world).run(move |comm| {
+                    let data: Vec<u64> = (0..len as u64)
+                        .map(|j| (comm.rank() as u64) * 1000 + j * j)
+                        .collect();
+                    let ring = comm.allreduce_ring(&data, |a, b| a + b);
+                    let rd = comm.allreduce(&data, |a, b| a + b);
+                    (ring, rd)
+                });
+                for (ring, rd) in &results {
+                    assert_eq!(ring, rd, "world={world} len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_ring_short_vectors() {
+        // len < world: some ranks own empty chunks.
+        let results = Simulator::new(5).run(|comm| {
+            comm.allreduce_ring(&[comm.rank() as u32 + 1, 100], |a, b| a + b)
+        });
+        for v in &results {
+            assert_eq!(*v, vec![15, 500]);
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max_ops() {
+        // The runtime supports any associative-commutative op (the HEAR
+        // layer restricts which ones are *secure*; the substrate doesn't).
+        let results = Simulator::new(4).run(|comm| {
+            let data = vec![comm.rank() as i64 * 7 % 5, -(comm.rank() as i64)];
+            let mx = comm.allreduce(&data, |a, b| *a.max(b));
+            let mn = comm.allreduce(&data, |a, b| *a.min(b));
+            (mx, mn)
+        });
+        for (mx, mn) in &results {
+            assert_eq!(*mx, vec![4, 0]);
+            assert_eq!(*mn, vec![0, -3]);
+        }
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        let results = Simulator::new(4).run(|comm| comm.allgather(vec![comm.rank() as u8; 2]));
+        for v in &results {
+            assert_eq!(*v, vec![vec![0, 0], vec![1, 1], vec![2, 2], vec![3, 3]]);
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter() {
+        let results = Simulator::new(3).run(|comm| {
+            let gathered = comm.gather(1, vec![comm.rank() as u32 * 2]);
+            let scattered = comm.scatter(
+                1,
+                if comm.rank() == 1 {
+                    vec![vec![10u32], vec![11], vec![12]]
+                } else {
+                    Vec::new()
+                },
+            );
+            (gathered, scattered)
+        });
+        assert_eq!(results[1].0, vec![vec![0], vec![2], vec![4]]);
+        assert!(results[0].0.is_empty());
+        assert_eq!(results[0].1, vec![10]);
+        assert_eq!(results[1].1, vec![11]);
+        assert_eq!(results[2].1, vec![12]);
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let results = Simulator::new(3).run(|comm| {
+            let chunks: Vec<Vec<u32>> = (0..3)
+                .map(|dst| vec![(comm.rank() * 10 + dst) as u32])
+                .collect();
+            comm.alltoall(chunks)
+        });
+        // Rank r's slot s must hold what rank s sent to r: s*10 + r.
+        for (r, v) in results.iter().enumerate() {
+            for (s, chunk) in v.iter().enumerate() {
+                assert_eq!(*chunk, vec![(s * 10 + r) as u32]);
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_cross_talk() {
+        let results = Simulator::new(3).run(|comm| {
+            let a = comm.allreduce(&[1u32], |a, b| a + b);
+            let b = comm.allreduce(&[10u32], |a, b| a + b);
+            let c = comm.bcast(0, if comm.rank() == 0 { vec![7u32] } else { vec![] });
+            (a[0], b[0], c[0])
+        });
+        for r in &results {
+            assert_eq!(*r, (3, 30, 7));
+        }
+    }
+}
+
+// ---- additional collectives -------------------------------------------
+
+impl Communicator {
+    /// Reduce-scatter with even block partitioning (the first `n % P`
+    /// blocks take one extra element): rank `r` returns the fully reduced
+    /// elements of block `r`. This is the first half of the ring allreduce,
+    /// exposed on its own (MPI_Reduce_scatter_block generalized).
+    pub fn reduce_scatter<T, F>(&self, data: &[T], op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let tag = self.next_coll_tag();
+        let (world, rank) = (self.world(), self.rank());
+        let mut acc: Vec<T> = data.to_vec();
+        let n = acc.len();
+        let bounds: Vec<(usize, usize)> = (0..world)
+            .map(|c| {
+                let base = n / world;
+                let extra = n % world;
+                let start = c * base + c.min(extra);
+                let len = base + usize::from(c < extra);
+                (start, start + len)
+            })
+            .collect();
+        if world == 1 {
+            return acc;
+        }
+        let next = (rank + 1) % world;
+        let prev = (rank + world - 1) % world;
+        for step in 0..world - 1 {
+            let send_chunk = (rank + world - step) % world;
+            let recv_chunk = (rank + world - step - 1) % world;
+            let (s, e) = bounds[send_chunk];
+            let out: Vec<T> = acc[s..e].to_vec();
+            let incoming = self.sendrecv_internal(next, tag, out, prev, tag);
+            let (s, e) = bounds[recv_chunk];
+            fold_into(&mut acc[s..e], &incoming, &op);
+        }
+        // After P-1 steps rank owns chunk (rank+1) mod world fully reduced;
+        // rotate once more so rank r ends with chunk r (the MPI layout).
+        let owned = (rank + 1) % world;
+        let (s, e) = bounds[owned];
+        let mine: Vec<T> = acc[s..e].to_vec();
+        let dest_of_mine = owned; // chunk index == owning rank in MPI layout
+        if dest_of_mine == rank {
+            return mine;
+        }
+        self.send_internal(dest_of_mine, tag + 1, mine);
+        self.recv_internal::<T>((rank + world - 1) % world, tag + 1)
+    }
+
+    /// Inclusive prefix scan (MPI_Scan): rank `r` returns
+    /// `op(data_0, …, data_r)` element-wise, via the classical
+    /// Hillis–Steele doubling with partial-result separation.
+    pub fn scan<T, F>(&self, data: &[T], op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let tag = self.next_coll_tag();
+        let (world, rank) = (self.world(), self.rank());
+        assert!(world <= 128, "scan uses the 8-bit sub-tag space (dist <= 128)");
+        // `result` carries op over ranks 0..=rank; `partial` carries op
+        // over the contiguous window ending at rank (what we forward).
+        let mut result: Vec<T> = data.to_vec();
+        let mut partial: Vec<T> = data.to_vec();
+        let mut dist = 1usize;
+        while dist < world {
+            if rank + dist < world {
+                self.send_internal(rank + dist, tag + dist as u64, partial.clone());
+            }
+            if rank >= dist {
+                let incoming = self.recv_internal::<T>(rank - dist, tag + dist as u64);
+                fold_into(&mut result, &incoming, &op);
+                fold_into(&mut partial, &incoming, &op);
+            }
+            dist *= 2;
+        }
+        result
+    }
+
+    /// Exclusive prefix scan (MPI_Exscan): rank 0's result is undefined in
+    /// MPI; here it returns `None`, other ranks get op over ranks 0..rank.
+    pub fn exscan<T, F>(&self, data: &[T], op: F) -> Option<Vec<T>>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let tag = self.next_coll_tag();
+        let (world, rank) = (self.world(), self.rank());
+        assert!(world <= 128, "exscan uses the 8-bit sub-tag space (dist <= 128)");
+        // Shift the inclusive scan down one rank over a ring of sends.
+        let inclusive = {
+            // Inline inclusive scan with its own tag block offset to avoid
+            // re-entering next_coll_tag.
+            let mut result: Vec<T> = data.to_vec();
+            let mut partial: Vec<T> = data.to_vec();
+            let mut dist = 1usize;
+            while dist < world {
+                if rank + dist < world {
+                    self.send_internal(rank + dist, tag + dist as u64, partial.clone());
+                }
+                if rank >= dist {
+                    let incoming = self.recv_internal::<T>(rank - dist, tag + dist as u64);
+                    fold_into(&mut result, &incoming, &op);
+                    fold_into(&mut partial, &incoming, &op);
+                }
+                dist *= 2;
+            }
+            result
+        };
+        if rank + 1 < world {
+            self.send_internal(rank + 1, tag + 255, inclusive);
+        }
+        if rank == 0 {
+            None
+        } else {
+            Some(self.recv_internal::<T>(rank - 1, tag + 255))
+        }
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use crate::simulator::Simulator;
+
+    #[test]
+    fn reduce_scatter_blocks() {
+        for world in [1usize, 2, 3, 4, 5] {
+            for len in [world, 2 * world + 1, 17] {
+                let results = Simulator::new(world).run(move |comm| {
+                    let data: Vec<u64> =
+                        (0..len as u64).map(|j| j + comm.rank() as u64).collect();
+                    comm.reduce_scatter(&data, |a, b| a + b)
+                });
+                // Expected: block r of the element-wise total.
+                let total: Vec<u64> = (0..len as u64)
+                    .map(|j| (0..world as u64).map(|r| j + r).sum())
+                    .collect();
+                let base = len / world;
+                let extra = len % world;
+                for (r, got) in results.iter().enumerate() {
+                    let start = r * base + r.min(extra);
+                    let blen = base + usize::from(r < extra);
+                    assert_eq!(
+                        got,
+                        &total[start..start + blen],
+                        "world={world} len={len} rank={r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_inclusive_prefixes() {
+        for world in [1usize, 2, 3, 5, 8] {
+            let results = Simulator::new(world).run(move |comm| {
+                comm.scan(&[comm.rank() as u64 + 1, 100], |a, b| a + b)
+            });
+            for (r, got) in results.iter().enumerate() {
+                let expect: u64 = (1..=r as u64 + 1).sum();
+                assert_eq!(got[0], expect, "world={world} rank={r}");
+                assert_eq!(got[1], 100 * (r as u64 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn scan_with_non_commutative_order() {
+        // Scan must respect rank order even for non-commutative ops:
+        // string-like concatenation encoded as (first, last) digit pairs —
+        // simpler: use subtraction-sensitive op f(a,b) = 2a + b which is
+        // associative? It is not; use matrix-like op: f(a,b)=a*10+b won't
+        // be associative either. Use min-prefix instead (commutative but
+        // order-revealing via distinct values per rank).
+        let results = Simulator::new(4).run(|comm| {
+            comm.scan(&[10u64 - comm.rank() as u64], |a, b| *a.min(b))
+        });
+        for (r, got) in results.iter().enumerate() {
+            assert_eq!(got[0], 10 - r as u64, "prefix min is the latest rank's value");
+        }
+    }
+
+    #[test]
+    fn exscan_shifts_by_one() {
+        let results = Simulator::new(4).run(|comm| {
+            comm.exscan(&[comm.rank() as u64 + 1], |a, b| a + b)
+        });
+        assert!(results[0].is_none());
+        for r in 1..4 {
+            let expect: u64 = (1..=r as u64).sum();
+            assert_eq!(results[r].as_ref().unwrap()[0], expect);
+        }
+    }
+
+    #[test]
+    fn scan_interleaves_with_other_collectives() {
+        let results = Simulator::new(3).run(|comm| {
+            let s = comm.scan(&[1u32], |a, b| a + b);
+            let a = comm.allreduce(&[1u32], |a, b| a + b);
+            let e = comm.exscan(&[1u32], |a, b| a + b);
+            (s[0], a[0], e.map(|v| v[0]))
+        });
+        assert_eq!(results[0], (1, 3, None));
+        assert_eq!(results[1], (2, 3, Some(1)));
+        assert_eq!(results[2], (3, 3, Some(2)));
+    }
+}

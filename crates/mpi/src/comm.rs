@@ -1,0 +1,369 @@
+//! The communicator: rank identity, typed point-to-point messaging and the
+//! collective tag discipline.
+
+use crate::fabric::Fabric;
+use crate::inc::SwitchTopology;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tag space partitioning: user tags live below 2^32; collective-internal
+/// tags carry the collective sequence number above that boundary so
+/// overlapping collectives (blocking + nonblocking) can never match each
+/// other's wires. Bits 48+ carry the communicator context id so split
+/// communicators sharing endpoints can never match each other's traffic.
+pub(crate) const COLL_TAG_BASE: u64 = 1 << 32;
+pub(crate) const CONTEXT_SHIFT: u32 = 48;
+
+/// A handle to one rank of a simulated communicator. Cheap to clone; clones
+/// share the rank's mailbox and collective sequence (a clone is what a
+/// nonblocking request's progress thread holds).
+pub struct Communicator {
+    rank: usize,
+    world: usize,
+    pub(crate) fabric: Arc<Fabric>,
+    pub(crate) coll_seq: Arc<AtomicU64>,
+    switch: Option<Arc<SwitchTopology>>,
+    /// Communicator context id, mixed into every tag (MPI's context_id).
+    context: u64,
+    /// Global endpoint of each member; `None` = the world communicator
+    /// (identity mapping).
+    members: Option<Arc<Vec<usize>>>,
+}
+
+impl Clone for Communicator {
+    fn clone(&self) -> Self {
+        Communicator {
+            rank: self.rank,
+            world: self.world,
+            fabric: self.fabric.clone(),
+            coll_seq: self.coll_seq.clone(),
+            switch: self.switch.clone(),
+            context: self.context,
+            members: self.members.clone(),
+        }
+    }
+}
+
+impl Communicator {
+    pub(crate) fn new(rank: usize, world: usize, fabric: Arc<Fabric>) -> Self {
+        Communicator {
+            rank,
+            world,
+            fabric,
+            coll_seq: Arc::new(AtomicU64::new(0)),
+            switch: None,
+            context: 0,
+            members: None,
+        }
+    }
+
+    /// Global fabric endpoint of a (virtual) rank of this communicator.
+    #[inline]
+    fn endpoint(&self, rank: usize) -> usize {
+        match &self.members {
+            None => rank,
+            Some(m) => m[rank],
+        }
+    }
+
+    #[inline]
+    fn tag_with_context(&self, tag: u64) -> u64 {
+        tag | (self.context << CONTEXT_SHIFT)
+    }
+
+    /// Split this communicator MPI_Comm_split-style: ranks with the same
+    /// `color` form a new communicator, ordered by `(key, old rank)`.
+    /// Collective over the parent communicator. The child has a fresh
+    /// collective sequence, its own context id (so its traffic can never
+    /// match the parent's), and no INC switch.
+    pub fn split(&self, color: u64, key: i64) -> Communicator {
+        // Gather every member's (color, key, old_rank).
+        let triples = self.allgather(vec![(color, key, self.rank)]);
+        let mut mine: Vec<(i64, usize)> = triples
+            .iter()
+            .map(|v| v[0])
+            .filter(|(c, _, _)| *c == color)
+            .map(|(_, k, r)| (k, r))
+            .collect();
+        mine.sort_unstable();
+        let members: Vec<usize> = mine.iter().map(|(_, r)| self.endpoint(*r)).collect();
+        let new_rank = mine
+            .iter()
+            .position(|(_, r)| *r == self.rank)
+            .expect("caller is a member of its own color group");
+        // Context id: derived deterministically from the parent context,
+        // the split's program position, and the color — identical on every
+        // member, distinct across groups and successive splits. 16 bits.
+        let seq = self.coll_seq.load(Ordering::Relaxed);
+        let mut ctx = self
+            .context
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(seq)
+            .wrapping_mul(0x85eb_ca6b)
+            .wrapping_add(color);
+        ctx = (ctx ^ (ctx >> 13)) & 0xffff;
+        Communicator {
+            rank: new_rank,
+            world: members.len(),
+            fabric: self.fabric.clone(),
+            coll_seq: Arc::new(AtomicU64::new(0)),
+            switch: None,
+            context: ctx.max(1), // 0 is reserved for the world communicator
+            members: Some(Arc::new(members)),
+        }
+    }
+
+    pub(crate) fn set_switch(&mut self, topo: Option<Arc<SwitchTopology>>) {
+        self.switch = topo;
+    }
+
+    /// The in-network switch topology, when the simulator enabled one.
+    pub fn switch_topology(&self) -> Option<Arc<SwitchTopology>> {
+        self.switch.clone()
+    }
+
+    /// Launch the per-collective switch service tasks (one thread per
+    /// switch node). Exactly one rank does the spawning so each collective
+    /// gets one service; rank 0 is the deterministic choice.
+    pub(crate) fn spawn_switch_service<T, F>(&self, topo: &Arc<SwitchTopology>, tag: u64, op: F)
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T + Send + Sync + Clone + 'static,
+    {
+        if self.rank != 0 {
+            return;
+        }
+        for node in 0..topo.nodes {
+            let fabric = self.fabric.clone();
+            let topo = topo.clone();
+            let op = op.clone();
+            std::thread::spawn(move || {
+                crate::inc::switch_node_service::<T, F>(&fabric, &topo, node, tag, &op);
+            });
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Allocate the tag block for the next collective operation. All ranks
+    /// call collectives in the same program order, so the per-rank counters
+    /// stay aligned without any coordination.
+    pub(crate) fn next_coll_tag(&self) -> u64 {
+        COLL_TAG_BASE + (self.coll_seq.fetch_add(1, Ordering::Relaxed) << 8)
+    }
+
+    /// Send a typed vector to `dst` with a user tag (must be < 2^32).
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        assert!(tag < COLL_TAG_BASE, "user tags must be below 2^32");
+        self.send_internal(dst, tag, data);
+    }
+
+    pub(crate) fn send_internal<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        assert!(dst < self.world, "destination out of range");
+        let bytes = std::mem::size_of::<T>() * data.len();
+        self.fabric.send_boxed(
+            self.endpoint(self.rank),
+            self.endpoint(dst),
+            self.tag_with_context(tag),
+            Box::new(data),
+            bytes,
+        );
+    }
+
+    /// Blocking typed receive matching `(src, tag)`.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        assert!(tag < COLL_TAG_BASE, "user tags must be below 2^32");
+        self.recv_internal(src, tag)
+    }
+
+    pub(crate) fn recv_internal<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        let env = self.fabric.mailboxes[self.endpoint(self.rank)]
+            .take(self.endpoint(src), self.tag_with_context(tag));
+        *env.payload
+            .downcast::<Vec<T>>()
+            .expect("type mismatch between send and recv")
+    }
+
+    /// Combined send+recv (deadlock-free pairwise exchange).
+    pub fn sendrecv<T: Send + 'static>(
+        &self,
+        dst: usize,
+        send_tag: u64,
+        data: Vec<T>,
+        src: usize,
+        recv_tag: u64,
+    ) -> Vec<T> {
+        self.send(dst, send_tag, data);
+        self.recv(src, recv_tag)
+    }
+
+    pub(crate) fn sendrecv_internal<T: Send + 'static>(
+        &self,
+        dst: usize,
+        send_tag: u64,
+        data: Vec<T>,
+        src: usize,
+        recv_tag: u64,
+    ) -> Vec<T> {
+        self.send_internal(dst, send_tag, data);
+        self.recv_internal(src, recv_tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::simulator::Simulator;
+
+    #[test]
+    fn p2p_ping_pong() {
+        let results = Simulator::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, vec![1u64, 2, 3]);
+                comm.recv::<u64>(1, 6)
+            } else {
+                let v = comm.recv::<u64>(0, 5);
+                let doubled: Vec<u64> = v.iter().map(|x| x * 2).collect();
+                comm.send(0, 6, doubled.clone());
+                doubled
+            }
+        });
+        assert_eq!(results[0], vec![2, 4, 6]);
+        assert_eq!(results[1], vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn messages_with_same_tag_keep_order() {
+        let results = Simulator::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                for i in 0..10u32 {
+                    comm.send(1, 1, vec![i]);
+                }
+                vec![]
+            } else {
+                (0..10).map(|_| comm.recv::<u32>(0, 1)[0]).collect()
+            }
+        });
+        assert_eq!(results[1], (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn different_tags_do_not_interfere() {
+        let results = Simulator::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 2, vec![20u8]);
+                comm.send(1, 1, vec![10u8]);
+                0
+            } else {
+                // Receive in the opposite order of sending.
+                let a = comm.recv::<u8>(0, 1)[0];
+                let b = comm.recv::<u8>(0, 2)[0];
+                (a as u32) * 100 + b as u32
+            }
+        });
+        assert_eq!(results[1], 1020);
+    }
+
+    #[test]
+    #[should_panic(expected = "below 2^32")]
+    fn oversized_user_tag_rejected() {
+        Simulator::new(1).run(|comm| {
+            comm.send(0, 1 << 33, vec![0u8]);
+        });
+    }
+
+    #[test]
+    fn sendrecv_exchanges_between_pair() {
+        let results = Simulator::new(2).run(|comm| {
+            let partner = 1 - comm.rank();
+            comm.sendrecv(partner, 3, vec![comm.rank() as u32], partner, 3)
+        });
+        assert_eq!(results[0], vec![1]);
+        assert_eq!(results[1], vec![0]);
+    }
+}
+
+#[cfg(test)]
+mod split_tests {
+    use crate::simulator::Simulator;
+
+    #[test]
+    fn split_by_parity() {
+        let results = Simulator::new(6).run(|comm| {
+            let sub = comm.split(comm.rank() as u64 % 2, comm.rank() as i64);
+            // Each subgroup sums its own ranks' contributions.
+            let sum = sub.allreduce(&[comm.rank() as u64], |a, b| a + b)[0];
+            (sub.rank(), sub.world(), sum)
+        });
+        // Evens: 0+2+4 = 6; odds: 1+3+5 = 9.
+        for (r, (sub_rank, sub_world, sum)) in results.iter().enumerate() {
+            assert_eq!(*sub_world, 3);
+            assert_eq!(*sub_rank, r / 2);
+            assert_eq!(*sum, if r % 2 == 0 { 6 } else { 9 });
+        }
+    }
+
+    #[test]
+    fn split_key_reorders_ranks() {
+        let results = Simulator::new(4).run(|comm| {
+            // One group, ranks ordered in reverse.
+            let sub = comm.split(0, -(comm.rank() as i64));
+            sub.rank()
+        });
+        assert_eq!(results, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn parent_and_child_traffic_do_not_cross() {
+        let results = Simulator::new(4).run(|comm| {
+            let sub = comm.split(comm.rank() as u64 / 2, 0);
+            // Interleave parent and child collectives with identical
+            // payload shapes: context ids must keep them separate.
+            let a = sub.allreduce(&[1u32], |a, b| a + b)[0];
+            let b = comm.allreduce(&[10u32], |a, b| a + b)[0];
+            let c = sub.allreduce(&[100u32], |a, b| a + b)[0];
+            (a, b, c)
+        });
+        for r in &results {
+            assert_eq!(*r, (2, 40, 200));
+        }
+    }
+
+    #[test]
+    fn nested_splits() {
+        let results = Simulator::new(8).run(|comm| {
+            let half = comm.split(comm.rank() as u64 / 4, 0); // two groups of 4
+            let quarter = half.split(half.rank() as u64 / 2, 0); // pairs
+            let s = quarter.allreduce(&[comm.rank() as u32], |a, b| a + b)[0];
+            (quarter.world(), s)
+        });
+        // Pairs: (0,1)=1, (2,3)=5, (4,5)=9, (6,7)=13.
+        for (r, (w, s)) in results.iter().enumerate() {
+            assert_eq!(*w, 2);
+            let pair_base = (r / 2) * 2;
+            assert_eq!(*s as usize, pair_base * 2 + 1);
+        }
+    }
+
+    #[test]
+    fn p2p_within_split_uses_virtual_ranks() {
+        let results = Simulator::new(4).run(|comm| {
+            let sub = comm.split(comm.rank() as u64 % 2, 0);
+            if sub.rank() == 0 {
+                sub.send(1, 5, vec![comm.rank() as u32]);
+                0
+            } else {
+                sub.recv::<u32>(0, 5)[0]
+            }
+        });
+        // Global rank 2 (evens' sub-rank 1) hears from global 0; global 3
+        // from global 1.
+        assert_eq!(results[2], 0);
+        assert_eq!(results[3], 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # hear-mpi — a thread-backed MPI-like runtime with in-network compute
+//!
+//! The paper evaluates libhear on Cray MPICH over the Aries interconnect;
+//! offline, this crate provides the message-passing substrate: a
+//! [`Simulator`] spawns one thread per rank, each holding a
+//! [`Communicator`] with MPI-style point-to-point messaging (source + tag
+//! matching, non-overtaking), the classical collectives (binomial
+//! broadcast/reduce, recursive-doubling and ring allreduce, allgather,
+//! alltoall, scatter/gather, barrier), nonblocking requests, and — the
+//! part that motivates HEAR — an in-network switch aggregation tree
+//! ([`inc`]) whose nodes hold **no key material** and fold only opaque
+//! (encrypted) vectors.
+//!
+//! An α–β transit-delay model ([`NetConfig`]) gives communication a real
+//! cost so overlap experiments (paper Fig. 6) measure something.
+//!
+//! ```
+//! use hear_mpi::Simulator;
+//! let sums = Simulator::new(4).run(|comm| {
+//!     comm.allreduce(&[comm.rank() as u64 + 1], |a, b| a + b)
+//! });
+//! assert!(sums.iter().all(|v| v[0] == 10));
+//! ```
+
+mod collectives;
+mod comm;
+mod fabric;
+pub mod inc;
+mod nonblocking;
+mod simulator;
+
+pub use comm::Communicator;
+pub use fabric::NetConfig;
+pub use inc::SwitchTopology;
+pub use nonblocking::Request;
+pub use simulator::{SimConfig, Simulator};

@@ -1,0 +1,115 @@
+//! The simulator: spawns one OS thread per rank, wires the fabric and the
+//! optional in-network switch tree, runs the user's per-rank function.
+
+use crate::comm::Communicator;
+use crate::fabric::{Fabric, NetConfig};
+use crate::inc::SwitchTopology;
+use std::sync::Arc;
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    pub net: NetConfig,
+    /// Fan-in of the INC switch tree; `None` disables in-network compute.
+    pub switch_radix: Option<usize>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { net: NetConfig::instant(), switch_radix: None }
+    }
+}
+
+impl SimConfig {
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    pub fn with_switch(mut self, radix: usize) -> Self {
+        self.switch_radix = Some(radix);
+        self
+    }
+}
+
+/// A `world`-rank single-process MPI job.
+pub struct Simulator {
+    world: usize,
+    config: SimConfig,
+}
+
+impl Simulator {
+    pub fn new(world: usize) -> Self {
+        Self::with_config(world, SimConfig::default())
+    }
+
+    pub fn with_config(world: usize, config: SimConfig) -> Self {
+        assert!(world >= 1, "need at least one rank");
+        Simulator { world, config }
+    }
+
+    /// Run `f` on every rank concurrently and return the per-rank results
+    /// in rank order. Panics in any rank propagate.
+    pub fn run<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(&Communicator) -> R + Send + Sync,
+        R: Send,
+    {
+        let topo = self.config.switch_radix.map(|radix| {
+            Arc::new(SwitchTopology::build(self.world, radix, self.world))
+        });
+        let endpoints = self.world + topo.as_ref().map_or(0, |t| t.nodes);
+        let fabric = Arc::new(Fabric::new(endpoints, self.config.net));
+        let comms: Vec<Communicator> = (0..self.world)
+            .map(|rank| {
+                let mut c = Communicator::new(rank, self.world, fabric.clone());
+                c.set_switch(topo.clone());
+                c
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .iter()
+                .map(|comm| scope.spawn(|| f(comm)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_identity() {
+        let results = Simulator::new(5).run(|comm| (comm.rank(), comm.world()));
+        for (r, res) in results.iter().enumerate() {
+            assert_eq!(*res, (r, 5));
+        }
+    }
+
+    #[test]
+    fn results_in_rank_order() {
+        let results = Simulator::new(8).run(|comm| comm.rank() * 10);
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_world_rejected() {
+        let _ = Simulator::new(0);
+    }
+
+    #[test]
+    fn net_config_plumbing() {
+        let cfg = SimConfig::default()
+            .with_net(NetConfig::aries_per_rank())
+            .with_switch(16);
+        assert!(cfg.switch_radix == Some(16));
+        assert!(!cfg.net.is_instant());
+    }
+}

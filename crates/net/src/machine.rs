@@ -1,0 +1,130 @@
+//! Machine and crypto-rate parameters for the performance model.
+//!
+//! The paper's testbed is Piz Daint: two 18-core Xeon E5-2695 v4 per node,
+//! 128 GB DDR3, 100 Gbit/s Aries. The model below captures the quantities
+//! the allreduce cost formulas need; defaults reproduce the paper's
+//! headline numbers and every parameter can be overridden with values
+//! *measured on this host* (the fig5 harness feeds its measured AES/SHA
+//! throughput back into [`CryptoRates`]).
+
+/// Static cluster-node description (Piz Daint defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct Machine {
+    /// Cores (= max ranks) per node.
+    pub cores_per_node: usize,
+    /// NIC bandwidth per node, bytes/s (Aries: 100 Gbit/s = 12.5 GB/s).
+    pub nic_bw: f64,
+    /// Per-rank MPI processing rate for large messages, bytes/s — the
+    /// pipeline rate of one rank pushing a ring allreduce (copy + fold +
+    /// injection). Paper: 11.1 GB/s node peak / 36 PPN ≈ 0.31 GB/s.
+    pub per_rank_rate: f64,
+    /// Aggregate memory bandwidth per node, bytes/s (DDR3 quad channel,
+    /// two sockets). Caps the crypto rate at high PPN.
+    pub mem_bw: f64,
+    /// Small-message latency between ranks on the same node, seconds.
+    pub intra_alpha: f64,
+    /// Small-message latency across nodes (one Aries hop), seconds.
+    pub inter_alpha: f64,
+}
+
+impl Machine {
+    /// The paper's testbed.
+    pub fn piz_daint() -> Machine {
+        Machine {
+            cores_per_node: 36,
+            nic_bw: 12.5e9,
+            per_rank_rate: 0.32e9,
+            mem_bw: 68.0e9,
+            intra_alpha: 0.5e-6,
+            inter_alpha: 1.4e-6,
+        }
+    }
+}
+
+/// Per-core encryption/decryption rates of a PRF backend plus the fixed
+/// per-call latency cost (key progression + two PRF blocks for a 16 B
+/// message).
+#[derive(Debug, Clone, Copy)]
+pub struct CryptoRates {
+    /// Encryption throughput, bytes/s per core.
+    pub enc_bps: f64,
+    /// Decryption throughput, bytes/s per core.
+    pub dec_bps: f64,
+    /// Fixed crypto latency added to one small-message allreduce, seconds.
+    pub per_call: f64,
+}
+
+impl CryptoRates {
+    /// The paper's hand-tuned AES-NI + SSE2 backend (9 / 18 GB/s per core,
+    /// ~7% of a ~2 µs 16 B allreduce as fixed latency).
+    pub fn aes_ni_paper() -> CryptoRates {
+        CryptoRates { enc_bps: 9.0e9, dec_bps: 18.0e9, per_call: 0.15e-6 }
+    }
+
+    /// The paper's OpenSSL-SHA1 backend (< 1 GB/s, 75.5 % latency add).
+    pub fn sha1_paper() -> CryptoRates {
+        CryptoRates { enc_bps: 0.8e9, dec_bps: 0.8e9, per_call: 1.6e-6 }
+    }
+
+    /// Build from rates measured on this host (bytes/s), as produced by
+    /// the fig5 harness.
+    pub fn measured(enc_bps: f64, dec_bps: f64, per_call: f64) -> CryptoRates {
+        assert!(enc_bps > 0.0 && dec_bps > 0.0 && per_call >= 0.0);
+        CryptoRates { enc_bps, dec_bps, per_call }
+    }
+
+    /// Effective per-core rates once `ppn` cores hammer the shared memory
+    /// bus simultaneously: AES-NI is far faster than DRAM, so at full PPN
+    /// the crypto streams are memory-bound.
+    pub fn effective_at_ppn(&self, machine: &Machine, ppn: usize) -> CryptoRates {
+        // Each crypto byte moves ~3 bytes of DRAM traffic (read plaintext,
+        // read/write buffer), competing with the MPI data path.
+        let mem_share = machine.mem_bw / (3.0 * ppn.max(1) as f64);
+        CryptoRates {
+            enc_bps: self.enc_bps.min(mem_share),
+            dec_bps: self.dec_bps.min(mem_share),
+            per_call: self.per_call,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_headline_numbers() {
+        let m = Machine::piz_daint();
+        assert_eq!(m.cores_per_node, 36);
+        assert!((m.nic_bw - 12.5e9).abs() < 1e6);
+        // Peak node throughput ≈ per_rank_rate × 36 ≈ 11.5 GB/s, clipped by
+        // the NIC below 12.5 GB/s.
+        let peak = (m.per_rank_rate * 36.0).min(m.nic_bw);
+        assert!(peak > 10.0e9 && peak < 12.5e9);
+    }
+
+    #[test]
+    fn aes_dominates_sha() {
+        let aes = CryptoRates::aes_ni_paper();
+        let sha = CryptoRates::sha1_paper();
+        assert!(aes.enc_bps / sha.enc_bps > 5.0);
+        assert!(aes.per_call < sha.per_call);
+    }
+
+    #[test]
+    fn memory_contention_caps_rates_at_high_ppn() {
+        let m = Machine::piz_daint();
+        let aes = CryptoRates::aes_ni_paper();
+        let solo = aes.effective_at_ppn(&m, 1);
+        let full = aes.effective_at_ppn(&m, 36);
+        assert_eq!(solo.enc_bps, aes.enc_bps, "one core is compute-bound");
+        assert!(full.enc_bps < aes.enc_bps, "36 cores are memory-bound");
+        assert!(full.enc_bps > 0.3e9, "but still far above the NIC share");
+    }
+
+    #[test]
+    #[should_panic]
+    fn measured_rejects_nonpositive() {
+        CryptoRates::measured(0.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Probabilistic prime generation (Miller–Rabin) for the classical HE
+//! baselines (Paillier and RSA need random primes; ElGamal needs a safe
+//! prime). A small deterministic SplitMix64 generator keeps this crate
+//! dependency-free and the baseline benchmarks reproducible.
+
+use crate::biguint::BigUint;
+
+/// Deterministic 64-bit generator (SplitMix64). Not cryptographic — the
+/// baselines exist to measure *cost*, not to protect data.
+#[derive(Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value below `bound` (rejection sampling on the top bits).
+    pub fn below(&mut self, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero());
+        let bits = bound.bit_len();
+        let limbs = bits.div_ceil(64) as usize;
+        let top_mask = if bits.is_multiple_of(64) { u64::MAX } else { (1u64 << (bits % 64)) - 1 };
+        loop {
+            let mut v: Vec<u64> = (0..limbs).map(|_| self.next_u64()).collect();
+            *v.last_mut().unwrap() &= top_mask;
+            let candidate = BigUint::from_limbs(v);
+            if candidate < *bound {
+                return candidate;
+            }
+        }
+    }
+}
+
+/// Miller–Rabin primality test with `rounds` random bases.
+pub fn is_probable_prime(n: &BigUint, rounds: u32, rng: &mut SplitMix64) -> bool {
+    if let Some(small) = n.to_u64() {
+        if small < 2 {
+            return false;
+        }
+        for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+            if small == p {
+                return true;
+            }
+            if small % p == 0 {
+                return false;
+            }
+        }
+    } else {
+        // Quick trial division by small primes.
+        for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+            if n.rem(&BigUint::from_u64(p)).is_zero() {
+                return false;
+            }
+        }
+    }
+    let one = BigUint::one();
+    let two = BigUint::from_u64(2);
+    let n_minus_1 = n.sub(&one);
+    // n-1 = d * 2^r with d odd.
+    let mut d = n_minus_1.clone();
+    let mut r = 0u64;
+    while d.is_even() {
+        d = d.shr(1);
+        r += 1;
+    }
+    'witness: for _ in 0..rounds {
+        // Base in [2, n-2].
+        let a = rng.below(&n_minus_1.sub(&two)).add(&two);
+        let mut x = a.modpow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..r.saturating_sub(1) {
+            x = x.modpow(&two, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generate a random probable prime with exactly `bits` bits.
+pub fn gen_prime(bits: u64, rng: &mut SplitMix64) -> BigUint {
+    assert!(bits >= 2);
+    loop {
+        let mut candidate = rng.below(&BigUint::one().shl(bits));
+        // Force the top bit (exact bit length) and the bottom bit (odd).
+        candidate = candidate
+            .add(&BigUint::one().shl(bits - 1))
+            .rem(&BigUint::one().shl(bits));
+        if candidate.bit_len() != bits {
+            candidate = candidate.add(&BigUint::one().shl(bits - 1));
+        }
+        if candidate.is_even() {
+            candidate = candidate.add(&BigUint::one());
+        }
+        if candidate.bit_len() == bits && is_probable_prime(&candidate, 16, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_primes_and_composites() {
+        let mut rng = SplitMix64::new(1);
+        for p in [2u64, 3, 5, 7, 97, 65537, 1_000_000_007, (1 << 61) - 1] {
+            assert!(is_probable_prime(&BigUint::from_u64(p), 16, &mut rng), "{p} is prime");
+        }
+        for c in [1u64, 4, 9, 100, 65536, 1_000_000_006, 561 /* Carmichael */, 6601] {
+            assert!(!is_probable_prime(&BigUint::from_u64(c), 16, &mut rng), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn large_known_prime() {
+        // 2^89 - 1 is a Mersenne prime.
+        let p = BigUint::one().shl(89).sub(&BigUint::one());
+        let mut rng = SplitMix64::new(2);
+        assert!(is_probable_prime(&p, 12, &mut rng));
+        // 2^67 - 1 is famously composite (193707721 × 761838257287).
+        let c = BigUint::one().shl(67).sub(&BigUint::one());
+        assert!(!is_probable_prime(&c, 12, &mut rng));
+    }
+
+    #[test]
+    fn generated_primes_have_requested_size() {
+        let mut rng = SplitMix64::new(42);
+        for bits in [16u64, 32, 64, 128, 256] {
+            let p = gen_prime(bits, &mut rng);
+            assert_eq!(p.bit_len(), bits);
+            assert!(!p.is_even());
+        }
+    }
+
+    #[test]
+    fn below_is_uniformish_and_in_range() {
+        let mut rng = SplitMix64::new(7);
+        let bound = BigUint::from_u64(1000);
+        let mut seen_high = false;
+        for _ in 0..200 {
+            let v = rng.below(&bound);
+            assert!(v < bound);
+            if v > BigUint::from_u64(500) {
+                seen_high = true;
+            }
+        }
+        assert!(seen_high, "sampler should cover the upper half");
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: the intuitive HEAR walkthrough of the paper's Fig. 1.
+//!
+//! Three ranks sum a small integer vector. Each rank encrypts by shifting
+//! its values along the ring `Z_{2^32}` with PRF-derived noise; the
+//! (untrusted) network folds the ciphertexts; decryption strips rank 0's
+//! residual noise. Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hear::core::{Backend, CommKeys, IntSum, Scratch};
+use hear::layer::SecureComm;
+use hear::mpi::Simulator;
+
+fn main() {
+    const WORLD: usize = 3;
+    println!("== HEAR quickstart: encrypted Allreduce over {WORLD} ranks ==\n");
+
+    // --- Part 1: the mechanics, spelled out (Fig. 1) -----------------------
+    let keys = CommKeys::generate(WORLD, 0x5eed, Backend::best_available());
+    let mut scratch = Scratch::default();
+    let inputs: [Vec<u32>; WORLD] = [vec![1, 5], vec![3, 8], vec![2, 4]];
+
+    println!("plaintexts per rank: {inputs:?}");
+    let mut agg = vec![0u32; 2];
+    for (rank, keys) in keys.iter().enumerate() {
+        let mut ct = inputs[rank].clone();
+        IntSum::encrypt_in_place(keys, 0, &mut ct, &mut scratch);
+        println!("rank {rank} sends ciphertext   {ct:?}");
+        for (a, c) in agg.iter_mut().zip(&ct) {
+            *a = a.wrapping_add(*c); // what the switch does — no keys needed
+        }
+    }
+    println!("network aggregate (cipher) {agg:?}");
+    IntSum::decrypt_in_place(&keys[0], 0, &mut agg, &mut scratch);
+    println!("decrypted sums             {agg:?}  (expected [6, 17])\n");
+    assert_eq!(agg, vec![6, 17]);
+
+    // --- Part 2: the same thing through the libhear layer ------------------
+    println!("-- via SecureComm (the libhear interposition layer) --");
+    let results = Simulator::new(WORLD).run(|comm| {
+        let keys = CommKeys::generate(WORLD, 42, Backend::best_available())
+            .into_iter()
+            .nth(comm.rank())
+            .unwrap();
+        let mut secure = SecureComm::new(comm.clone(), keys);
+        // The application-facing call: looks exactly like MPI_Allreduce.
+        let ints = secure.allreduce_sum_i32(&[comm.rank() as i32, -10]);
+        let floats = secure
+            .allreduce_float_sum(hear::core::HfpFormat::fp32(2, 2), &[0.5, 1.25])
+            .unwrap();
+        (ints, floats)
+    });
+    for (rank, (ints, floats)) in results.iter().enumerate() {
+        println!("rank {rank}: int sum = {ints:?}, float sum = {floats:?}");
+        assert_eq!(*ints, vec![3, -30]);
+        assert!((floats[0] - 1.5).abs() < 1e-4);
+        assert!((floats[1] - 3.75).abs() < 1e-4);
+    }
+    println!("\nOK: every byte that crossed the (simulated) wire was encrypted.");
+}

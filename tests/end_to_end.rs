@@ -1,0 +1,138 @@
+//! End-to-end integration: every scheme, through the full stack
+//! (keys → encrypt → simulated network/INC switch → decrypt), checked
+//! against plaintext reference reductions.
+
+use hear::core::{Backend, CommKeys, FixedCodec, HfpFormat};
+use hear::layer::{ReduceAlgo, SecureComm};
+use hear::mpi::{Communicator, SimConfig, Simulator};
+
+fn secure_for(comm: &Communicator, seed: u64) -> SecureComm {
+    let keys = CommKeys::generate(comm.world(), seed, Backend::best_available())
+        .into_iter()
+        .nth(comm.rank())
+        .unwrap();
+    SecureComm::new(comm.clone(), keys)
+}
+
+#[test]
+fn int_sum_matches_plaintext_across_world_sizes_and_algorithms() {
+    for world in [1usize, 2, 3, 4, 7, 8] {
+        let cfg = SimConfig::default().with_switch(4);
+        let results = Simulator::with_config(world, cfg).run(move |comm| {
+            let data: Vec<i32> = (0..23)
+                .map(|j| (comm.rank() as i32 + 1) * 1_000_003 % 71 - 35 + j)
+                .collect();
+            let reference = comm.allreduce(&data, |a, b| a.wrapping_add(*b));
+            let rd = secure_for(comm, 1).allreduce_sum_i32(&data);
+            let ring = secure_for(comm, 1)
+                .with_algo(ReduceAlgo::Ring)
+                .allreduce_sum_i32(&data);
+            let inc = secure_for(comm, 1)
+                .with_algo(ReduceAlgo::Switch)
+                .allreduce_sum_i32(&data);
+            (reference, rd, ring, inc)
+        });
+        for (reference, rd, ring, inc) in &results {
+            assert_eq!(rd, reference, "world={world} (recursive doubling)");
+            assert_eq!(ring, reference, "world={world} (ring)");
+            assert_eq!(inc, reference, "world={world} (switch)");
+        }
+    }
+}
+
+#[test]
+fn prod_and_xor_bit_exact() {
+    let results = Simulator::new(5).run(|comm| {
+        let mut sc = secure_for(comm, 2);
+        let p_in: Vec<u64> = vec![comm.rank() as u64 + 2, 3];
+        let x_in: Vec<u32> = vec![0xA5A5_0000 | comm.rank() as u32];
+        let prod = sc.allreduce_prod_u64(&p_in);
+        let xor = sc.allreduce_xor_u32(&x_in);
+        let ref_prod = comm.allreduce(&p_in, |a, b| a.wrapping_mul(*b));
+        let ref_xor = comm.allreduce(&x_in, |a, b| a ^ b);
+        (prod, xor, ref_prod, ref_xor)
+    });
+    for (prod, xor, ref_prod, ref_xor) in &results {
+        assert_eq!(prod, ref_prod);
+        assert_eq!(xor, ref_xor);
+    }
+}
+
+#[test]
+fn float_schemes_track_f64_reference() {
+    let results = Simulator::new(4).run(|comm| {
+        let mut sc = secure_for(comm, 3);
+        let data: Vec<f64> = (0..32)
+            .map(|j| ((comm.rank() * 32 + j) as f64 * 0.7).cos() * 5.0 + 6.0)
+            .collect();
+        let sum = sc.allreduce_float_sum(HfpFormat::fp32(2, 2), &data).unwrap();
+        let prod_in: Vec<f64> = data.iter().map(|v| v / 8.0 + 0.5).collect();
+        let prod = sc.allreduce_float_prod(HfpFormat::fp32(0, 0), &prod_in).unwrap();
+        let ref_sum = comm.allreduce(&data, |a, b| a + b);
+        let ref_prod = comm.allreduce(&prod_in, |a, b| a * b);
+        (sum, prod, ref_sum, ref_prod)
+    });
+    for (sum, prod, ref_sum, ref_prod) in &results {
+        for j in 0..32 {
+            let rel = (sum[j] - ref_sum[j]).abs() / ref_sum[j].abs();
+            assert!(rel < 1e-5, "sum j={j} rel={rel}");
+            let rel = (prod[j] - ref_prod[j]).abs() / ref_prod[j].abs();
+            assert!(rel < 1e-4, "prod j={j} rel={rel}");
+        }
+    }
+}
+
+#[test]
+fn fixed_point_through_the_switch() {
+    let cfg = SimConfig::default().with_switch(2);
+    let results = Simulator::with_config(6, cfg).run(|comm| {
+        let mut sc = secure_for(comm, 4).with_algo(ReduceAlgo::Switch);
+        let codec = FixedCodec::new(24);
+        let data = vec![comm.rank() as f64 * 0.125 - 0.25, 1.0 / 3.0];
+        sc.allreduce_fixed_sum(codec, &data)
+    });
+    let expect0: f64 = (0..6).map(|r| r as f64 * 0.125 - 0.25).sum();
+    for got in &results {
+        assert!((got[0] - expect0).abs() < 1e-5);
+        assert!((got[1] - 2.0).abs() < 1e-5);
+    }
+}
+
+#[test]
+fn pipelined_large_message_equals_reference() {
+    let results = Simulator::new(3).run(|comm| {
+        let data: Vec<u32> = (0..10_000).map(|j| j * 7 + comm.rank() as u32).collect();
+        let mut sc = secure_for(comm, 5);
+        let piped = sc.allreduce_sum_u32_pipelined(&data, 1024);
+        let reference = comm.allreduce(&data, |a, b| a.wrapping_add(*b));
+        (piped, reference)
+    });
+    for (piped, reference) in &results {
+        assert_eq!(piped, reference);
+    }
+}
+
+#[test]
+fn repeated_calls_on_one_communicator_stay_consistent() {
+    // 20 consecutive encrypted collectives — key progression must stay in
+    // lockstep across ranks and across schemes.
+    let results = Simulator::new(4).run(|comm| {
+        let mut sc = secure_for(comm, 6);
+        let mut acc = Vec::new();
+        for i in 0..20u32 {
+            match i % 3 {
+                0 => acc.push(sc.allreduce_sum_u32(&[i])[0] as u64),
+                1 => acc.push(sc.allreduce_prod_u64(&[(i % 5 + 1) as u64])[0]),
+                _ => acc.push(sc.allreduce_xor_u32(&[i * 3])[0] as u64),
+            }
+        }
+        acc
+    });
+    for r in &results[1..] {
+        assert_eq!(r, &results[0], "all ranks must agree");
+    }
+    // Spot-check a few values.
+    assert_eq!(results[0][0], 0); // 0 summed 4×
+    assert_eq!(results[0][1], 2u64.pow(4)); // (1 % 5 + 1)^4
+    assert_eq!(results[0][2], 0); // 6 XORed an even number of times
+}

@@ -1,0 +1,185 @@
+//! Runtime stress tests: the thread-backed MPI under adversarial
+//! schedules — delayed fabric + switch tree + nonblocking overlap +
+//! many concurrent collectives, with encrypted payloads throughout.
+
+use hear::core::{Backend, CommKeys};
+use hear::layer::{ReduceAlgo, SecureComm};
+use hear::mpi::{Communicator, NetConfig, SimConfig, Simulator};
+use std::time::Duration;
+
+fn secure(comm: &Communicator, seed: u64) -> SecureComm {
+    let keys = CommKeys::generate(comm.world(), seed, Backend::best_available())
+        .into_iter()
+        .nth(comm.rank())
+        .unwrap();
+    SecureComm::new(comm.clone(), keys)
+}
+
+#[test]
+fn hundred_collectives_with_transit_delay() {
+    // A small α keeps messages in flight while later collectives post.
+    let cfg = SimConfig::default().with_net(NetConfig {
+        alpha: Duration::from_micros(50),
+        beta_ns_per_byte: 0.1,
+    });
+    let results = Simulator::with_config(3, cfg).run(|comm| {
+        let mut sc = secure(comm, 1);
+        let mut acc = 0u64;
+        for i in 0..100u32 {
+            acc = acc.wrapping_add(sc.allreduce_sum_u32(&[i])[0] as u64);
+        }
+        acc
+    });
+    let expect: u64 = (0..100u64).map(|i| i * 3).sum();
+    assert!(results.iter().all(|r| *r == expect));
+}
+
+#[test]
+fn switch_tree_with_delay_model() {
+    let cfg = SimConfig::default()
+        .with_net(NetConfig { alpha: Duration::from_micros(80), beta_ns_per_byte: 0.2 })
+        .with_switch(2);
+    let results = Simulator::with_config(6, cfg).run(|comm| {
+        let mut sc = secure(comm, 2).with_algo(ReduceAlgo::Switch);
+        let data: Vec<u32> = (0..257).map(|j| j + comm.rank() as u32).collect();
+        sc.allreduce_sum_u32(&data)
+    });
+    for got in &results {
+        for (j, v) in got.iter().enumerate() {
+            let expect: u32 = (0..6).map(|r| j as u32 + r).sum();
+            assert_eq!(*v, expect, "j={j}");
+        }
+    }
+}
+
+#[test]
+fn deep_nonblocking_pipeline_under_delay() {
+    // 16 requests in flight at once, out-of-order waits.
+    let cfg = SimConfig::default().with_net(NetConfig {
+        alpha: Duration::from_micros(100),
+        beta_ns_per_byte: 0.0,
+    });
+    let results = Simulator::with_config(2, cfg).run(|comm| {
+        let reqs: Vec<_> = (0..16u64)
+            .map(|i| comm.iallreduce(vec![i, i * i], |a, b| a + b))
+            .collect();
+        // Wait in reverse order.
+        let mut out = Vec::new();
+        for r in reqs.into_iter().rev() {
+            out.push(r.wait());
+        }
+        out.reverse();
+        out
+    });
+    for r in &results {
+        for (i, v) in r.iter().enumerate() {
+            let i = i as u64;
+            assert_eq!(*v, vec![2 * i, 2 * i * i]);
+        }
+    }
+}
+
+#[test]
+fn mixed_schemes_interleaved_heavily() {
+    // Int, float, fixed, logical, verified — shuffled per iteration to
+    // stress the epoch discipline.
+    let results = Simulator::new(4).run(|comm| {
+        let homac = hear::core::Homac::generate(3, Backend::best_available());
+        let mut sc = secure(comm, 3).with_homac(homac);
+        let mut sink: f64 = 0.0;
+        for i in 0..25u32 {
+            match i % 5 {
+                0 => sink += sc.allreduce_sum_u32(&[i])[0] as f64,
+                1 => {
+                    sink += sc
+                        .allreduce_float_sum(hear::core::HfpFormat::fp32(2, 2), &[i as f64 + 0.5])
+                        .unwrap()[0]
+                }
+                2 => {
+                    sink += sc.allreduce_fixed_sum(hear::core::FixedCodec::new(16), &[0.25])[0]
+                }
+                3 => sink += sc.allreduce_logical(&[i % 2 == 0])[0].0 as u8 as f64,
+                _ => sink += sc.allreduce_sum_u32_verified(&[i]).unwrap()[0] as f64,
+            }
+        }
+        sink
+    });
+    for r in &results[1..] {
+        assert!((r - results[0]).abs() < 1e-9, "all ranks agree: {r} vs {}", results[0]);
+    }
+    assert!(results[0] > 0.0);
+}
+
+#[test]
+fn single_rank_world_supports_everything() {
+    // Degenerate communicator: every path must still work.
+    let results = Simulator::new(1).run(|comm| {
+        let mut sc = secure(comm, 4);
+        let a = sc.allreduce_sum_i64(&[-5])[0];
+        let b = sc.allreduce_prod_u32(&[7])[0];
+        let c = sc
+            .allreduce_float_prod(hear::core::HfpFormat::fp32(0, 0), &[2.5])
+            .unwrap()[0];
+        let d = sc.allreduce_logical(&[true])[0];
+        let e = sc.reduce_sum_u32(0, &[9]).unwrap()[0];
+        (a, b, c, d, e)
+    });
+    let (a, b, c, d, e) = results[0];
+    assert_eq!(a, -5);
+    assert_eq!(b, 7);
+    assert!((c - 2.5).abs() < 1e-5);
+    assert_eq!(d, (true, true));
+    assert_eq!(e, 9);
+}
+
+#[test]
+fn large_vector_through_every_algorithm() {
+    let cfg = SimConfig::default().with_switch(4);
+    let n = 50_000usize;
+    let results = Simulator::with_config(4, cfg).run(move |comm| {
+        let data: Vec<u32> = (0..n as u32).map(|j| j.wrapping_mul(2_654_435_761)).collect();
+        let rd = secure(comm, 5).allreduce_sum_u32(&data);
+        let ring = secure(comm, 5).with_algo(ReduceAlgo::Ring).allreduce_sum_u32(&data);
+        let inc = secure(comm, 5).with_algo(ReduceAlgo::Switch).allreduce_sum_u32(&data);
+        let piped = secure(comm, 5).allreduce_sum_u32_pipelined(&data, 4096);
+        (rd, ring, inc, piped)
+    });
+    for (rd, ring, inc, piped) in &results {
+        assert_eq!(rd, ring);
+        assert_eq!(rd, inc);
+        assert_eq!(rd, piped);
+    }
+}
+
+#[test]
+fn per_communicator_keys_over_split() {
+    // Paper §5 "Key Generation": initialization is per communicator, even
+    // if some processes are already initialized in another one. Two
+    // disjoint sub-communicators run encrypted reductions concurrently
+    // with independent keys, interleaved with the parent's.
+    let results = Simulator::new(6).run(|comm| {
+        let mut parent_sc = secure(comm, 10);
+        let sub = comm.split(comm.rank() as u64 % 2, 0);
+        // Per-communicator key generation: seed differs per color.
+        let sub_keys = CommKeys::generate(
+            sub.world(),
+            100 + comm.rank() as u64 % 2,
+            Backend::best_available(),
+        )
+        .into_iter()
+        .nth(sub.rank())
+        .unwrap();
+        let mut sub_sc = SecureComm::new(sub.clone(), sub_keys);
+
+        let a = sub_sc.allreduce_sum_u32(&[comm.rank() as u32]);
+        let b = parent_sc.allreduce_sum_u32(&[1u32]);
+        let c = sub_sc.allreduce_sum_u32(&[10u32]);
+        (a[0], b[0], c[0])
+    });
+    for (r, (a, b, c)) in results.iter().enumerate() {
+        let expect_a = if r % 2 == 0 { 0 + 2 + 4 } else { 1 + 3 + 5 };
+        assert_eq!(*a, expect_a);
+        assert_eq!(*b, 6);
+        assert_eq!(*c, 30);
+    }
+}

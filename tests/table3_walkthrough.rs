@@ -1,0 +1,157 @@
+//! Paper Table 3, executed: the worked 4-bit-integer and half-precision
+//! examples, step by step, asserting the exact values the paper prints.
+//!
+//! Table 3 lists, per scheme: the per-rank values, the expected reduction,
+//! the per-rank noise streams, the per-rank *encrypted* wire values (which
+//! include the cancelling neighbour noise for all but the last rank), the
+//! network-reduced ciphertext, the de-noise value, and the decryption.
+
+use hear::hfp::format::Hfp;
+use hear::hfp::ops;
+use hear::hfp::ringexp::ring_from_i64;
+
+/// 4-bit ring helper ("Int, 4 bits, modulo 2^4 = 16").
+fn m16(v: u64) -> u64 {
+    v & 0xf
+}
+
+#[test]
+fn table3_int_sum_column() {
+    // Values [1, 5] (rank 1) and [3, 8] (rank 2); noise streams [2, 1] and
+    // [1, 7]. Rank 1 cancels rank 2's noise: it adds n₁ − n₂.
+    let (x1, x2) = ([1u64, 5], [3u64, 8]);
+    let (n1, n2) = ([2u64, 1], [1u64, 7]);
+    let enc1: Vec<u64> = (0..2)
+        .map(|j| m16(x1[j] + n1[j] + 16 - n2[j])) // x + n_own − n_next
+        .collect();
+    assert_eq!(enc1, vec![2, 15], "rank 1 Encrypted row");
+    // Rank 2 is the last rank: plain own noise.
+    let enc2: Vec<u64> = (0..2).map(|j| m16(x2[j] + n2[j])).collect();
+    assert_eq!(enc2, vec![4, 15], "rank 2 Encrypted row");
+    // The network adds ciphertexts on the ring.
+    let reduced: Vec<u64> = (0..2).map(|j| m16(enc1[j] + enc2[j])).collect();
+    assert_eq!(reduced, vec![6, 14], "Reduced row");
+    // De-noise: rank 1's stream [2, 1] (the telescoped residual).
+    let decrypted: Vec<u64> = (0..2).map(|j| m16(reduced[j] + 16 - n1[j])).collect();
+    assert_eq!(decrypted, vec![4, 13], "Decrypted = Expected row");
+    assert_eq!(decrypted, vec![m16(1 + 3), m16(5 + 8)]);
+}
+
+#[test]
+fn table3_int_prod_column() {
+    // Values [2, 4] and [7, 2]; noise powers of the subgroup generator 3:
+    // rank 1 exponents [1, 2] → [3, 9], rank 2 exponents [1, 0] → [3, 1].
+    let (x1, x2) = ([2u64, 4], [7u64, 2]);
+    // Rank 1 cancels: multiplies by 3^{e_own − e_next} = [3^0, 3^2] = [1, 9].
+    let enc1 = [m16(x1[0] * 1), m16(x1[1] * 9)];
+    assert_eq!(enc1, [2, 4], "rank 1 Encrypted row (4·9 = 36 ≡ 4 mod 16)");
+    // Rank 2 (last): multiplies by its own noise [3, 1].
+    let enc2 = [m16(x2[0] * 3), m16(x2[1] * 1)];
+    assert_eq!(enc2, [5, 2], "rank 2 Encrypted row (21 ≡ 5 mod 16)");
+    // Network multiplies ciphertexts.
+    let reduced = [m16(enc1[0] * enc2[0]), m16(enc1[1] * enc2[1])];
+    assert_eq!(reduced, [10, 8], "Reduced row");
+    // De-noise row: the residual noise telescopes to rank 1's stream
+    // [3, 9]; the table prints the inverses [3⁻¹ = 11, 9⁻¹ = 9] mod 16.
+    assert_eq!(m16(3 * 11), 1);
+    assert_eq!(m16(9 * 9), 1);
+    let decrypted = [m16(reduced[0] * 11), m16(reduced[1] * 9)];
+    assert_eq!(decrypted, [14, 8], "Decrypted = Expected row");
+    assert_eq!(decrypted, [m16(2 * 7), m16(4 * 2)]);
+}
+
+#[test]
+fn table3_bxor_column() {
+    // Values 0011 and 0010; noises 0101 and 1001.
+    let (x1, x2) = (0b0011u64, 0b0010u64);
+    let (n1, n2) = (0b0101u64, 0b1001u64);
+    let enc1 = x1 ^ n1 ^ n2; // rank 1 cancels rank 2's noise
+    assert_eq!(enc1, 0b1111, "rank 1 Encrypted row");
+    let enc2 = x2 ^ n2;
+    assert_eq!(enc2, 0b1011, "rank 2 Encrypted row");
+    let reduced = enc1 ^ enc2;
+    assert_eq!(reduced, 0b0100, "Reduced row");
+    let decrypted = reduced ^ n1;
+    assert_eq!(decrypted, 0b0001, "Decrypted = Expected row");
+    assert_eq!(decrypted, x1 ^ x2);
+}
+
+#[test]
+fn table3_float_sum_column_half_precision() {
+    // MPI_SUM (§5.3.3), half precision (l_e = 5, l_m = 10), δ = 2:
+    // values 1.75×2^7 and 1.25×2^9; shared noise 1.5×2^13;
+    // encrypted 1.3125×2^21 and 1.875×2^22; reduced 1.266×2^23;
+    // de-noise 1.5×2^13 → decrypted 1.6875×2^9.
+    let (ew, mw) = (7u32, 10u32); // ciphertext ring: l_e + δ = 7 bits
+    let x1 = Hfp::from_f64(1.75 * 128.0, 5, 10).unwrap();
+    let x2 = Hfp::from_f64(1.25 * 512.0, 5, 10).unwrap();
+    let noise = Hfp {
+        sign: false,
+        exp: ring_from_i64(13, ew),
+        sig: (1 << mw) | (1 << (mw - 1)), // 1.5
+        ew,
+        mw,
+    };
+    let c1 = ops::mul(&x1, &noise, ew, mw);
+    let c2 = ops::mul(&x2, &noise, ew, mw);
+    assert_eq!(c1.to_f64(), 1.3125 * f64::powi(2.0, 21), "rank 1 Encrypted row");
+    assert_eq!(c2.to_f64(), 1.875 * f64::powi(2.0, 22), "rank 2 Encrypted row");
+    let reduced = ops::add(&c1, &c2);
+    // 1.3125×2^21 + 1.875×2^22 = 1.265625×2^23 (printed as 1.266×2^23).
+    assert_eq!(reduced.to_f64(), 1.265625 * f64::powi(2.0, 23), "Reduced row");
+    let decrypted = ops::div(&reduced, &noise, ew, mw);
+    assert_eq!(decrypted.to_f64(), 1.6875 * f64::powi(2.0, 9), "Decrypted row");
+}
+
+#[test]
+fn table3_float_prod_column_half_precision() {
+    // MPI_PROD (§5.3.2), δ = 0 (5-bit exponent ring): values 1.125×2^9 and
+    // 1.375×2^1; noise streams 1.75×2^22 (rank 1) and 1.25×2^-13 (rank 2).
+    // Rank 1 cancels: (1.75×2^22)/(1.25×2^-13) → encrypted 1.575×2^44;
+    // rank 2 applies its own noise → 1.719×2^-12; reduced 1.354×2^33;
+    // de-noise 1.75×2^22 → decrypted 1.547×2^10. All exponents live on the
+    // 5-bit ring (44 ≡ 12, 33 ≡ 1 mod 32) — the unwrapped values are how
+    // the paper prints them.
+    let (ew, mw) = (5u32, 10u32);
+    let x1 = Hfp::from_f64(1.125 * 512.0, ew, mw).unwrap();
+    let x2 = Hfp::from_f64(1.375 * 2.0, ew, mw).unwrap();
+    let n1 = Hfp {
+        sign: false,
+        exp: ring_from_i64(22, ew),
+        sig: (1 << mw) | (0b11 << (mw - 2)), // 1.75
+        ew,
+        mw,
+    };
+    let n2 = Hfp {
+        sign: false,
+        exp: ring_from_i64(-13, ew),
+        sig: (1 << mw) | (1 << (mw - 2)), // 1.25
+        ew,
+        mw,
+    };
+    // Rank 1 (cancelling): x ⊗ n₁ ⊘ n₂.
+    let c1 = ops::div(&ops::mul(&x1, &n1, ew, mw), &n2, ew, mw);
+    // Mantissa: 1.125·1.75/1.25 = 1.575; exponent: 9+22+13 = 44 ≡ 12.
+    let sig_val = c1.sig as f64 / f64::powi(2.0, mw as i32);
+    assert!((sig_val - 1.575).abs() < 2e-3, "rank 1 mantissa {sig_val}");
+    assert_eq!(c1.exponent(), (44i64 % 32) - 0, "exponent 44 on the 5-bit ring");
+    // Rank 2 (last): x ⊗ n₂ → 1.375·1.25 = 1.71875, exponent 1−13 = −12.
+    let c2 = ops::mul(&x2, &n2, ew, mw);
+    let sig_val = c2.sig as f64 / f64::powi(2.0, mw as i32);
+    assert!((sig_val - 1.71875).abs() < 1e-3, "rank 2 mantissa {sig_val}");
+    assert_eq!(c2.exponent(), -12);
+    // Network multiplies: mantissa 1.575·1.71875/2 ≈ 1.354, exponent 33 ≡ 1.
+    let reduced = ops::mul(&c1, &c2, ew, mw);
+    let sig_val = reduced.sig as f64 / f64::powi(2.0, mw as i32);
+    assert!((sig_val - 1.354).abs() < 2e-3, "Reduced mantissa {sig_val}");
+    assert_eq!(reduced.exponent(), 1, "exponent 33 wraps to 1 on the ring");
+    // De-noise: the residual telescopes to rank 1's stream n₁.
+    let decrypted = ops::div(&reduced, &n1, ew, mw);
+    let sig_val = decrypted.sig as f64 / f64::powi(2.0, mw as i32);
+    assert!((sig_val - 1.546875).abs() < 2e-3, "Decrypted mantissa {sig_val}");
+    assert_eq!(decrypted.exponent(), 10, "Decrypted = 1.547×2^10");
+    // Cross-check against the plaintext product.
+    let expect = (1.125 * 512.0) * (1.375 * 2.0);
+    let rel = (decrypted.to_f64() - expect).abs() / expect;
+    assert!(rel < 1e-2, "matches 1584 within HFP rounding, rel={rel}");
+}
