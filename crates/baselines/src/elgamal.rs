@@ -41,7 +41,13 @@ impl ElGamal {
             }
         };
         let h = g.modpow(&x, &p);
-        ElGamal { p, g, h, x, key_bits }
+        ElGamal {
+            p,
+            g,
+            h,
+            x,
+            key_bits,
+        }
     }
 
     pub fn encrypt(&self, m: &BigUint, rng: &mut SplitMix64) -> ElGamalCt {

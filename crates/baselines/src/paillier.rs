@@ -147,6 +147,22 @@ mod tests {
     }
 
     #[test]
+    fn random_sums_roundtrip() {
+        // Randomized homomorphic sums, drawn from the testkit PRNG (the
+        // in-repo `rand` replacement) so failures replay from the seed.
+        let (p, mut enc_rng) = scheme();
+        let mut rng = hear_testkit::TestRng::seed_from_u64(0xba5e_11e5);
+        for round in 0..16 {
+            let a = rng.gen_range(0u64..=u32::MAX as u64);
+            let b = rng.gen_range(0u64..=u32::MAX as u64);
+            let ca = p.encrypt(&BigUint::from_u64(a), &mut enc_rng);
+            let cb = p.encrypt(&BigUint::from_u64(b), &mut enc_rng);
+            let sum = p.decrypt(&p.add_ciphertexts(&ca, &cb));
+            assert_eq!(sum, BigUint::from_u64(a + b), "round={round} a={a} b={b}");
+        }
+    }
+
+    #[test]
     fn inflation_violates_r1_for_machine_words() {
         let (p, _) = scheme();
         // A 32-bit plaintext becomes a 512-bit ciphertext: 16×, far beyond

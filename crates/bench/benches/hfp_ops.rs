@@ -19,7 +19,7 @@ fn bench_hfp(c: &mut Criterion) {
         bch.iter(|| std::hint::black_box(ops::div(&a, &b, 10, 23)))
     });
     c.bench_function("hfp_encode_f64", |bch| {
-        bch.iter(|| std::hint::black_box(Hfp::from_f64(3.14159, 10, 23).unwrap()))
+        bch.iter(|| std::hint::black_box(Hfp::from_f64(std::f64::consts::PI, 10, 23).unwrap()))
     });
     // IEEE comparison point.
     c.bench_function("native_f64_mul", |bch| {

@@ -8,14 +8,20 @@ use hear::prf::{Backend, Prf, PrfCipher};
 fn bench_single_block(c: &mut Criterion) {
     let mut g = c.benchmark_group("prf_single_block");
     for backend in [Backend::Sha1, Backend::AesSoft, Backend::AesNi] {
-        let Some(prf) = PrfCipher::new(backend, 0xABCD) else { continue };
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{backend:?}")), &prf, |b, prf| {
-            let mut x = 0u128;
-            b.iter(|| {
-                x = x.wrapping_add(1);
-                std::hint::black_box(prf.eval_block(x))
-            });
-        });
+        let Some(prf) = PrfCipher::new(backend, 0xABCD) else {
+            continue;
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{backend:?}")),
+            &prf,
+            |b, prf| {
+                let mut x = 0u128;
+                b.iter(|| {
+                    x = x.wrapping_add(1);
+                    std::hint::black_box(prf.eval_block(x))
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -25,14 +31,20 @@ fn bench_keystream(c: &mut Criterion) {
     const BLOCKS: usize = 4096; // 64 KiB
     g.throughput(Throughput::Bytes((BLOCKS * 16) as u64));
     for backend in [Backend::Sha1, Backend::AesSoft, Backend::AesNi] {
-        let Some(prf) = PrfCipher::new(backend, 0xABCD) else { continue };
+        let Some(prf) = PrfCipher::new(backend, 0xABCD) else {
+            continue;
+        };
         let mut out = vec![0u128; BLOCKS];
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{backend:?}")), &prf, |b, prf| {
-            b.iter(|| {
-                prf.fill_blocks(7, &mut out);
-                std::hint::black_box(out[0])
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{backend:?}")),
+            &prf,
+            |b, prf| {
+                b.iter(|| {
+                    prf.fill_blocks(7, &mut out);
+                    std::hint::black_box(out[0])
+                });
+            },
+        );
     }
     g.finish();
 }

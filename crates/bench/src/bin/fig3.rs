@@ -21,9 +21,27 @@ struct Dtype {
 }
 
 const DTYPES: [Dtype; 3] = [
-    Dtype { name: "FP16", le: 5, lm: 10, lo: -4, hi: 4 },
-    Dtype { name: "FP32", le: 8, lm: 23, lo: -16, hi: 16 },
-    Dtype { name: "FP64", le: 11, lm: 52, lo: -64, hi: 64 },
+    Dtype {
+        name: "FP16",
+        le: 5,
+        lm: 10,
+        lo: -4,
+        hi: 4,
+    },
+    Dtype {
+        name: "FP32",
+        le: 8,
+        lm: 23,
+        lo: -16,
+        hi: 16,
+    },
+    Dtype {
+        name: "FP64",
+        le: 11,
+        lm: 52,
+        lo: -64,
+        hi: 64,
+    },
 ];
 
 fn reference_sum(vals: &[f64]) -> f64 {
@@ -66,7 +84,9 @@ fn hear_sum(d: &Dtype, gamma: u32, vals: &[f64], keys: &CommKeys) -> f64 {
     let mut agg = Hfp::zero(cew, cmw);
     let mut ct = Vec::new();
     for v in vals {
-        scheme.encrypt_f64(keys, 0, &[*v], &mut ct).expect("in range");
+        scheme
+            .encrypt_f64(keys, 0, &[*v], &mut ct)
+            .expect("in range");
         agg = FloatSum::combine(&agg, &ct[0]);
     }
     let mut out = Vec::new();
@@ -81,7 +101,9 @@ fn hear_mul_passthrough_sum(d: &Dtype, gamma: u32, vals: &[f64], keys: &CommKeys
     let fmt = HfpFormat::new(d.le, d.lm, 0, clamp_gamma(d, 0, gamma));
     let scheme = FloatProd::new(fmt);
     let (mut ct, mut out) = (Vec::new(), Vec::new());
-    scheme.encrypt_f64(keys, 0, vals, &mut ct).expect("in range");
+    scheme
+        .encrypt_f64(keys, 0, vals, &mut ct)
+        .expect("in range");
     scheme.decrypt_f64(keys, 0, &ct, &mut out);
     out.iter().sum()
 }
@@ -131,5 +153,7 @@ fn main() {
         }
     }
     println!("# Paper shape check: HEAR within ~an order of magnitude of native;");
-    println!("# gamma=2 best, gamma=0 worst (addition); multiplication gamma-insensitive (delta=0).");
+    println!(
+        "# gamma=2 best, gamma=0 worst (addition); multiplication gamma-insensitive (delta=0)."
+    );
 }

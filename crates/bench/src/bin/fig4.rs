@@ -72,6 +72,9 @@ fn main() {
         println!(
             "# paper: SHA1 75.5% vs AES-NI 7.1% of comm time; measured here: {sha:.1}% vs {aes:.1}%"
         );
-        println!("# shape holds if SHA1/AES-NI ratio >> 1 (paper ~10.6x): {:.1}x", sha / aes);
+        println!(
+            "# shape holds if SHA1/AES-NI ratio >> 1 (paper ~10.6x): {:.1}x",
+            sha / aes
+        );
     }
 }

@@ -24,7 +24,12 @@ fn main() {
         "backend", "enc GB/s", "± std", "dec GB/s", "± std"
     );
     let mut measured = Vec::new();
-    for backend in [Backend::Sha1, Backend::Sha1Ni, Backend::AesSoft, Backend::AesNi] {
+    for backend in [
+        Backend::Sha1,
+        Backend::Sha1Ni,
+        Backend::AesSoft,
+        Backend::AesNi,
+    ] {
         if !backend.is_available() {
             println!("{:<18} (not available on this CPU)", format!("{backend:?}"));
             continue;
@@ -69,12 +74,22 @@ fn main() {
     let fdec = vals.len() as f64 * 4.0 * iters as f64 / t0.elapsed().as_secs_f64();
     println!(
         "{:<18} {:>12.3} {:>10} {:>12.3} {:>10}",
-        "FP32 (HFP, best)", gib_per_s(fenc), "-", gib_per_s(fdec), "-"
+        "FP32 (HFP, best)",
+        gib_per_s(fenc),
+        "-",
+        gib_per_s(fdec),
+        "-"
     );
     println!("# Aries per-rank line rate: 0.347 GB/s — the paper's float encoder is");
     println!("# 'an order of magnitude faster' than it; check the FP32 row above.");
     if let Some((_, enc, _)) = measured.iter().find(|(b, _, _)| *b == Backend::AesNi) {
-        let sha = measured.iter().find(|(b, _, _)| *b == Backend::Sha1).unwrap();
-        println!("# paper shape: AES-NI >> SHA1 (9 vs <1 GB/s): measured {:.2} vs {:.2} GB/s", enc, sha.1);
+        let sha = measured
+            .iter()
+            .find(|(b, _, _)| *b == Backend::Sha1)
+            .unwrap();
+        println!(
+            "# paper shape: AES-NI >> SHA1 (9 vs <1 GB/s): measured {:.2} vs {:.2} GB/s",
+            enc, sha.1
+        );
     }
 }

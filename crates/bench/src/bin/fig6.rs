@@ -34,7 +34,10 @@ fn native_pipelined(comm: &Communicator, data: &[u32], block_elems: usize) -> Ve
     while offset < data.len() {
         let end = (offset + block_elems).min(data.len());
         let buf = data[offset..end].to_vec();
-        inflight.push_back((offset, comm.iallreduce_ring(buf, |a: &u32, b: &u32| a.wrapping_add(*b))));
+        inflight.push_back((
+            offset,
+            comm.iallreduce_ring(buf, |a: &u32, b: &u32| a.wrapping_add(*b)),
+        ));
         if inflight.len() >= 2 {
             let (o, req) = inflight.pop_front().unwrap();
             let agg = req.wait();
@@ -83,7 +86,10 @@ fn main() {
     let nat_opt_tput = MSG_BYTES as f64 / t_nat_opt / 1e9;
     println!(
         "{:<16} {:>13.3} {:>13.3} {:>11.1}%",
-        "naive (sync)", sync_tput, nat_opt_tput, 100.0 * sync_tput / nat_opt_tput
+        "naive (sync)",
+        sync_tput,
+        nat_opt_tput,
+        100.0 * sync_tput / nat_opt_tput
     );
 
     // Pipelined sweep over block sizes (bytes), 4 KiB … 4 MiB, HEAR and

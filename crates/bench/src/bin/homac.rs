@@ -26,10 +26,16 @@ fn main() {
     let verify_rate = n as f64 * 4.0 / t0.elapsed().as_secs_f64();
 
     println!("# §5.5 HoMAC: homomorphic result verification");
-    println!("tag generation : {:>8.3} GB/s of 32-bit ciphertext words", tag_rate / 1e9);
+    println!(
+        "tag generation : {:>8.3} GB/s of 32-bit ciphertext words",
+        tag_rate / 1e9
+    );
     println!("verification   : {:>8.3} GB/s", verify_rate / 1e9);
-    println!("wire inflation : {}x for 32-bit data, {}x for 64-bit (61-bit prime field tags)",
-        Homac::inflation_for_width(32), Homac::inflation_for_width(64));
+    println!(
+        "wire inflation : {}x for 32-bit data, {}x for 64-bit (61-bit prime field tags)",
+        Homac::inflation_for_width(32),
+        Homac::inflation_for_width(64)
+    );
     println!("honest aggregate verifies: {ok}");
 
     let mut tampered = ct.clone();

@@ -26,13 +26,23 @@ fn main() {
         last = Some(s);
     }
     let s = last.unwrap();
-    println!("\n# extrapolation to FP32 (23-bit mantissas): edge ratio stays ≈{:.1}x, so", s.edge_ratio());
-    println!("# avg ≈ {:.2e} vs uniform 2^-23 = 1.19e-7 — same conclusion as the paper's", s.edge_ratio() / f64::powi(2.0, 23));
+    println!(
+        "\n# extrapolation to FP32 (23-bit mantissas): edge ratio stays ≈{:.1}x, so",
+        s.edge_ratio()
+    );
+    println!(
+        "# avg ≈ {:.2e} vs uniform 2^-23 = 1.19e-7 — same conclusion as the paper's",
+        s.edge_ratio() / f64::powi(2.0, 23)
+    );
     println!("# 3.57e-7: the adversary gains only a negligible constant-factor edge,");
     println!("# and the attack cost grows exponentially with γ (COA security).");
     println!("\n# gamma sensitivity (wider noise/ciphertext mantissas):");
     for gamma in [0u32, 1, 2] {
         let s = map_adversary(8, 8 + gamma, 8 + gamma);
-        println!("#   gamma={gamma}: avg {:.4e} (edge {:.2}x)", s.avg, s.edge_ratio());
+        println!(
+            "#   gamma={gamma}: avg {:.4e} (edge {:.2}x)",
+            s.avg,
+            s.edge_ratio()
+        );
     }
 }

@@ -51,7 +51,11 @@ fn main() {
             100.0 * (hear - native) / native
         );
     }
-    let a = Allocation { machine: Machine::piz_daint(), nodes: 2, ppn: 2 };
+    let a = Allocation {
+        machine: Machine::piz_daint(),
+        nodes: 2,
+        ppn: 2,
+    };
     println!(
         "# model-predicted rd/ring crossover at this scale: {:.0} KiB",
         crossover_bytes(&a, None) / 1024.0

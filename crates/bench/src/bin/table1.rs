@@ -72,7 +72,10 @@ fn main() {
         4.0 / h.enc_bps * 1e6,
         4.0 / h.dec_bps * 1e6
     );
-    println!("# (HEAR per-word times are amortized from {:.2} GB/s enc / {:.2} GB/s dec)",
-        h.enc_bps / 1e9, h.dec_bps / 1e9);
+    println!(
+        "# (HEAR per-word times are amortized from {:.2} GB/s enc / {:.2} GB/s dec)",
+        h.enc_bps / 1e9,
+        h.dec_bps / 1e9
+    );
     println!("# FHE rows (TFHE/CKKS) are literature values: ms–s per op, large keys.");
 }

@@ -36,14 +36,22 @@ fn main() {
     let enc2 = 0b0010u64 ^ 0b1001;
     let red = enc1 ^ enc2;
     let dec = red ^ 0b0101;
-    println!("  encrypted {enc1:04b} {enc2:04b}  reduced {red:04b}  decrypted {dec:04b} (expected 0001)");
+    println!(
+        "  encrypted {enc1:04b} {enc2:04b}  reduced {red:04b}  decrypted {dec:04b} (expected 0001)"
+    );
 
     // --- Float MPI_SUM ---
     println!("Float MPI_SUM (Eq.7) 1.75*2^7 + 1.25*2^9, shared noise 1.5*2^13, delta=2");
     let (ew, mw) = (7u32, 10u32);
     let x1 = Hfp::from_f64(1.75 * 128.0, 5, 10).unwrap();
     let x2 = Hfp::from_f64(1.25 * 512.0, 5, 10).unwrap();
-    let noise = Hfp { sign: false, exp: ring_from_i64(13, ew), sig: (1 << mw) | (1 << (mw - 1)), ew, mw };
+    let noise = Hfp {
+        sign: false,
+        exp: ring_from_i64(13, ew),
+        sig: (1 << mw) | (1 << (mw - 1)),
+        ew,
+        mw,
+    };
     let c1 = ops::mul(&x1, &noise, ew, mw);
     let c2 = ops::mul(&x2, &noise, ew, mw);
     let red = ops::add(&c1, &c2);
@@ -61,16 +69,30 @@ fn main() {
     let (ew, mw) = (5u32, 10u32);
     let x1 = Hfp::from_f64(1.125 * 512.0, ew, mw).unwrap();
     let x2 = Hfp::from_f64(1.375 * 2.0, ew, mw).unwrap();
-    let n1 = Hfp { sign: false, exp: ring_from_i64(22, ew), sig: (1 << mw) | (0b11 << (mw - 2)), ew, mw };
-    let n2 = Hfp { sign: false, exp: ring_from_i64(-13, ew), sig: (1 << mw) | (1 << (mw - 2)), ew, mw };
+    let n1 = Hfp {
+        sign: false,
+        exp: ring_from_i64(22, ew),
+        sig: (1 << mw) | (0b11 << (mw - 2)),
+        ew,
+        mw,
+    };
+    let n2 = Hfp {
+        sign: false,
+        exp: ring_from_i64(-13, ew),
+        sig: (1 << mw) | (1 << (mw - 2)),
+        ew,
+        mw,
+    };
     let c1 = ops::div(&ops::mul(&x1, &n1, ew, mw), &n2, ew, mw);
     let c2 = ops::mul(&x2, &n2, ew, mw);
     let red = ops::mul(&c1, &c2, ew, mw);
     let dec = ops::div(&red, &n1, ew, mw);
     println!(
         "  encrypted {:.4}*2^{} and {:.4}*2^{} (ring exps; paper prints unwrapped 2^44/2^-12)",
-        c1.sig as f64 / 1024.0, c1.exponent(),
-        c2.sig as f64 / 1024.0, c2.exponent()
+        c1.sig as f64 / 1024.0,
+        c1.exponent(),
+        c2.sig as f64 / 1024.0,
+        c2.exponent()
     );
     println!(
         "  reduced {:.4}*2^{} (paper: 1.354*2^33 = ring 2^1)  decrypted {:.4}*2^{} (expected 1.547*2^10)",

@@ -63,5 +63,7 @@ fn main() {
         enc == reference
     });
     assert!(results.iter().all(|ok| *ok));
-    println!("MPI_INT summation: 100k-element receive buffers identical on all 4 ranks (memcmp == 0)");
+    println!(
+        "MPI_INT summation: 100k-element receive buffers identical on all 4 ranks (memcmp == 0)"
+    );
 }

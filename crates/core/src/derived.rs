@@ -139,7 +139,10 @@ mod tests {
         assert!(MpiOp::Land.support().is_ok());
         assert_eq!(MpiOp::Min.support(), Err(UnsupportedOp::MinMax));
         assert_eq!(MpiOp::Max.support(), Err(UnsupportedOp::MinMax));
-        assert_eq!(MpiOp::UserDefined.support(), Err(UnsupportedOp::UserDefined));
+        assert_eq!(
+            MpiOp::UserDefined.support(),
+            Err(UnsupportedOp::UserDefined)
+        );
         // The error message carries the security rationale.
         assert!(UnsupportedOp::MinMax.to_string().contains("binary-search"));
     }

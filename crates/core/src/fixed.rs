@@ -73,7 +73,14 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         let c = FixedCodec::new(16);
-        for v in [0.0, 1.0, -1.0, 3.14159, -1000.5, 0.0000152587890625] {
+        for v in [
+            0.0,
+            1.0,
+            -1.0,
+            std::f64::consts::PI,
+            -1000.5,
+            0.0000152587890625,
+        ] {
             let got = c.decode(c.encode(v));
             assert!((got - v).abs() <= c.resolution() / 2.0, "{v} -> {got}");
         }
@@ -119,7 +126,12 @@ mod tests {
         c.decode_slice(&agg, &mut out);
         let expect = [2.75, -2.0, 4.75];
         for j in 0..3 {
-            assert!((out[j] - expect[j]).abs() < 1e-6, "j={j}: {} vs {}", out[j], expect[j]);
+            assert!(
+                (out[j] - expect[j]).abs() < 1e-6,
+                "j={j}: {} vs {}",
+                out[j],
+                expect[j]
+            );
         }
     }
 

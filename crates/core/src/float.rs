@@ -24,7 +24,13 @@ fn noise_from_block(block: u128, ew: u32, mw: u32) -> Hfp {
     let frac = (block as u64) & mask(mw);
     let exp = ((block >> mw) as u64) & mask(ew);
     let sign = (block >> (mw + ew)) & 1 == 1;
-    Hfp { sign, exp, sig: (1u64 << mw) | frac, ew, mw }
+    Hfp {
+        sign,
+        exp,
+        sig: (1u64 << mw) | frac,
+        ew,
+        mw,
+    }
 }
 
 /// Derive an HFP noise value from the PRF: one PRF block per element.
@@ -88,7 +94,15 @@ impl FloatSum {
         let (le, lm) = self.fmt.plain_widths();
         let (cew, cmw) = self.fmt.cipher_widths();
         let mut noise = Vec::new();
-        noise_fill_n(keys.prf(), keys.base_collective(), first, x.len(), cew, cmw, &mut noise);
+        noise_fill_n(
+            keys.prf(),
+            keys.base_collective(),
+            first,
+            x.len(),
+            cew,
+            cmw,
+            &mut noise,
+        );
         out.clear();
         out.reserve(x.len());
         for (&v, n) in x.iter().zip(&noise) {
@@ -102,7 +116,15 @@ impl FloatSum {
     pub fn decrypt_f64(&self, keys: &CommKeys, first: u64, agg: &[Hfp], out: &mut Vec<f64>) {
         let (cew, cmw) = self.fmt.cipher_widths();
         let mut noise = Vec::new();
-        noise_fill_n(keys.prf(), keys.base_collective(), first, agg.len(), cew, cmw, &mut noise);
+        noise_fill_n(
+            keys.prf(),
+            keys.base_collective(),
+            first,
+            agg.len(),
+            cew,
+            cmw,
+            &mut noise,
+        );
         out.clear();
         out.reserve(agg.len());
         for (c, n) in agg.iter().zip(&noise) {
@@ -143,10 +165,26 @@ impl FloatProd {
         let (le, lm) = self.fmt.plain_widths();
         let (cew, cmw) = self.fmt.cipher_widths();
         let mut own = Vec::new();
-        noise_fill_n(keys.prf(), keys.base_own(), first, x.len(), cew, cmw, &mut own);
+        noise_fill_n(
+            keys.prf(),
+            keys.base_own(),
+            first,
+            x.len(),
+            cew,
+            cmw,
+            &mut own,
+        );
         let mut next = Vec::new();
         if !keys.is_last() {
-            noise_fill_n(keys.prf(), keys.base_next(), first, x.len(), cew, cmw, &mut next);
+            noise_fill_n(
+                keys.prf(),
+                keys.base_next(),
+                first,
+                x.len(),
+                cew,
+                cmw,
+                &mut next,
+            );
         }
         out.clear();
         out.reserve(x.len());
@@ -166,7 +204,15 @@ impl FloatProd {
     pub fn decrypt_f64(&self, keys: &CommKeys, first: u64, agg: &[Hfp], out: &mut Vec<f64>) {
         let (cew, cmw) = self.fmt.cipher_widths();
         let mut zero = Vec::new();
-        noise_fill_n(keys.prf(), keys.base_zero(), first, agg.len(), cew, cmw, &mut zero);
+        noise_fill_n(
+            keys.prf(),
+            keys.base_zero(),
+            first,
+            agg.len(),
+            cew,
+            cmw,
+            &mut zero,
+        );
         out.clear();
         out.reserve(agg.len());
         for (c, z) in agg.iter().zip(&zero) {
@@ -190,7 +236,9 @@ pub struct FloatSumExp {
 
 impl FloatSumExp {
     pub fn new(fmt: HfpFormat) -> Self {
-        FloatSumExp { prod: FloatProd::new(fmt) }
+        FloatSumExp {
+            prod: FloatProd::new(fmt),
+        }
     }
 
     pub fn format(&self) -> HfpFormat {
@@ -248,7 +296,10 @@ mod tests {
             exps.insert(n.exp);
         }
         // 10-bit exponents over 256 draws: expect wide coverage.
-        assert!(exps.len() > 150, "noise exponents must be spread over the ring");
+        assert!(
+            exps.len() > 150,
+            "noise exponents must be spread over the ring"
+        );
     }
 
     /// Full encrypted allreduce for float sum: every rank encrypts, the
@@ -306,7 +357,11 @@ mod tests {
     #[test]
     fn float_sum_gamma0_loses_more_precision_than_gamma2() {
         let data: Vec<Vec<f64>> = (0..4)
-            .map(|r| (0..64).map(|j| ((r * 64 + j) as f64).sin() * 3.0 + 3.5).collect())
+            .map(|r| {
+                (0..64)
+                    .map(|j| ((r * 64 + j) as f64).sin() * 3.0 + 3.5)
+                    .collect()
+            })
             .collect();
         let expect: Vec<f64> = (0..64)
             .map(|j| data.iter().map(|v| v[j]).sum::<f64>())
@@ -375,7 +430,12 @@ mod tests {
         let expect = [1.5 * 2.0 * -4.0, -2.0 * 3.0 * 0.5, 0.125 * -8.0 * 2.0];
         for j in 0..3 {
             let rel = (got[j] - expect[j]).abs() / expect[j].abs();
-            assert!(rel < 1e-5, "j={j} got={} expect={} rel={rel}", got[j], expect[j]);
+            assert!(
+                rel < 1e-5,
+                "j={j} got={} expect={} rel={rel}",
+                got[j],
+                expect[j]
+            );
         }
     }
 
@@ -393,18 +453,24 @@ mod tests {
         let expect = 1.1 * 0.9;
         let rel = |fmt: HfpFormat| -> f64 {
             let got = float_prod_roundtrip(2, fmt, &data);
-            got.iter().map(|g| ((g - expect) / expect).abs()).sum::<f64>() / 8.0
+            got.iter()
+                .map(|g| ((g - expect) / expect).abs())
+                .sum::<f64>()
+                / 8.0
         };
         let r16 = rel(HfpFormat::fp16(0, 0));
         let r64 = rel(HfpFormat::fp64(0, 0));
-        assert!(r64 < r16 / 1e6, "fp64 {r64} must be far tighter than fp16 {r16}");
+        assert!(
+            r64 < r16 / 1e6,
+            "fp64 {r64} must be far tighter than fp16 {r16}"
+        );
     }
 
     #[test]
     fn float_sum_exp_small_range() {
         let keys = keys(2);
         let scheme = FloatSumExp::new(HfpFormat::fp64(0, 0));
-        let data = vec![vec![0.5, -0.25, 0.01], vec![0.1, 0.05, -0.02]];
+        let data = [vec![0.5, -0.25, 0.01], vec![0.1, 0.05, -0.02]];
         let (cew, cmw) = scheme.format().cipher_widths();
         let mut agg = vec![Hfp::one(cew, cmw); 3];
         let mut ct = Vec::new();
@@ -433,7 +499,9 @@ mod tests {
         let scheme = FloatSumExp::new(HfpFormat::fp64(0, 0));
         let mut out = Vec::new();
         // e^1000 overflows f64.
-        assert!(scheme.encrypt_f64(&keys[0], 0, &[1000.0], &mut out).is_err());
+        assert!(scheme
+            .encrypt_f64(&keys[0], 0, &[1000.0], &mut out)
+            .is_err());
     }
 
     #[test]

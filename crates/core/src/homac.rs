@@ -62,7 +62,7 @@ pub struct Homac {
 
 impl Homac {
     pub fn generate(seed: u64, backend: Backend) -> Homac {
-        let mut rng = crate::rng::KeyRng::new(seed ^ 0x486f_4d41_43_u64); // "HoMAC"
+        let mut rng = crate::rng::KeyRng::new(seed ^ 0x48_6f_4d_41_43_u64); // "HoMAC"
         let z = rng.next_u64() % (HOMAC_P - 2) + 2;
         let z_inv = pow_p(z, HOMAC_P - 2);
         debug_assert_eq!(mul_p(z, z_inv), 1);
@@ -91,7 +91,10 @@ impl Homac {
                 let s = if keys.is_last() {
                     self.s_at(keys.base_own(), j)
                 } else {
-                    sub_p(self.s_at(keys.base_own(), j), self.s_at(keys.base_next(), j))
+                    sub_p(
+                        self.s_at(keys.base_own(), j),
+                        self.s_at(keys.base_next(), j),
+                    )
                 };
                 mul_p(sub_p(s, c_res), self.z_inv)
             })

@@ -21,13 +21,19 @@ pub struct Scratch<W> {
 
 impl<W: RingWord> Default for Scratch<W> {
     fn default() -> Self {
-        Scratch { own: Vec::new(), next: Vec::new() }
+        Scratch {
+            own: Vec::new(),
+            next: Vec::new(),
+        }
     }
 }
 
 impl<W: RingWord> Scratch<W> {
     pub fn with_capacity(n: usize) -> Self {
-        Scratch { own: vec![W::zero(); n], next: vec![W::zero(); n] }
+        Scratch {
+            own: vec![W::zero(); n],
+            next: vec![W::zero(); n],
+        }
     }
 
     fn ensure(&mut self, n: usize) {
@@ -328,10 +334,7 @@ mod tests {
             }
         }
         run::<u32>(3, &[vec![2, 7, 0], vec![5, 3, 9], vec![4, 1, 6]]);
-        run::<u64>(
-            2,
-            &[vec![1 << 40, 12345, u64::MAX], vec![3, 99999, 2]],
-        );
+        run::<u64>(2, &[vec![1 << 40, 12345, u64::MAX], vec![3, 99999, 2]]);
     }
 
     #[test]
@@ -354,7 +357,7 @@ mod tests {
         let keys = CommKeys::generate(4, 6, Backend::AesSoft);
         let mut scratch = Scratch::default();
         let data: Vec<Vec<u64>> = (0..4)
-            .map(|r| (0..7).map(|j| (r as u64) << 32 | j * 77).collect())
+            .map(|r| (0..7).map(|j| ((r as u64) << 32) | (j * 77)).collect())
             .collect();
         let mut agg = vec![0u64; 7];
         for (rank, keys) in keys.iter().enumerate() {
@@ -401,7 +404,10 @@ mod tests {
         keys[0].advance();
         let mut c2 = plain.clone();
         IntSum::encrypt_in_place(&keys[0], 0, &mut c2, &mut scratch);
-        assert_ne!(c1, c2, "same plaintext must encrypt differently across calls");
+        assert_ne!(
+            c1, c2,
+            "same plaintext must encrypt differently across calls"
+        );
     }
 
     #[test]
@@ -411,7 +417,10 @@ mod tests {
         let mut buf = vec![7u32; 64];
         IntSum::encrypt_in_place(&keys[0], 0, &mut buf, &mut scratch);
         let distinct: std::collections::HashSet<u32> = buf.iter().copied().collect();
-        assert!(distinct.len() > 60, "vector positions must use distinct noise");
+        assert!(
+            distinct.len() > 60,
+            "vector positions must use distinct noise"
+        );
     }
 
     #[test]
@@ -423,7 +432,10 @@ mod tests {
         let mut c1 = plain.clone();
         IntSum::encrypt_in_place(&keys[0], 0, &mut c0, &mut scratch);
         IntSum::encrypt_in_place(&keys[1], 0, &mut c1, &mut scratch);
-        assert_ne!(c0, c1, "different ranks must use different noise (global safety)");
+        assert_ne!(
+            c0, c1,
+            "different ranks must use different noise (global safety)"
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl CommKeys {
         backend: Backend,
     ) -> (Vec<CommKeys>, KeyRegistry) {
         assert!(world >= 1, "communicator needs at least one rank");
-        assert!(backend.is_available(), "PRF backend not available on this CPU");
+        assert!(
+            backend.is_available(),
+            "PRF backend not available on this CPU"
+        );
         let mut rng = KeyRng::new(seed);
         let ks: Vec<u64> = (0..world).map(|_| rng.next_u64()).collect();
         let kc = rng.next_u64();
@@ -211,8 +214,8 @@ mod tests {
     #[test]
     fn registry_matches_rank_views() {
         let (mut keys, mut reg) = CommKeys::generate_with_registry(5, 7, Backend::AesSoft);
-        for i in 0..5 {
-            assert_eq!(reg.base_of(i), keys[i].base_own());
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(reg.base_of(i), k.base_own());
         }
         // Registry advances in lockstep.
         reg.advance();

@@ -69,7 +69,10 @@ fn cipher_fraction(sig_x: u64, sig_f: u64, to_mw: u32) -> u64 {
 ///
 /// Memory: `2^{mw_plain + mw_cipher}` u32 counters — keep widths ≤ 12.
 pub fn map_adversary(mw_plain: u32, mw_noise: u32, mw_cipher: u32) -> MapStats {
-    assert!(mw_plain + mw_cipher <= 26, "count table would exceed memory budget");
+    assert!(
+        mw_plain + mw_cipher <= 26,
+        "count table would exceed memory budget"
+    );
     let nx = 1usize << mw_plain;
     let nf = 1usize << mw_noise;
     let nc = 1usize << mw_cipher;
@@ -135,11 +138,18 @@ mod tests {
         for s in [&s8, &s10] {
             assert!(s.avg > s.uniform, "MAP must beat blind guessing");
             assert!(s.edge_ratio() < 4.0, "edge {} too large", s.edge_ratio());
-            assert!(s.edge_ratio() > 1.5, "edge {} implausibly small", s.edge_ratio());
+            assert!(
+                s.edge_ratio() > 1.5,
+                "edge {} implausibly small",
+                s.edge_ratio()
+            );
             assert!(s.max >= s.avg && s.avg >= s.min);
         }
         let drift = (s8.edge_ratio() - s10.edge_ratio()).abs();
-        assert!(drift < 0.5, "edge ratio should be width-stable, drift {drift}");
+        assert!(
+            drift < 0.5,
+            "edge ratio should be width-stable, drift {drift}"
+        );
     }
 
     #[test]

@@ -38,7 +38,11 @@ impl Workload {
     }
 
     fn allocation(&self, machine: Machine) -> Allocation {
-        Allocation { machine, nodes: self.nodes, ppn: self.ppn }
+        Allocation {
+            machine,
+            nodes: self.nodes,
+            ppn: self.ppn,
+        }
     }
 }
 
@@ -93,7 +97,11 @@ pub fn paper_workloads() -> [Workload; 4] {
 /// encoder is "an order of magnitude faster than the Aries NIC bandwidth
 /// of 0.347 GB/s/core" (§6) — ~3.5 GB/s/core.
 pub fn float_crypto_paper() -> CryptoRates {
-    CryptoRates { enc_bps: 3.5e9, dec_bps: 3.5e9, per_call: 0.3e-6 }
+    CryptoRates {
+        enc_bps: 3.5e9,
+        dec_bps: 3.5e9,
+        per_call: 0.3e-6,
+    }
 }
 
 /// Simulated time of one training iteration.
@@ -133,6 +141,35 @@ mod tests {
             .iter()
             .map(|w| (w.name, relative_time(w, machine, &crypto)))
             .collect()
+    }
+
+    #[test]
+    fn random_workloads_have_positive_bounded_overhead() {
+        // Random workload perturbations from the testkit PRNG: HEAR's
+        // relative time must stay > 1 (crypto is never free) and the
+        // absolute overhead must never exceed the serial encrypt+decrypt
+        // bound (it is added un-overlapped in the Fig. 9 model).
+        let machine = Machine::piz_daint();
+        let crypto = float_crypto_paper();
+        let mut rng = hear_testkit::TestRng::seed_from_u64(0xd22);
+        for _ in 0..16 {
+            let w = Workload {
+                name: "random",
+                nodes: rng.gen_range(2usize..=16),
+                ppn: rng.gen_range(1usize..=36),
+                allreduce_bytes: rng.gen_range(1.0e6f64..500.0e6),
+                allreduce_calls: rng.gen_range(1usize..=8),
+                other_comm: rng.gen_range(0.0f64..0.2),
+                compute: rng.gen_range(0.01f64..1.0),
+            };
+            let base = iteration_time(&w, machine, None);
+            let hear = iteration_time(&w, machine, Some(&crypto));
+            assert!(base > 0.0 && hear > base, "{w:?}");
+            let eff = crypto.effective_at_ppn(&machine, w.ppn);
+            let bound = w.allreduce_bytes * (1.0 / eff.enc_bps + 1.0 / eff.dec_bps)
+                + crypto.per_call * w.allreduce_calls as f64;
+            assert!(hear - base <= bound * 1.0001, "{w:?}");
+        }
     }
 
     #[test]
@@ -189,7 +226,11 @@ mod tests {
         let fast = relative_time(
             &w,
             machine,
-            &CryptoRates { enc_bps: 50e9, dec_bps: 50e9, per_call: 0.0 },
+            &CryptoRates {
+                enc_bps: 50e9,
+                dec_bps: 50e9,
+                per_call: 0.0,
+            },
         );
         assert!(fast < slow);
     }

@@ -109,11 +109,13 @@ impl F16 {
     }
 
     /// Native f16 addition (computed exactly in f64, rounded once back).
+    #[allow(clippy::should_implement_trait)] // named after the MPI op, not std::ops
     pub fn add(self, other: F16) -> F16 {
         F16::from_f64(self.to_f64() + other.to_f64())
     }
 
     /// Native f16 multiplication (exact in f64, single rounding back).
+    #[allow(clippy::should_implement_trait)] // named after the MPI op, not std::ops
     pub fn mul(self, other: F16) -> F16 {
         F16::from_f64(self.to_f64() * other.to_f64())
     }

@@ -57,12 +57,20 @@ impl HfpFormat {
     pub fn new(le: u32, lm: u32, delta: u32, gamma: u32) -> Self {
         assert!(le >= 2 && le + delta <= 16, "exponent width out of range");
         assert!(lm >= delta, "mantissa must be at least δ bits");
-        assert!(lm <= 52, "plaintext mantissas above 52 bits are unsupported");
+        assert!(
+            lm <= 52,
+            "plaintext mantissas above 52 bits are unsupported"
+        );
         assert!(
             lm - delta + gamma <= 52,
             "ciphertext mantissas above 52 bits are unsupported"
         );
-        HfpFormat { le, lm, delta, gamma }
+        HfpFormat {
+            le,
+            lm,
+            delta,
+            gamma,
+        }
     }
 
     /// IEEE-half-like plaintext layout (l_e = 5, l_m = 10), as in Table 3.
@@ -126,11 +134,23 @@ pub struct Hfp {
 
 impl Hfp {
     pub fn zero(ew: u32, mw: u32) -> Self {
-        Hfp { sign: false, exp: 0, sig: 0, ew, mw }
+        Hfp {
+            sign: false,
+            exp: 0,
+            sig: 0,
+            ew,
+            mw,
+        }
     }
 
     pub fn one(ew: u32, mw: u32) -> Self {
-        Hfp { sign: false, exp: 0, sig: 1 << mw, ew, mw }
+        Hfp {
+            sign: false,
+            exp: 0,
+            sig: 1 << mw,
+            ew,
+            mw,
+        }
     }
 
     /// The smallest positive magnitude: `1.0 × 2^{-2^{ew-1}}`. Input zeros
@@ -191,7 +211,13 @@ impl Hfp {
         if exp > max_e {
             return Err(HfpError::ExponentOverflow(exp));
         }
-        Ok(Hfp { sign, exp: ring_from_i64(exp, ew), sig, ew, mw })
+        Ok(Hfp {
+            sign,
+            exp: ring_from_i64(exp, ew),
+            sig,
+            ew,
+            mw,
+        })
     }
 
     /// Decode to `f64`, interpreting the exponent as two's complement of
@@ -230,9 +256,7 @@ impl Hfp {
     pub fn to_bits(&self) -> u128 {
         assert!(!self.is_zero(), "HFP zero has no wire encoding");
         let frac = (self.sig - (1u64 << self.mw)) as u128;
-        ((self.sign as u128) << (self.ew + self.mw))
-            | ((self.exp as u128) << self.mw)
-            | frac
+        ((self.sign as u128) << (self.ew + self.mw)) | ((self.exp as u128) << self.mw) | frac
     }
 
     /// Unpack from the on-wire layout with the given widths.
@@ -240,7 +264,13 @@ impl Hfp {
         let frac = (bits & ((1u128 << mw) - 1)) as u64;
         let exp = ((bits >> mw) as u64) & mask(ew);
         let sign = (bits >> (ew + mw)) & 1 == 1;
-        Hfp { sign, exp, sig: (1u64 << mw) | frac, ew, mw }
+        Hfp {
+            sign,
+            exp,
+            sig: (1u64 << mw) | frac,
+            ew,
+            mw,
+        }
     }
 }
 
@@ -315,14 +345,20 @@ mod tests {
     #[test]
     fn nan_inf_rejected() {
         assert_eq!(Hfp::from_f64(f64::NAN, 8, 23), Err(HfpError::NonFinite));
-        assert_eq!(Hfp::from_f64(f64::INFINITY, 8, 23), Err(HfpError::NonFinite));
+        assert_eq!(
+            Hfp::from_f64(f64::INFINITY, 8, 23),
+            Err(HfpError::NonFinite)
+        );
     }
 
     #[test]
     fn exponent_overflow_detected() {
         // 2^200 does not fit an 8-bit exponent (max 127).
         let v = f64::powi(2.0, 200);
-        assert_eq!(Hfp::from_f64(v, 8, 23), Err(HfpError::ExponentOverflow(200)));
+        assert_eq!(
+            Hfp::from_f64(v, 8, 23),
+            Err(HfpError::ExponentOverflow(200))
+        );
         // But fits a 11-bit exponent.
         assert!(Hfp::from_f64(v, 11, 52).is_ok());
     }

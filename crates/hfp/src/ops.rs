@@ -47,7 +47,13 @@ fn normalize_round(r: u128, base_exp: u64, sign: bool, ew: u32, mw: u32) -> Hfp 
         sig >>= 1;
         exp = ring_add(exp, 1, ew);
     }
-    Hfp { sign, exp, sig, ew, mw }
+    Hfp {
+        sign,
+        exp,
+        sig,
+        ew,
+        mw,
+    }
 }
 
 /// The ⊗ operator (Eq. 5): signs add mod 2, exponents add on the output
@@ -118,7 +124,11 @@ pub fn recip(b: &Hfp, out_ew: u32, out_mw: u32) -> Hfp {
 /// floating-point addition, with every exponent adjustment on the ring.
 #[inline]
 pub fn add(a: &Hfp, b: &Hfp) -> Hfp {
-    assert_eq!((a.ew, a.mw), (b.ew, b.mw), "HFP addition requires equal widths");
+    assert_eq!(
+        (a.ew, a.mw),
+        (b.ew, b.mw),
+        "HFP addition requires equal widths"
+    );
     let (ew, mw) = (a.ew, a.mw);
     if a.is_zero() {
         return *b;
@@ -217,7 +227,13 @@ mod tests {
     #[test]
     fn mul_exponent_wraps_on_ring() {
         // 2^100 × 2^100 wraps the 8-bit ring: 200 mod 256 = 200 → signed -56.
-        let a = Hfp { sign: false, exp: ring_from_i64(100, 8), sig: 1 << 23, ew: 8, mw: 23 };
+        let a = Hfp {
+            sign: false,
+            exp: ring_from_i64(100, 8),
+            sig: 1 << 23,
+            ew: 8,
+            mw: 23,
+        };
         let r = mul(&a, &a, 8, 23);
         assert_eq!(r.exponent(), to_signed_check(200, 8));
         assert!(r.is_canonical());
@@ -324,8 +340,20 @@ mod tests {
         // long as the true gap is below half the ring. Gap here: 130-(-120)
         // = 250 > 128 — deliberately ambiguous, so instead test a valid one:
         // exponents 100 and 120 (gap 20).
-        let a = Hfp { sign: false, exp: ring_from_i64(120, 8), sig: 1 << 23, ew: 8, mw: 23 };
-        let b = Hfp { sign: false, exp: ring_from_i64(100, 8), sig: 1 << 23, ew: 8, mw: 23 };
+        let a = Hfp {
+            sign: false,
+            exp: ring_from_i64(120, 8),
+            sig: 1 << 23,
+            ew: 8,
+            mw: 23,
+        };
+        let b = Hfp {
+            sign: false,
+            exp: ring_from_i64(100, 8),
+            sig: 1 << 23,
+            ew: 8,
+            mw: 23,
+        };
         let r = add(&a, &b);
         // 2^120 + 2^100 ≈ 2^120 (the 2^100 is far below the mantissa).
         assert_eq!(r.exponent(), 120);

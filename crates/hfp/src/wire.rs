@@ -51,7 +51,12 @@ impl PackedHfp {
                 words[w + 1] |= raw >> (64 - off);
             }
         }
-        PackedHfp { ew, mw, len: values.len(), words }
+        PackedHfp {
+            ew,
+            mw,
+            len: values.len(),
+            words,
+        }
     }
 
     /// Unpack back into ciphertext values.
@@ -109,7 +114,7 @@ mod tests {
         let v = vals(100, 10, 23);
         let p = PackedHfp::pack(&v);
         assert_eq!(p.unpack(), v);
-        assert_eq!(p.wire_bytes(), (34 * 100 + 7) / 8);
+        assert_eq!(p.wire_bytes(), (34usize * 100).div_ceil(8));
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub fn measure_phases(
     iters: u32,
     encrypted: bool,
 ) -> PhaseBreakdown {
-    let mut b = PhaseBreakdown { iterations: iters, ..Default::default() };
+    let mut b = PhaseBreakdown {
+        iterations: iters,
+        ..Default::default()
+    };
     // The scratch is part of libhear's persistent state (memory pool), not
     // of the per-call critical path.
     let mut scratch = Scratch::with_capacity(elems);
@@ -118,7 +121,10 @@ mod tests {
     fn baseline_has_no_crypto_time() {
         let b = run_breakdown(Backend::AesSoft, false);
         // encrypt/decrypt phases exist but contain only the timestamp takes.
-        assert!(b.encrypt < b.comm, "baseline encrypt phase should be negligible");
+        assert!(
+            b.encrypt < b.comm,
+            "baseline encrypt phase should be negligible"
+        );
         assert!(b.crypto_overhead_pct() < 50.0);
     }
 

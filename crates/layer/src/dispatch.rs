@@ -121,7 +121,10 @@ impl SecureComm {
         if let Err(u) = op.support() {
             return Err(DispatchError::Insecure(u));
         }
-        let mismatch = || DispatchError::TypeMismatch { datatype: data.datatype_name(), op };
+        let mismatch = || DispatchError::TypeMismatch {
+            datatype: data.datatype_name(),
+            op,
+        };
         match (data, op) {
             // --- SUM ----------------------------------------------------
             (TypedSlice::U8(s), MpiOp::Sum) => Ok(TypedVec::U8(self.allreduce_sum_u8(s))),
@@ -130,9 +133,7 @@ impl SecureComm {
             (TypedSlice::U64(s), MpiOp::Sum) => Ok(TypedVec::U64(self.allreduce_sum_u64(s))),
             (TypedSlice::I32(s), MpiOp::Sum) => Ok(TypedVec::I32(self.allreduce_sum_i32(s))),
             (TypedSlice::I64(s), MpiOp::Sum) => Ok(TypedVec::I64(self.allreduce_sum_i64(s))),
-            (TypedSlice::F32(s), MpiOp::Sum) => {
-                Ok(TypedVec::F32(self.allreduce_f32_sum(2, s)?))
-            }
+            (TypedSlice::F32(s), MpiOp::Sum) => Ok(TypedVec::F32(self.allreduce_f32_sum(2, s)?)),
             (TypedSlice::F64(s), MpiOp::Sum) => Ok(TypedVec::F64(
                 self.allreduce_float_sum(HfpFormat::fp64(2, 2), s)?,
             )),
@@ -186,10 +187,18 @@ mod tests {
         let results = Simulator::new(2).run(|comm| {
             let mut sc = secure(comm, 1);
             let r = comm.rank() as u32 + 1;
-            let a = sc.allreduce_typed(TypedSlice::U32(&[r]), MpiOp::Sum).unwrap();
-            let b = sc.allreduce_typed(TypedSlice::I64(&[-(r as i64)]), MpiOp::Sum).unwrap();
-            let c = sc.allreduce_typed(TypedSlice::U64(&[r as u64 + 1]), MpiOp::Prod).unwrap();
-            let d = sc.allreduce_typed(TypedSlice::U32(&[0xF0F0 * r]), MpiOp::Bxor).unwrap();
+            let a = sc
+                .allreduce_typed(TypedSlice::U32(&[r]), MpiOp::Sum)
+                .unwrap();
+            let b = sc
+                .allreduce_typed(TypedSlice::I64(&[-(r as i64)]), MpiOp::Sum)
+                .unwrap();
+            let c = sc
+                .allreduce_typed(TypedSlice::U64(&[r as u64 + 1]), MpiOp::Prod)
+                .unwrap();
+            let d = sc
+                .allreduce_typed(TypedSlice::U32(&[0xF0F0 * r]), MpiOp::Bxor)
+                .unwrap();
             let e = sc
                 .allreduce_typed(TypedSlice::F32(&[1.5 * r as f32]), MpiOp::Sum)
                 .unwrap();
@@ -256,7 +265,10 @@ mod tests {
             sc.allreduce_typed(TypedSlice::F64(&[f64::NAN]), MpiOp::Sum)
                 .unwrap_err()
         });
-        assert!(matches!(results[0], DispatchError::Hfp(HfpError::NonFinite)));
+        assert!(matches!(
+            results[0],
+            DispatchError::Hfp(HfpError::NonFinite)
+        ));
     }
 
     #[test]

@@ -448,7 +448,11 @@ mod tests {
     fn bcast_encrypted_delivers_and_hides() {
         let results = Simulator::new(4).run(|comm| {
             let mut sc = secure(comm, 5);
-            let payload = if comm.rank() == 1 { vec![0xDEAD_BEEF, 42] } else { vec![] };
+            let payload = if comm.rank() == 1 {
+                vec![0xDEAD_BEEF, 42]
+            } else {
+                vec![]
+            };
             sc.bcast_encrypted(1, payload)
         });
         for r in &results {
@@ -541,15 +545,11 @@ mod complex_prod_tests {
             let mut sc = SecureComm::new(comm.clone(), keys);
             // Per-rank factors with varied magnitude and phase.
             let r = comm.rank() as f64;
-            let z = [
-                (1.1 + 0.1 * r, 0.2 * r - 0.3),
-                (0.8, -0.5 + 0.1 * r),
-            ];
+            let z = [(1.1 + 0.1 * r, 0.2 * r - 0.3), (0.8, -0.5 + 0.1 * r)];
             let got = sc.allreduce_complex_prod(&z).unwrap();
             // Plaintext reference through the same communicator.
-            let reference = comm.allreduce(&z.to_vec(), |a, b| {
-                (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
-            });
+            let reference =
+                comm.allreduce(&z, |a, b| (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0));
             (got, reference)
         });
         for (got, reference) in &results {
@@ -575,7 +575,8 @@ mod complex_prod_tests {
                 .unwrap();
             let mut sc = SecureComm::new(comm.clone(), keys);
             let theta = std::f64::consts::TAU / world as f64;
-            sc.allreduce_complex_prod(&[(theta.cos(), theta.sin())]).unwrap()
+            sc.allreduce_complex_prod(&[(theta.cos(), theta.sin())])
+                .unwrap()
         });
         for r in &results {
             assert!((r[0].0 - 1.0).abs() < 1e-3, "{:?}", r[0]);
@@ -603,7 +604,9 @@ mod scatter_alltoall_tests {
         let results = Simulator::new(4).run(|comm| {
             let mut sc = secure(comm, 31);
             let chunks = if comm.rank() == 2 {
-                (0..4).map(|r| vec![r as u32 * 10, r as u32 * 10 + 1]).collect()
+                (0..4)
+                    .map(|r| vec![r as u32 * 10, r as u32 * 10 + 1])
+                    .collect()
             } else {
                 Vec::new()
             };

@@ -16,7 +16,7 @@ pub mod pool;
 pub mod secure;
 
 pub use breakdown::{measure_phases, PhaseBreakdown};
-pub use pool::{AlignedBuf, MemoryPool};
 pub use dispatch::{DispatchError, TypedSlice, TypedVec};
 pub use extensions::SecureP2p;
+pub use pool::{AlignedBuf, MemoryPool};
 pub use secure::{ReduceAlgo, SecureComm, Tagged, VerificationError};

@@ -6,8 +6,8 @@
 //! page-aligned so the MPI layer's RDMA registration (memory pinning) can
 //! be amortized.
 
-use parking_lot::Mutex;
 use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 pub const PAGE: usize = 4096;
 
@@ -77,6 +77,13 @@ pub struct MemoryPool {
     free: Mutex<Vec<AlignedBuf>>,
 }
 
+/// Lock ignoring poisoning: a panicking worker must not wedge the pool for
+/// the surviving ranks (matches the `parking_lot` semantics this module
+/// started with).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl MemoryPool {
     /// Pre-allocate `blocks` buffers of `block_bytes` each.
     pub fn new(block_bytes: usize, blocks: usize) -> Self {
@@ -92,23 +99,26 @@ impl MemoryPool {
 
     /// Number of blocks currently available.
     pub fn available(&self) -> usize {
-        self.free.lock().len()
+        lock_unpoisoned(&self.free).len()
     }
 
     /// Take a block; falls back to a fresh allocation when the pool is
     /// exhausted (the paper-accurate behaviour is to size the pool for the
     /// pipeline depth so this never happens on the hot path).
     pub fn take(&self) -> AlignedBuf {
-        self.free
-            .lock()
+        lock_unpoisoned(&self.free)
             .pop()
             .unwrap_or_else(|| AlignedBuf::new(self.block_bytes))
     }
 
     /// Return a block to the pool.
     pub fn put(&self, buf: AlignedBuf) {
-        assert_eq!(buf.len(), self.block_bytes, "foreign block returned to pool");
-        self.free.lock().push(buf);
+        assert_eq!(
+            buf.len(),
+            self.block_bytes,
+            "foreign block returned to pool"
+        );
+        lock_unpoisoned(&self.free).push(buf);
     }
 }
 

@@ -11,8 +11,8 @@
 //! including the INC switch tree — only ever sees ciphertexts.
 
 use hear_core::{
-    CommKeys, FixedCodec, FloatProd, FloatSum, FloatSumExp, Hfp, HfpFormat, Homac, IntProd,
-    IntSum, IntXor, RingWord, Scratch,
+    CommKeys, FixedCodec, FloatProd, FloatSum, FloatSumExp, Hfp, HfpFormat, Homac, IntProd, IntSum,
+    IntXor, RingWord, Scratch,
 };
 use hear_mpi::Communicator;
 
@@ -34,7 +34,10 @@ pub struct VerificationError;
 
 impl std::fmt::Display for VerificationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "HoMAC verification failed: the network tampered with the reduction")
+        write!(
+            f,
+            "HoMAC verification failed: the network tampered with the reduction"
+        )
     }
 }
 
@@ -62,7 +65,11 @@ pub struct SecureComm {
 
 impl SecureComm {
     pub fn new(comm: Communicator, keys: CommKeys) -> Self {
-        assert_eq!(comm.world(), keys.world(), "keys generated for a different communicator");
+        assert_eq!(
+            comm.world(),
+            keys.world(),
+            "keys generated for a different communicator"
+        );
         assert_eq!(comm.rank(), keys.rank(), "keys belong to a different rank");
         SecureComm {
             comm,
@@ -157,13 +164,19 @@ impl SecureComm {
     /// `MPI_Allreduce(MPI_INT, MPI_SUM)` — the paper's headline datatype.
     pub fn allreduce_sum_i32(&mut self, data: &[i32]) -> Vec<i32> {
         let lanes = hear_core::word::as_unsigned_i32(data);
-        self.allreduce_sum_u32(lanes).into_iter().map(|v| v as i32).collect()
+        self.allreduce_sum_u32(lanes)
+            .into_iter()
+            .map(|v| v as i32)
+            .collect()
     }
 
     /// `MPI_Allreduce(MPI_INT64_T, MPI_SUM)`.
     pub fn allreduce_sum_i64(&mut self, data: &[i64]) -> Vec<i64> {
         let lanes = hear_core::word::as_unsigned_i64(data);
-        self.allreduce_sum_u64(lanes).into_iter().map(|v| v as i64).collect()
+        self.allreduce_sum_u64(lanes)
+            .into_iter()
+            .map(|v| v as i64)
+            .collect()
     }
 
     /// `MPI_Allreduce(MPI_UINT32_T, MPI_PROD)`.
@@ -253,7 +266,9 @@ impl SecureComm {
         let mut lanes = Vec::new();
         codec.encode_slice(data, &mut lanes);
         let agg = self.allreduce_prod_u64(&lanes);
-        agg.iter().map(|l| codec.decode_prod(*l, self.world())).collect()
+        agg.iter()
+            .map(|l| codec.decode_prod(*l, self.world()))
+            .collect()
     }
 
     // ---- floats (§5.3) ---------------------------------------------------
@@ -275,7 +290,11 @@ impl SecureComm {
     }
 
     /// `MPI_Allreduce(MPI_FLOAT, MPI_SUM)` on f32 data (FP32 layout).
-    pub fn allreduce_f32_sum(&mut self, gamma: u32, data: &[f32]) -> Result<Vec<f32>, hear_core::HfpError> {
+    pub fn allreduce_f32_sum(
+        &mut self,
+        gamma: u32,
+        data: &[f32],
+    ) -> Result<Vec<f32>, hear_core::HfpError> {
         let wide: Vec<f64> = data.iter().map(|v| *v as f64).collect();
         let out = self.allreduce_float_sum(HfpFormat::fp32(2, gamma), &wide)?;
         Ok(out.into_iter().map(|v| v as f32).collect())
@@ -322,7 +341,10 @@ impl SecureComm {
         &mut self,
         data: &[u32],
     ) -> Result<Vec<u32>, VerificationError> {
-        let homac = self.homac.clone().expect("enable verification with with_homac()");
+        let homac = self
+            .homac
+            .clone()
+            .expect("enable verification with with_homac()");
         self.keys.advance();
         let mut buf = data.to_vec();
         IntSum::encrypt_in_place(&self.keys, 0, &mut buf, &mut self.scratch_u32);
@@ -429,8 +451,12 @@ mod tests {
         let results = Simulator::with_config(4, SimConfig::default().with_switch(4)).run(|comm| {
             let data: Vec<u32> = (0..50).map(|j| comm.rank() as u32 * 1000 + j).collect();
             let rd = secure(comm, 3).allreduce_sum_u32(&data);
-            let ring = secure(comm, 3).with_algo(ReduceAlgo::Ring).allreduce_sum_u32(&data);
-            let inc = secure(comm, 3).with_algo(ReduceAlgo::Switch).allreduce_sum_u32(&data);
+            let ring = secure(comm, 3)
+                .with_algo(ReduceAlgo::Ring)
+                .allreduce_sum_u32(&data);
+            let inc = secure(comm, 3)
+                .with_algo(ReduceAlgo::Switch)
+                .allreduce_sum_u32(&data);
             (rd, ring, inc)
         });
         for (rd, ring, inc) in &results {
@@ -442,8 +468,12 @@ mod tests {
     #[test]
     fn float_sum_over_the_network() {
         let results = Simulator::new(4).run(|comm| {
-            let data: Vec<f64> = (0..8).map(|j| (comm.rank() + 1) as f64 * 0.5 + j as f64).collect();
-            secure(comm, 4).allreduce_float_sum(HfpFormat::fp32(2, 2), &data).unwrap()
+            let data: Vec<f64> = (0..8)
+                .map(|j| (comm.rank() + 1) as f64 * 0.5 + j as f64)
+                .collect();
+            secure(comm, 4)
+                .allreduce_float_sum(HfpFormat::fp32(2, 2), &data)
+                .unwrap()
         });
         for got in &results {
             for (j, v) in got.iter().enumerate() {
@@ -557,7 +587,6 @@ mod tests {
         });
     }
 }
-
 
 #[cfg(test)]
 mod narrow_lane_tests {

@@ -10,7 +10,11 @@ use crate::comm::Communicator;
 
 /// Element-wise fold of `src` into `dst`.
 fn fold_into<T, F: Fn(&T, &T) -> T>(dst: &mut [T], src: &[T], op: &F) {
-    assert_eq!(dst.len(), src.len(), "reduction buffers must match in length");
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "reduction buffers must match in length"
+    );
     for (d, s) in dst.iter_mut().zip(src) {
         *d = op(d, s);
     }
@@ -240,9 +244,9 @@ impl Communicator {
         if self.rank() == root {
             let mut out = vec![Vec::new(); self.world()];
             out[root] = data;
-            for r in 0..self.world() {
+            for (r, slot) in out.iter_mut().enumerate() {
                 if r != root {
-                    out[r] = self.recv_internal::<T>(r, tag);
+                    *slot = self.recv_internal::<T>(r, tag);
                 }
             }
             out
@@ -289,9 +293,9 @@ impl Communicator {
                 self.send_internal(r, tag, chunk);
             }
         }
-        for r in 0..world {
+        for (r, slot) in out.iter_mut().enumerate() {
             if r != rank {
-                out[r] = self.recv_internal::<T>(r, tag);
+                *slot = self.recv_internal::<T>(r, tag);
             }
         }
         out
@@ -326,7 +330,11 @@ mod tests {
                     comm.bcast(root, data)
                 });
                 for (r, v) in results.iter().enumerate() {
-                    assert_eq!(*v, vec![42, 7, root as u32], "world={world} root={root} r={r}");
+                    assert_eq!(
+                        *v,
+                        vec![42, 7, root as u32],
+                        "world={world} root={root} r={r}"
+                    );
                 }
             }
         }
@@ -384,9 +392,8 @@ mod tests {
     #[test]
     fn allreduce_ring_short_vectors() {
         // len < world: some ranks own empty chunks.
-        let results = Simulator::new(5).run(|comm| {
-            comm.allreduce_ring(&[comm.rank() as u32 + 1, 100], |a, b| a + b)
-        });
+        let results = Simulator::new(5)
+            .run(|comm| comm.allreduce_ring(&[comm.rank() as u32 + 1, 100], |a, b| a + b));
         for v in &results {
             assert_eq!(*v, vec![15, 500]);
         }
@@ -529,7 +536,10 @@ impl Communicator {
     {
         let tag = self.next_coll_tag();
         let (world, rank) = (self.world(), self.rank());
-        assert!(world <= 128, "scan uses the 8-bit sub-tag space (dist <= 128)");
+        assert!(
+            world <= 128,
+            "scan uses the 8-bit sub-tag space (dist <= 128)"
+        );
         // `result` carries op over ranks 0..=rank; `partial` carries op
         // over the contiguous window ending at rank (what we forward).
         let mut result: Vec<T> = data.to_vec();
@@ -558,7 +568,10 @@ impl Communicator {
     {
         let tag = self.next_coll_tag();
         let (world, rank) = (self.world(), self.rank());
-        assert!(world <= 128, "exscan uses the 8-bit sub-tag space (dist <= 128)");
+        assert!(
+            world <= 128,
+            "exscan uses the 8-bit sub-tag space (dist <= 128)"
+        );
         // Shift the inclusive scan down one rank over a ring of sends.
         let inclusive = {
             // Inline inclusive scan with its own tag block offset to avoid
@@ -599,8 +612,7 @@ mod more_tests {
         for world in [1usize, 2, 3, 4, 5] {
             for len in [world, 2 * world + 1, 17] {
                 let results = Simulator::new(world).run(move |comm| {
-                    let data: Vec<u64> =
-                        (0..len as u64).map(|j| j + comm.rank() as u64).collect();
+                    let data: Vec<u64> = (0..len as u64).map(|j| j + comm.rank() as u64).collect();
                     comm.reduce_scatter(&data, |a, b| a + b)
                 });
                 // Expected: block r of the element-wise total.
@@ -625,9 +637,8 @@ mod more_tests {
     #[test]
     fn scan_inclusive_prefixes() {
         for world in [1usize, 2, 3, 5, 8] {
-            let results = Simulator::new(world).run(move |comm| {
-                comm.scan(&[comm.rank() as u64 + 1, 100], |a, b| a + b)
-            });
+            let results = Simulator::new(world)
+                .run(move |comm| comm.scan(&[comm.rank() as u64 + 1, 100], |a, b| a + b));
             for (r, got) in results.iter().enumerate() {
                 let expect: u64 = (1..=r as u64 + 1).sum();
                 assert_eq!(got[0], expect, "world={world} rank={r}");
@@ -644,23 +655,25 @@ mod more_tests {
         // associative? It is not; use matrix-like op: f(a,b)=a*10+b won't
         // be associative either. Use min-prefix instead (commutative but
         // order-revealing via distinct values per rank).
-        let results = Simulator::new(4).run(|comm| {
-            comm.scan(&[10u64 - comm.rank() as u64], |a, b| *a.min(b))
-        });
+        let results = Simulator::new(4)
+            .run(|comm| comm.scan(&[10u64 - comm.rank() as u64], |a, b| *a.min(b)));
         for (r, got) in results.iter().enumerate() {
-            assert_eq!(got[0], 10 - r as u64, "prefix min is the latest rank's value");
+            assert_eq!(
+                got[0],
+                10 - r as u64,
+                "prefix min is the latest rank's value"
+            );
         }
     }
 
     #[test]
     fn exscan_shifts_by_one() {
-        let results = Simulator::new(4).run(|comm| {
-            comm.exscan(&[comm.rank() as u64 + 1], |a, b| a + b)
-        });
+        let results =
+            Simulator::new(4).run(|comm| comm.exscan(&[comm.rank() as u64 + 1], |a, b| a + b));
         assert!(results[0].is_none());
-        for r in 1..4 {
+        for (r, res) in results.iter().enumerate().skip(1) {
             let expect: u64 = (1..=r as u64).sum();
-            assert_eq!(results[r].as_ref().unwrap()[0], expect);
+            assert_eq!(res.as_ref().unwrap()[0], expect);
         }
     }
 
@@ -675,5 +688,48 @@ mod more_tests {
         assert_eq!(results[0], (1, 3, None));
         assert_eq!(results[1], (2, 3, Some(1)));
         assert_eq!(results[2], (3, 3, Some(2)));
+    }
+
+    #[test]
+    fn allreduce_matches_reference_on_random_inputs() {
+        // Randomized cross-check of both allreduce algorithms against a
+        // locally computed reference. Input shapes and payloads come from
+        // the testkit PRNG; each rank derives its slice deterministically
+        // from (round, rank) so the reference can be rebuilt outside the
+        // simulator.
+        use hear_testkit::TestRng;
+        let mut shape_rng = TestRng::seed_from_u64(0x0c01_1ec7);
+        for round in 0..8u64 {
+            let world = shape_rng.gen_range(1usize..=5);
+            let len = shape_rng.gen_range(1usize..=64);
+            let rank_data = |rank: usize| -> Vec<u64> {
+                let mut r = TestRng::seed_from_u64((round << 8) | rank as u64);
+                let mut v = vec![0u64; len];
+                // Bounded so world·max never wraps.
+                for x in &mut v {
+                    *x = r.gen_range(0u64..1 << 40);
+                }
+                v
+            };
+            let expect: Vec<u64> = (0..len)
+                .map(|i| (0..world).map(|rank| rank_data(rank)[i]).sum())
+                .collect();
+            let results = Simulator::new(world).run(move |comm| {
+                let mine = rank_data(comm.rank());
+                let tree = comm.allreduce(&mine, |a, b| a + b);
+                let ring = comm.allreduce_ring(&mine, |a, b| a + b);
+                (tree, ring)
+            });
+            for (rank, (tree, ring)) in results.iter().enumerate() {
+                assert_eq!(
+                    tree, &expect,
+                    "round={round} world={world} rank={rank} (tree)"
+                );
+                assert_eq!(
+                    ring, &expect,
+                    "round={round} world={world} rank={rank} (ring)"
+                );
+            }
+        }
     }
 }

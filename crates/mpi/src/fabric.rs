@@ -9,10 +9,17 @@
 //! that is what gives communication a real cost that pipelining (Fig. 6)
 //! can hide.
 
-use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Lock ignoring poisoning: the fabric must stay usable when a sibling
+/// rank's thread panics mid-send (failure-injection tests rely on this,
+/// and it matches the `parking_lot` semantics this module started with).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Transit-cost model: `delay = alpha + beta_ns_per_byte × bytes`.
 #[derive(Debug, Clone, Copy)]
@@ -24,7 +31,10 @@ pub struct NetConfig {
 impl NetConfig {
     /// Zero-cost fabric (unit tests, functional runs).
     pub fn instant() -> Self {
-        NetConfig { alpha: Duration::ZERO, beta_ns_per_byte: 0.0 }
+        NetConfig {
+            alpha: Duration::ZERO,
+            beta_ns_per_byte: 0.0,
+        }
     }
 
     /// A per-rank share of a saturated Aries NIC at full PPN, matching the
@@ -59,6 +69,12 @@ struct MailboxState {
     queues: HashMap<(usize, u64), VecDeque<Envelope>>,
 }
 
+impl MailboxState {
+    fn pop_match(&mut self, source: usize, tag: u64) -> Option<Envelope> {
+        self.queues.get_mut(&(source, tag))?.pop_front()
+    }
+}
+
 /// One rank's inbound mailbox: MPMC with `(source, tag)` matching.
 #[derive(Default)]
 pub(crate) struct Mailbox {
@@ -68,25 +84,38 @@ pub(crate) struct Mailbox {
 
 impl Mailbox {
     pub fn deposit(&self, source: usize, tag: u64, env: Envelope) {
-        let mut st = self.state.lock();
+        let mut st = lock_unpoisoned(&self.state);
         st.queues.entry((source, tag)).or_default().push_back(env);
         self.signal.notify_all();
     }
 
     /// Block until a message matching `(source, tag)` is present, then take
     /// it, sleeping out any remaining modeled transit time.
+    ///
+    /// Arrival is polled with a bounded spin (yielding the core each miss)
+    /// before parking on the condition variable: `parking_lot` spun
+    /// adaptively before sleeping, and the pipelined allreduce path counts
+    /// on that fast wake for back-to-back block handoffs — parking
+    /// immediately adds a futex round-trip to every block and erases the
+    /// overlap win on small blocks.
     pub fn take(&self, source: usize, tag: u64) -> Envelope {
-        let env = {
-            let mut st = self.state.lock();
-            loop {
-                if let Some(q) = st.queues.get_mut(&(source, tag)) {
-                    if let Some(env) = q.pop_front() {
-                        break env;
-                    }
-                }
-                self.signal.wait(&mut st);
+        let mut early = None;
+        for _ in 0..128 {
+            if let Some(env) = lock_unpoisoned(&self.state).pop_match(source, tag) {
+                early = Some(env);
+                break;
             }
-        };
+            std::thread::yield_now();
+        }
+        let env = early.unwrap_or_else(|| {
+            let mut st = lock_unpoisoned(&self.state);
+            loop {
+                if let Some(env) = st.pop_match(source, tag) {
+                    break env;
+                }
+                st = self.signal.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        });
         let now = Instant::now();
         if env.available_at > now {
             std::thread::sleep(env.available_at - now);
@@ -98,7 +127,7 @@ impl Mailbox {
     #[cfg(test)]
     pub fn try_take(&self, source: usize, tag: u64) -> Option<Envelope> {
         let env = {
-            let mut st = self.state.lock();
+            let mut st = lock_unpoisoned(&self.state);
             st.queues.get_mut(&(source, tag))?.pop_front()?
         };
         let now = Instant::now();
@@ -143,17 +172,23 @@ impl Fabric {
         let available_at = if self.net.is_instant() {
             now
         } else {
-            let serialization = Duration::from_nanos(
-                (self.net.beta_ns_per_byte * bytes as f64) as u64,
-            );
-            let mut links = self.link_busy_until.lock();
+            let serialization =
+                Duration::from_nanos((self.net.beta_ns_per_byte * bytes as f64) as u64);
+            let mut links = lock_unpoisoned(&self.link_busy_until);
             let busy = links.entry((from, to)).or_insert(now);
             let start = (*busy).max(now);
             let done = start + serialization;
             *busy = done;
             done + self.net.alpha
         };
-        self.mailboxes[to].deposit(from, tag, Envelope { payload, available_at });
+        self.mailboxes[to].deposit(
+            from,
+            tag,
+            Envelope {
+                payload,
+                available_at,
+            },
+        );
     }
 }
 
@@ -167,7 +202,10 @@ mod tests {
         mb.deposit(
             3,
             7,
-            Envelope { payload: Box::new(vec![1u32, 2]), available_at: Instant::now() },
+            Envelope {
+                payload: Box::new(vec![1u32, 2]),
+                available_at: Instant::now(),
+            },
         );
         let env = mb.take(3, 7);
         let v = env.payload.downcast::<Vec<u32>>().unwrap();
@@ -178,8 +216,22 @@ mod tests {
     fn tag_matching_is_selective() {
         let mb = Mailbox::default();
         let now = Instant::now();
-        mb.deposit(0, 1, Envelope { payload: Box::new(10u8), available_at: now });
-        mb.deposit(0, 2, Envelope { payload: Box::new(20u8), available_at: now });
+        mb.deposit(
+            0,
+            1,
+            Envelope {
+                payload: Box::new(10u8),
+                available_at: now,
+            },
+        );
+        mb.deposit(
+            0,
+            2,
+            Envelope {
+                payload: Box::new(20u8),
+                available_at: now,
+            },
+        );
         assert!(mb.try_take(0, 3).is_none());
         assert_eq!(*mb.take(0, 2).payload.downcast::<u8>().unwrap(), 20);
         assert_eq!(*mb.take(0, 1).payload.downcast::<u8>().unwrap(), 10);
@@ -190,7 +242,14 @@ mod tests {
         let mb = Mailbox::default();
         let now = Instant::now();
         for i in 0..5u8 {
-            mb.deposit(1, 9, Envelope { payload: Box::new(i), available_at: now });
+            mb.deposit(
+                1,
+                9,
+                Envelope {
+                    payload: Box::new(i),
+                    available_at: now,
+                },
+            );
         }
         for i in 0..5u8 {
             assert_eq!(*mb.take(1, 9).payload.downcast::<u8>().unwrap(), i);
@@ -206,24 +265,37 @@ mod tests {
         mb.deposit(
             0,
             0,
-            Envelope { payload: Box::new(42u64), available_at: Instant::now() },
+            Envelope {
+                payload: Box::new(42u64),
+                available_at: Instant::now(),
+            },
         );
         assert_eq!(h.join().unwrap(), 42);
     }
 
     #[test]
     fn delay_model_enforced_on_take() {
-        let net = NetConfig { alpha: Duration::from_millis(30), beta_ns_per_byte: 0.0 };
+        let net = NetConfig {
+            alpha: Duration::from_millis(30),
+            beta_ns_per_byte: 0.0,
+        };
         let fab = Fabric::new(2, net);
         let t0 = Instant::now();
         fab.send_boxed(0, 1, 0, Box::new(1u8), 1);
         let _ = fab.mailboxes[1].take(0, 0);
-        assert!(t0.elapsed() >= Duration::from_millis(28), "elapsed {:?}", t0.elapsed());
+        assert!(
+            t0.elapsed() >= Duration::from_millis(28),
+            "elapsed {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]
     fn delay_formula() {
-        let net = NetConfig { alpha: Duration::from_nanos(1000), beta_ns_per_byte: 2.0 };
+        let net = NetConfig {
+            alpha: Duration::from_nanos(1000),
+            beta_ns_per_byte: 2.0,
+        };
         assert_eq!(net.delay_for(500), Duration::from_nanos(2000));
         assert!(NetConfig::instant().is_instant());
         assert!(!NetConfig::aries_per_rank().is_instant());

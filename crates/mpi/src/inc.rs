@@ -140,12 +140,18 @@ pub(crate) fn switch_node_service<T, F>(
     let sources: Vec<usize> = if is_leaf {
         topo.children[node].clone()
     } else {
-        topo.children[node].iter().map(|c| topo.base_endpoint + c).collect()
+        topo.children[node]
+            .iter()
+            .map(|c| topo.base_endpoint + c)
+            .collect()
     };
     let mut acc: Option<Vec<T>> = None;
     for &src in &sources {
         let env = fabric.mailboxes[me].take(src, tag);
-        let v = *env.payload.downcast::<Vec<T>>().expect("switch payload type");
+        let v = *env
+            .payload
+            .downcast::<Vec<T>>()
+            .expect("switch payload type");
         acc = Some(match acc {
             None => v,
             Some(mut a) => {
@@ -176,19 +182,34 @@ pub(crate) fn switch_node_service<T, F>(
             }
         }
     } else {
-        fabric.send_boxed(me, topo.base_endpoint + topo.parent[node], tag, Box::new(acc), bytes);
+        fabric.send_boxed(
+            me,
+            topo.base_endpoint + topo.parent[node],
+            tag,
+            Box::new(acc),
+            bytes,
+        );
     }
     // Downward multicast for non-root nodes.
     if node != topo.root() {
         let env = fabric.mailboxes[me].take(topo.base_endpoint + topo.parent[node], tag + 1);
-        let v = *env.payload.downcast::<Vec<T>>().expect("switch payload type");
+        let v = *env
+            .payload
+            .downcast::<Vec<T>>()
+            .expect("switch payload type");
         if is_leaf {
             for &r in &topo.children[node] {
                 fabric.send_boxed(me, r, tag + 1, Box::new(v.clone()), bytes);
             }
         } else {
             for &c in &topo.children[node] {
-                fabric.send_boxed(me, topo.base_endpoint + c, tag + 1, Box::new(v.clone()), bytes);
+                fabric.send_boxed(
+                    me,
+                    topo.base_endpoint + c,
+                    tag + 1,
+                    Box::new(v.clone()),
+                    bytes,
+                );
             }
         }
     }
@@ -220,7 +241,9 @@ impl Communicator {
         self.fabric
             .send_boxed(self.rank(), leaf, tag, Box::new(data.to_vec()), bytes);
         let env = self.fabric.mailboxes[self.rank()].take(leaf, tag + 1);
-        *env.payload.downcast::<Vec<T>>().expect("switch result type")
+        *env.payload
+            .downcast::<Vec<T>>()
+            .expect("switch result type")
     }
 }
 
@@ -258,14 +281,15 @@ mod tests {
     #[test]
     fn inc_allreduce_matches_host_allreduce() {
         for world in [1usize, 2, 3, 4, 5, 8, 9] {
-            let results = Simulator::with_config(world, SimConfig::default().with_switch(4))
-                .run(move |comm| {
+            let results = Simulator::with_config(world, SimConfig::default().with_switch(4)).run(
+                move |comm| {
                     let data: Vec<u64> =
                         (0..6).map(|j| (comm.rank() as u64 + 1) * 10 + j).collect();
                     let inc = comm.allreduce_inc(&data, |a: &u64, b: &u64| a + b);
                     let host = comm.allreduce(&data, |a, b| a + b);
                     (inc, host)
-                });
+                },
+            );
             for (inc, host) in &results {
                 assert_eq!(inc, host, "world={world}");
             }
@@ -275,10 +299,8 @@ mod tests {
     #[test]
     fn inc_allreduce_deep_tree() {
         // Radix 2 over 8 ranks: 3 switch levels.
-        let results =
-            Simulator::with_config(8, SimConfig::default().with_switch(2)).run(|comm| {
-                comm.allreduce_inc(&[comm.rank() as u32, 1], |a, b| a + b)
-            });
+        let results = Simulator::with_config(8, SimConfig::default().with_switch(2))
+            .run(|comm| comm.allreduce_inc(&[comm.rank() as u32, 1], |a, b| a + b));
         for v in &results {
             assert_eq!(*v, vec![28, 8]);
         }
@@ -286,14 +308,13 @@ mod tests {
 
     #[test]
     fn repeated_inc_collectives() {
-        let results =
-            Simulator::with_config(4, SimConfig::default().with_switch(4)).run(|comm| {
-                let mut acc = 0u64;
-                for i in 0..5u64 {
-                    acc += comm.allreduce_inc(&[i], |a, b| a + b)[0];
-                }
-                acc
-            });
+        let results = Simulator::with_config(4, SimConfig::default().with_switch(4)).run(|comm| {
+            let mut acc = 0u64;
+            for i in 0..5u64 {
+                acc += comm.allreduce_inc(&[i], |a, b| a + b)[0];
+            }
+            acc
+        });
         // Σ_{i<5} 4i = 40.
         for v in &results {
             assert_eq!(*v, 40);

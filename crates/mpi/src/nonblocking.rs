@@ -23,7 +23,9 @@ pub struct Request<R: Send + 'static> {
 impl<R: Send + 'static> Request<R> {
     /// Block until the operation completes and return its result.
     pub fn wait(self) -> R {
-        self.handle.join().expect("collective progress thread panicked")
+        self.handle
+            .join()
+            .expect("collective progress thread panicked")
     }
 
     /// True when the result is ready (wait will not block).
@@ -109,7 +111,10 @@ mod tests {
         });
         for (sum, ready) in &results {
             assert_eq!(*sum, 1);
-            assert!(ready, "request should have completed during the overlap window");
+            assert!(
+                ready,
+                "request should have completed during the overlap window"
+            );
         }
     }
 

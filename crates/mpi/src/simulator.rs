@@ -16,7 +16,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { net: NetConfig::instant(), switch_radix: None }
+        SimConfig {
+            net: NetConfig::instant(),
+            switch_radix: None,
+        }
     }
 }
 
@@ -55,9 +58,10 @@ impl Simulator {
         F: Fn(&Communicator) -> R + Send + Sync,
         R: Send,
     {
-        let topo = self.config.switch_radix.map(|radix| {
-            Arc::new(SwitchTopology::build(self.world, radix, self.world))
-        });
+        let topo = self
+            .config
+            .switch_radix
+            .map(|radix| Arc::new(SwitchTopology::build(self.world, radix, self.world)));
         let endpoints = self.world + topo.as_ref().map_or(0, |t| t.nodes);
         let fabric = Arc::new(Fabric::new(endpoints, self.config.net));
         let comms: Vec<Communicator> = (0..self.world)
@@ -68,10 +72,7 @@ impl Simulator {
             })
             .collect();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = comms
-                .iter()
-                .map(|comm| scope.spawn(|| f(comm)))
-                .collect();
+            let handles: Vec<_> = comms.iter().map(|comm| scope.spawn(|| f(comm))).collect();
             handles
                 .into_iter()
                 .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))

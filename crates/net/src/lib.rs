@@ -11,6 +11,6 @@ pub mod model;
 
 pub use machine::{CryptoRates, Machine};
 pub use model::{
-    best_algorithm, crossover_bytes, latency_with_noise, network_efficiency,
-    rd_allreduce_time, ring_allreduce_time, throughput_per_node, Algo, Allocation, LatencyPoint,
+    best_algorithm, crossover_bytes, latency_with_noise, network_efficiency, rd_allreduce_time,
+    ring_allreduce_time, throughput_per_node, Algo, Allocation, LatencyPoint,
 };

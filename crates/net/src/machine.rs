@@ -58,19 +58,31 @@ impl CryptoRates {
     /// The paper's hand-tuned AES-NI + SSE2 backend (9 / 18 GB/s per core,
     /// ~7% of a ~2 µs 16 B allreduce as fixed latency).
     pub fn aes_ni_paper() -> CryptoRates {
-        CryptoRates { enc_bps: 9.0e9, dec_bps: 18.0e9, per_call: 0.15e-6 }
+        CryptoRates {
+            enc_bps: 9.0e9,
+            dec_bps: 18.0e9,
+            per_call: 0.15e-6,
+        }
     }
 
     /// The paper's OpenSSL-SHA1 backend (< 1 GB/s, 75.5 % latency add).
     pub fn sha1_paper() -> CryptoRates {
-        CryptoRates { enc_bps: 0.8e9, dec_bps: 0.8e9, per_call: 1.6e-6 }
+        CryptoRates {
+            enc_bps: 0.8e9,
+            dec_bps: 0.8e9,
+            per_call: 1.6e-6,
+        }
     }
 
     /// Build from rates measured on this host (bytes/s), as produced by
     /// the fig5 harness.
     pub fn measured(enc_bps: f64, dec_bps: f64, per_call: f64) -> CryptoRates {
         assert!(enc_bps > 0.0 && dec_bps > 0.0 && per_call >= 0.0);
-        CryptoRates { enc_bps, dec_bps, per_call }
+        CryptoRates {
+            enc_bps,
+            dec_bps,
+            per_call,
+        }
     }
 
     /// Effective per-core rates once `ppn` cores hammer the shared memory

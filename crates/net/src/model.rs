@@ -29,10 +29,18 @@ impl Allocation {
     pub fn paper_scaling_points(machine: Machine) -> Vec<Allocation> {
         let mut out = Vec::new();
         for ranks in [2usize, 4, 8, 36, 72] {
-            out.push(Allocation { machine, nodes: 2, ppn: ranks / 2 });
+            out.push(Allocation {
+                machine,
+                nodes: 2,
+                ppn: ranks / 2,
+            });
         }
         for nodes in [4usize, 8, 16, 32] {
-            out.push(Allocation { machine, nodes, ppn: machine.cores_per_node });
+            out.push(Allocation {
+                machine,
+                nodes,
+                ppn: machine.cores_per_node,
+            });
         }
         out
     }
@@ -48,10 +56,7 @@ pub fn ring_allreduce_time(a: &Allocation, msg: f64, crypto: Option<&CryptoRates
     }
     // Bandwidth term: each rank pushes ~2·msg·(P−1)/P bytes through its
     // pipeline; the node NIC carries the boundary flows of its ppn ranks.
-    let per_rank_rate = a
-        .machine
-        .per_rank_rate
-        .min(a.machine.nic_bw / a.ppn as f64);
+    let per_rank_rate = a.machine.per_rank_rate.min(a.machine.nic_bw / a.ppn as f64);
     let volume = 2.0 * msg * (p - 1.0) / p;
     let mut t = volume / per_rank_rate;
     // Latency term: 2(P−1) steps; the fraction of ring hops crossing nodes
@@ -146,10 +151,34 @@ mod tests {
     use super::*;
 
     fn alloc(nodes: usize, ppn: usize) -> Allocation {
-        Allocation { machine: Machine::piz_daint(), nodes, ppn }
+        Allocation {
+            machine: Machine::piz_daint(),
+            nodes,
+            ppn,
+        }
     }
 
     const MIB16: f64 = 16.0 * 1024.0 * 1024.0;
+
+    #[test]
+    fn cost_model_invariants_hold_on_random_points() {
+        // Randomized sweep over (nodes, ppn, msg) from the testkit PRNG:
+        // times are finite and positive, adding crypto never makes an
+        // algorithm faster, and time is monotone in message size.
+        let mut rng = hear_testkit::TestRng::seed_from_u64(0x0e7_3057);
+        let aes = CryptoRates::aes_ni_paper();
+        for _ in 0..32 {
+            let a = alloc(rng.gen_range(1usize..=64), rng.gen_range(2usize..=36));
+            let msg = rng.gen_range(8.0f64..32e6);
+            for f in [ring_allreduce_time, rd_allreduce_time] {
+                let plain = f(&a, msg, None);
+                let hear = f(&a, msg, Some(&aes));
+                assert!(plain.is_finite() && plain > 0.0, "{a:?} msg={msg}");
+                assert!(hear >= plain, "crypto made it faster: {a:?} msg={msg}");
+                assert!(f(&a, msg * 2.0, None) >= plain, "{a:?} msg={msg}");
+            }
+        }
+    }
 
     #[test]
     fn native_peak_matches_paper() {
@@ -190,15 +219,26 @@ mod tests {
         let base = rd_allreduce_time(&a, 16.0, None);
         let aes_over = rd_allreduce_time(&a, 16.0, Some(&CryptoRates::aes_ni_paper())) - base;
         let sha_over = rd_allreduce_time(&a, 16.0, Some(&CryptoRates::sha1_paper())) - base;
-        assert!(sha_over / aes_over > 5.0, "sha {sha_over} vs aes {aes_over}");
-        assert!(aes_over / base < 0.5, "AES overhead must be a small fraction");
+        assert!(
+            sha_over / aes_over > 5.0,
+            "sha {sha_over} vs aes {aes_over}"
+        );
+        assert!(
+            aes_over / base < 0.5,
+            "AES overhead must be a small fraction"
+        );
         assert!(sha_over / base > 1.0, "SHA overhead must dominate the call");
         // And throughput: at moderate PPN (crypto not yet memory-bound)
         // AES sustains more than SHA.
         let a = alloc(2, 4);
         let aes = throughput_per_node(&a, MIB16, Some(&CryptoRates::aes_ni_paper()));
         let sha = throughput_per_node(&a, MIB16, Some(&CryptoRates::sha1_paper()));
-        assert!(aes / sha > 1.1, "aes {:.2} vs sha {:.2} GB/s", aes / 1e9, sha / 1e9);
+        assert!(
+            aes / sha > 1.1,
+            "aes {:.2} vs sha {:.2} GB/s",
+            aes / 1e9,
+            sha / 1e9
+        );
     }
 
     #[test]
@@ -240,7 +280,10 @@ mod tests {
         let native = latency_with_noise(&a, 16.0, None);
         let hear = latency_with_noise(&a, 16.0, Some(&CryptoRates::aes_ni_paper()));
         assert!(hear.mean > native.mean);
-        assert!(hear.mean < native.max, "overhead must sit inside the noise band");
+        assert!(
+            hear.mean < native.max,
+            "overhead must sit inside the noise band"
+        );
     }
 
     #[test]
@@ -304,7 +347,11 @@ mod crossover_tests {
     use super::*;
 
     fn alloc(nodes: usize, ppn: usize) -> Allocation {
-        Allocation { machine: Machine::piz_daint(), nodes, ppn }
+        Allocation {
+            machine: Machine::piz_daint(),
+            nodes,
+            ppn,
+        }
     }
 
     #[test]

@@ -26,7 +26,12 @@ pub struct BigFloat {
 
 impl BigFloat {
     pub fn zero(prec: u32) -> Self {
-        BigFloat { negative: false, mant: BigUint::zero(), exp: 0, prec }
+        BigFloat {
+            negative: false,
+            mant: BigUint::zero(),
+            exp: 0,
+            prec,
+        }
     }
 
     pub fn is_zero(&self) -> bool {
@@ -58,13 +63,23 @@ impl BigFloat {
         } else {
             ((1u64 << 52) | frac, biased - 1075)
         };
-        let mut out = BigFloat { negative, mant: BigUint::from_u64(mant), exp, prec };
+        let mut out = BigFloat {
+            negative,
+            mant: BigUint::from_u64(mant),
+            exp,
+            prec,
+        };
         out.round();
         out
     }
 
     pub fn from_u64(v: u64, prec: u32) -> Self {
-        let mut out = BigFloat { negative: false, mant: BigUint::from_u64(v), exp: 0, prec };
+        let mut out = BigFloat {
+            negative: false,
+            mant: BigUint::from_u64(v),
+            exp: 0,
+            prec,
+        };
         out.round();
         out
     }
@@ -154,7 +169,12 @@ impl BigFloat {
                 Ordering::Equal => (false, BigUint::zero()),
             }
         };
-        let mut out = BigFloat { negative, mant, exp: e, prec };
+        let mut out = BigFloat {
+            negative,
+            mant,
+            exp: e,
+            prec,
+        };
         out.round();
         out
     }
@@ -259,7 +279,15 @@ mod tests {
     #[test]
     fn f64_roundtrip_exact() {
         for v in [
-            0.0, 1.0, -1.0, 0.5, 1.5, 3.141592653589793, -2.2e-308, 1.7e308, 5e-324, // subnormal
+            0.0,
+            1.0,
+            -1.0,
+            0.5,
+            1.5,
+            std::f64::consts::PI,
+            -2.2e-308,
+            1.7e308,
+            5e-324, // subnormal
             f64::MIN_POSITIVE,
         ] {
             assert_eq!(bf(v).to_f64(), v, "roundtrip of {v}");
@@ -277,7 +305,12 @@ mod tests {
     #[test]
     fn add_is_exact_beyond_f64() {
         // 1 + 2^-200 is not representable in f64 but must be exact at 256 bits.
-        let tiny = BigFloat { negative: false, mant: BigUint::one(), exp: -200, prec: 256 };
+        let tiny = BigFloat {
+            negative: false,
+            mant: BigUint::one(),
+            exp: -200,
+            prec: 256,
+        };
         let s = bf(1.0).add(&tiny);
         assert!(s > bf(1.0));
         assert_eq!(s.sub(&tiny).to_f64(), 1.0);
@@ -296,14 +329,24 @@ mod tests {
     #[test]
     fn rounding_to_nearest_even() {
         // At prec=4, 0b10101 (21) rounds to 0b1010 << 1 (ties-to-even: 20... )
-        let mut v = BigFloat { negative: false, mant: BigUint::from_u64(21), exp: 0, prec: 4 };
+        let mut v = BigFloat {
+            negative: false,
+            mant: BigUint::from_u64(21),
+            exp: 0,
+            prec: 4,
+        };
         v.round();
         // 21 = 10101b; keep 1010b, round bit 1, sticky 0, kept even → stays 1010b=10, exp += 1 → 20.
         assert_eq!(v.mant.to_u64(), Some(10));
         assert_eq!(v.exp, 1);
 
         // 0b10111 (23) → keep 1011 (11), round bit 1, sticky 1 → 12, exp 1 → 24.
-        let mut v = BigFloat { negative: false, mant: BigUint::from_u64(23), exp: 0, prec: 4 };
+        let mut v = BigFloat {
+            negative: false,
+            mant: BigUint::from_u64(23),
+            exp: 0,
+            prec: 4,
+        };
         v.round();
         assert_eq!(v.mant.to_u64(), Some(12));
         assert_eq!(v.exp, 1);
@@ -312,7 +355,12 @@ mod tests {
     #[test]
     fn rounding_carry_propagates() {
         // 0b11111 at prec 4: keep 1111, round 1, sticky 1 → 10000 → renormalize.
-        let mut v = BigFloat { negative: false, mant: BigUint::from_u64(0b11111), exp: 0, prec: 4 };
+        let mut v = BigFloat {
+            negative: false,
+            mant: BigUint::from_u64(0b11111),
+            exp: 0,
+            prec: 4,
+        };
         v.round();
         assert_eq!(v.mant.to_u64(), Some(0b1000));
         assert_eq!(v.exp, 2);
@@ -343,7 +391,12 @@ mod tests {
     fn catastrophic_cancellation_is_exact() {
         // (1e16 + 1) - 1e16 == 1 exactly at high precision (f64 would lose it
         // only at 1e16+1 — use a harder case: 2^100 + 1 - 2^100).
-        let big = BigFloat { negative: false, mant: BigUint::one(), exp: 100, prec: 256 };
+        let big = BigFloat {
+            negative: false,
+            mant: BigUint::one(),
+            exp: 100,
+            prec: 256,
+        };
         let one = bf(1.0);
         let r = big.add(&one).sub(&big);
         assert_eq!(r.to_f64(), 1.0);
@@ -477,14 +530,24 @@ mod sqrt_tests {
         let back = r.mul(&r);
         let err = back.sub(&a).abs();
         // |err| ≤ a × 2^{-500}.
-        let bound = a.mul(&BigFloat { negative: false, mant: BigUint::one(), exp: -500, prec: 512 });
+        let bound = a.mul(&BigFloat {
+            negative: false,
+            mant: BigUint::one(),
+            exp: -500,
+            prec: 512,
+        });
         assert!(err < bound, "sqrt not converged to precision");
     }
 
     #[test]
     fn extreme_exponent_inputs() {
         // Beyond the f64 range: 2^2000.
-        let a = BigFloat { negative: false, mant: BigUint::one(), exp: 2000, prec: 128 };
+        let a = BigFloat {
+            negative: false,
+            mant: BigUint::one(),
+            exp: 2000,
+            prec: 128,
+        };
         let r = a.sqrt();
         let back = r.mul(&r);
         let rel = back.sub(&a).abs().div(&a);

@@ -14,11 +14,17 @@ pub struct BigInt {
 
 impl BigInt {
     pub fn zero() -> Self {
-        BigInt { negative: false, mag: BigUint::zero() }
+        BigInt {
+            negative: false,
+            mag: BigUint::zero(),
+        }
     }
 
     pub fn from_biguint(mag: BigUint) -> Self {
-        BigInt { negative: false, mag }
+        BigInt {
+            negative: false,
+            mag,
+        }
     }
 
     pub fn from_i128(v: i128) -> Self {
@@ -44,21 +50,42 @@ impl BigInt {
         if self.mag.is_zero() {
             self.clone()
         } else {
-            BigInt { negative: !self.negative, mag: self.mag.clone() }
+            BigInt {
+                negative: !self.negative,
+                mag: self.mag.clone(),
+            }
         }
     }
 
     pub fn add(&self, other: &BigInt) -> BigInt {
         match (self.is_negative(), other.is_negative()) {
-            (false, false) => BigInt { negative: false, mag: self.mag.add(&other.mag) },
-            (true, true) => BigInt { negative: true, mag: self.mag.add(&other.mag) },
+            (false, false) => BigInt {
+                negative: false,
+                mag: self.mag.add(&other.mag),
+            },
+            (true, true) => BigInt {
+                negative: true,
+                mag: self.mag.add(&other.mag),
+            },
             (false, true) => match self.mag.cmp(&other.mag) {
-                Ordering::Less => BigInt { negative: true, mag: other.mag.sub(&self.mag) },
-                _ => BigInt { negative: false, mag: self.mag.sub(&other.mag) },
+                Ordering::Less => BigInt {
+                    negative: true,
+                    mag: other.mag.sub(&self.mag),
+                },
+                _ => BigInt {
+                    negative: false,
+                    mag: self.mag.sub(&other.mag),
+                },
             },
             (true, false) => match other.mag.cmp(&self.mag) {
-                Ordering::Less => BigInt { negative: true, mag: self.mag.sub(&other.mag) },
-                _ => BigInt { negative: false, mag: other.mag.sub(&self.mag) },
+                Ordering::Less => BigInt {
+                    negative: true,
+                    mag: self.mag.sub(&other.mag),
+                },
+                _ => BigInt {
+                    negative: false,
+                    mag: other.mag.sub(&self.mag),
+                },
             },
         }
     }
@@ -69,7 +96,10 @@ impl BigInt {
 
     pub fn mul(&self, other: &BigInt) -> BigInt {
         let mag = self.mag.mul(&other.mag);
-        BigInt { negative: !mag.is_zero() && (self.negative ^ other.negative), mag }
+        BigInt {
+            negative: !mag.is_zero() && (self.negative ^ other.negative),
+            mag,
+        }
     }
 
     /// Reduce into `[0, m)`.

@@ -36,7 +36,9 @@ impl BigUint {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut b = BigUint { limbs: vec![lo, hi] };
+        let mut b = BigUint {
+            limbs: vec![lo, hi],
+        };
         b.normalize();
         b
     }
@@ -109,9 +111,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &a) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long[i].overflowing_add(b);
+            let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -259,8 +261,7 @@ impl BigUint {
             let num = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
             let mut qhat = num / v_top as u128;
             let mut rhat = num % v_top as u128;
-            while qhat >= 1 << 64
-                || qhat * v_next as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+            while qhat >= 1 << 64 || qhat * v_next as u128 > ((rhat << 64) | un[j + n - 2] as u128)
             {
                 qhat -= 1;
                 rhat += v_top as u128;

@@ -30,7 +30,11 @@ impl SplitMix64 {
         assert!(!bound.is_zero());
         let bits = bound.bit_len();
         let limbs = bits.div_ceil(64) as usize;
-        let top_mask = if bits.is_multiple_of(64) { u64::MAX } else { (1u64 << (bits % 64)) - 1 };
+        let top_mask = if bits.is_multiple_of(64) {
+            u64::MAX
+        } else {
+            (1u64 << (bits % 64)) - 1
+        };
         loop {
             let mut v: Vec<u64> = (0..limbs).map(|_| self.next_u64()).collect();
             *v.last_mut().unwrap() &= top_mask;
@@ -121,10 +125,25 @@ mod tests {
     fn known_primes_and_composites() {
         let mut rng = SplitMix64::new(1);
         for p in [2u64, 3, 5, 7, 97, 65537, 1_000_000_007, (1 << 61) - 1] {
-            assert!(is_probable_prime(&BigUint::from_u64(p), 16, &mut rng), "{p} is prime");
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 16, &mut rng),
+                "{p} is prime"
+            );
         }
-        for c in [1u64, 4, 9, 100, 65536, 1_000_000_006, 561 /* Carmichael */, 6601] {
-            assert!(!is_probable_prime(&BigUint::from_u64(c), 16, &mut rng), "{c} is composite");
+        for c in [
+            1u64,
+            4,
+            9,
+            100,
+            65536,
+            1_000_000_006,
+            561, /* Carmichael */
+            6601,
+        ] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 16, &mut rng),
+                "{c} is composite"
+            );
         }
     }
 

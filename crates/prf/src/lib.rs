@@ -476,13 +476,17 @@ pub fn word_u8(prf: &dyn Prf, base: u128, j: u64) -> u8 {
 /// Fill `out` with the 16-bit keystream rooted at `base`, starting at
 /// element index `first`.
 pub fn keystream_u16(prf: &dyn Prf, base: u128, first: u64, out: &mut [u16]) {
-    fill_keystream(prf, base, first, out, 8, |block, k| block_words_u16(block)[k]);
+    fill_keystream(prf, base, first, out, 8, |block, k| {
+        block_words_u16(block)[k]
+    });
 }
 
 /// Fill `out` with the byte keystream rooted at `base`, starting at
 /// element index `first`.
 pub fn keystream_u8(prf: &dyn Prf, base: u128, first: u64, out: &mut [u8]) {
-    fill_keystream(prf, base, first, out, 16, |block, k| block_words_u8(block)[k]);
+    fill_keystream(prf, base, first, out, 16, |block, k| {
+        block_words_u8(block)[k]
+    });
 }
 
 /// Generic CTR fill: `out[i] = extract(eval_block(base + (first+i)/per), (first+i)%per)`.
@@ -500,8 +504,11 @@ fn fill_keystream<W: Copy + Default>(
     let mut idx = 0usize;
     let mut j = first;
     // Leading partial block.
-    while j % per != 0 && idx < out.len() {
-        out[idx] = extract(prf.eval_block(base.wrapping_add((j / per) as u128)), (j % per) as usize);
+    while !j.is_multiple_of(per) && idx < out.len() {
+        out[idx] = extract(
+            prf.eval_block(base.wrapping_add((j / per) as u128)),
+            (j % per) as usize,
+        );
         idx += 1;
         j += 1;
     }
@@ -520,7 +527,10 @@ fn fill_keystream<W: Copy + Default>(
         }
     }
     while idx < out.len() {
-        out[idx] = extract(prf.eval_block(base.wrapping_add((j / per) as u128)), (j % per) as usize);
+        out[idx] = extract(
+            prf.eval_block(base.wrapping_add((j / per) as u128)),
+            (j % per) as usize,
+        );
         idx += 1;
         j += 1;
     }
@@ -537,7 +547,11 @@ mod narrow_lane_tests {
             let mut out = vec![0u16; 37];
             keystream_u16(&prf, 3, first, &mut out);
             for (i, o) in out.iter().enumerate() {
-                assert_eq!(*o, word_u16(&prf, 3, first + i as u64), "first={first} i={i}");
+                assert_eq!(
+                    *o,
+                    word_u16(&prf, 3, first + i as u64),
+                    "first={first} i={i}"
+                );
             }
         }
     }

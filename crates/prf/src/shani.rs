@@ -88,9 +88,18 @@ unsafe fn compress_ni(block: &[u8; 64]) -> [u32; 5] {
     let mask = _mm_set_epi64x(0x0001_0203_0405_0607, 0x0809_0a0b_0c0d_0e0f);
     let mut m = [
         _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr() as *const __m128i), mask),
-        _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(16) as *const __m128i), mask),
-        _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(32) as *const __m128i), mask),
-        _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(48) as *const __m128i), mask),
+        _mm_shuffle_epi8(
+            _mm_loadu_si128(block.as_ptr().add(16) as *const __m128i),
+            mask,
+        ),
+        _mm_shuffle_epi8(
+            _mm_loadu_si128(block.as_ptr().add(32) as *const __m128i),
+            mask,
+        ),
+        _mm_shuffle_epi8(
+            _mm_loadu_si128(block.as_ptr().add(48) as *const __m128i),
+            mask,
+        ),
     ];
 
     // 20 groups of four rounds. Group k consumes m[k % 4]; the message

@@ -1,0 +1,451 @@
+//! Criterion-shaped benchmark harness.
+//!
+//! Implements the subset of the `criterion` API the workspace's
+//! `crates/bench/benches/*.rs` use — `Criterion::default()` with the
+//! `sample_size` / `measurement_time` / `warm_up_time` builders,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter` / `iter_custom`, `BenchmarkId`, `Throughput` — and on
+//! top of it records per-benchmark statistics (median / p10 / p90 / mean /
+//! min ns per iteration) that [`Criterion::emit`] writes to
+//! `BENCH_<target>.json`, so perf trajectories can be tracked per commit
+//! without any external dependency.
+//!
+//! Set `HEAR_BENCH_FAST=1` to clamp warmup/measurement down to a smoke-run
+//! budget (CI), and `HEAR_BENCH_DIR` to redirect the JSON output.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration work declaration, criterion-style.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark: a function name plus an optional
+/// parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function[..], &self.parameter) {
+            ("", Some(p)) => p.clone(),
+            (f, Some(p)) => format!("{f}/{p}"),
+            (f, None) => f.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: name,
+            parameter: None,
+        }
+    }
+}
+
+/// Timing state handed to the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the harness-chosen number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Run a routine that does its own timing for `iters` iterations and
+    /// returns the elapsed wall time (criterion's `iter_custom`).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchStats {
+    pub median_ns: f64,
+    pub p10_ns: f64,
+    pub p90_ns: f64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub samples: usize,
+    pub iters_per_sample: u64,
+}
+
+#[derive(Clone, Debug)]
+struct BenchRecord {
+    id: String,
+    throughput: Option<Throughput>,
+    stats: BenchStats,
+}
+
+/// The harness entry point; collects results from every group/function
+/// registered on it, for [`Criterion::emit`] to serialize.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    results: Vec<BenchRecord>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().render();
+        self.run_one(id, None, f);
+        self
+    }
+
+    fn budget(&self) -> (usize, Duration, Duration) {
+        if std::env::var("HEAR_BENCH_FAST").is_ok_and(|v| v != "0") {
+            (
+                self.sample_size.min(5),
+                self.measurement_time.min(Duration::from_millis(150)),
+                self.warm_up_time.min(Duration::from_millis(30)),
+            )
+        } else {
+            (self.sample_size, self.measurement_time, self.warm_up_time)
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let (sample_size, measurement_time, warm_up_time) = self.budget();
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Calibrate: one iteration to get a first per-iter estimate.
+        f(&mut b);
+        let mut per_iter_ns = (b.elapsed.as_nanos().max(1)) as f64;
+
+        // Warm up, re-estimating as we go.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < warm_up_time {
+            b.iters = iters_for(per_iter_ns, warm_up_time / 4);
+            f(&mut b);
+            per_iter_ns = (b.elapsed.as_nanos() as f64 / b.iters as f64).max(0.1);
+        }
+
+        // Measure.
+        let per_sample = measurement_time / sample_size as u32;
+        let mut samples = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            b.iters = iters_for(per_iter_ns, per_sample);
+            f(&mut b);
+            let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+            per_iter_ns = ns.max(0.1);
+            samples.push(ns);
+        }
+        let stats = BenchStats::from_samples(samples, b.iters);
+
+        let mut line = format!(
+            "{:<44} median {:>12.1} ns/iter  (p10 {:.1}, p90 {:.1}, n={})",
+            id, stats.median_ns, stats.p10_ns, stats.p90_ns, stats.samples
+        );
+        if let Some(Throughput::Bytes(bytes)) = throughput {
+            line.push_str(&format!(
+                "  {:.3} GiB/s",
+                bytes as f64 / stats.median_ns / 1.073_741_824
+            ));
+        }
+        println!("{line}");
+
+        self.results.push(BenchRecord {
+            id,
+            throughput,
+            stats,
+        });
+    }
+
+    /// Write every recorded result to `BENCH_<bench_name>.json` in
+    /// `HEAR_BENCH_DIR` (default: the current directory). Called by the
+    /// function `criterion_group!` generates.
+    pub fn emit(&self, bench_name: &str) {
+        let dir = std::env::var("HEAR_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+        self.emit_to(bench_name, std::path::Path::new(&dir));
+    }
+
+    /// [`Criterion::emit`] with an explicit output directory.
+    pub fn emit_to(&self, bench_name: &str, dir: &std::path::Path) {
+        if self.results.is_empty() {
+            return;
+        }
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("could not create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("BENCH_{bench_name}.json"));
+        match std::fs::write(&path, self.to_json(bench_name)) {
+            Ok(()) => eprintln!("bench results written to {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+
+    fn to_json(&self, bench_name: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(bench_name)));
+        out.push_str("  \"harness\": \"hear-testkit\",\n");
+        out.push_str("  \"unit\": \"ns_per_iter\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let s = &r.stats;
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"median_ns\": {:.3}, \"p10_ns\": {:.3}, \
+                 \"p90_ns\": {:.3}, \"mean_ns\": {:.3}, \"min_ns\": {:.3}, \
+                 \"samples\": {}, \"iters_per_sample\": {}{}}}{}\n",
+                json_escape(&r.id),
+                s.median_ns,
+                s.p10_ns,
+                s.p90_ns,
+                s.mean_ns,
+                s.min_ns,
+                s.samples,
+                s.iters_per_sample,
+                match r.throughput {
+                    Some(Throughput::Bytes(b)) => format!(", \"bytes_per_iter\": {b}"),
+                    Some(Throughput::Elements(e)) => format!(", \"elements_per_iter\": {e}"),
+                    None => String::new(),
+                },
+                if i + 1 == self.results.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// A named set of related benchmarks sharing a throughput declaration;
+/// results land on the parent [`Criterion`] under `group/benchmark` ids.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().render());
+        let throughput = self.throughput;
+        self.c.run_one(id, throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+impl BenchStats {
+    fn from_samples(mut samples: Vec<f64>, iters_per_sample: u64) -> Self {
+        assert!(!samples.is_empty());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let n = samples.len();
+        let pct = |q: f64| samples[(((n - 1) as f64) * q).round() as usize];
+        BenchStats {
+            median_ns: pct(0.5),
+            p10_ns: pct(0.1),
+            p90_ns: pct(0.9),
+            mean_ns: samples.iter().sum::<f64>() / n as f64,
+            min_ns: samples[0],
+            samples: n,
+            iters_per_sample,
+        }
+    }
+}
+
+fn iters_for(per_iter_ns: f64, budget: Duration) -> u64 {
+    ((budget.as_nanos() as f64 / per_iter_ns.max(0.1)).round() as u64).clamp(1, 1_000_000_000)
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(6))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_records_stats() {
+        let mut c = tiny();
+        c.bench_function("accumulate", |b| {
+            let mut acc = 0u64;
+            b.iter(|| {
+                acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                acc
+            })
+        });
+        assert_eq!(c.results.len(), 1);
+        let s = &c.results[0].stats;
+        assert_eq!(s.samples, 3);
+        assert!(s.median_ns > 0.0);
+        assert!(s.p10_ns <= s.median_ns && s.median_ns <= s.p90_ns);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_carry_throughput() {
+        let mut c = tiny();
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(4096));
+        g.bench_with_input(BenchmarkId::new("sum", 16), &16u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function(BenchmarkId::from_parameter("param-only"), |b| {
+            b.iter(|| 1u32 + 1)
+        });
+        g.finish();
+        assert_eq!(c.results[0].id, "grp/sum/16");
+        assert_eq!(c.results[1].id, "grp/param-only");
+        assert!(matches!(
+            c.results[0].throughput,
+            Some(Throughput::Bytes(4096))
+        ));
+    }
+
+    #[test]
+    fn iter_custom_uses_reported_duration() {
+        let mut c = tiny();
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| Duration::from_nanos(1000) * iters as u32)
+        });
+        let s = &c.results[0].stats;
+        assert!((s.median_ns - 1000.0).abs() < 1.0, "median {}", s.median_ns);
+    }
+
+    #[test]
+    fn emit_writes_parseable_json() {
+        let mut c = tiny();
+        c.bench_function("emit_probe", |b| b.iter(|| 2u32 * 2));
+        let dir = std::env::temp_dir();
+        c.emit_to("testkit_selftest", &dir);
+        let path = dir.join("BENCH_testkit_selftest.json");
+        let body = std::fs::read_to_string(&path).expect("emitted file exists");
+        assert!(body.contains("\"bench\": \"testkit_selftest\""));
+        assert!(body.contains("\"id\": \"emit_probe\""));
+        assert!(body.contains("median_ns"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn benchmark_id_renderings() {
+        assert_eq!(BenchmarkId::new("f", 8).render(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("AesNi").render(), "AesNi");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+}

@@ -1,0 +1,91 @@
+//! Collection strategies (`proptest::collection` layout).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::ops::{Range, RangeInclusive};
+
+/// Length specification for [`vec`]: an exact `usize`, `lo..hi`, or
+/// `lo..=hi` (mirrors `proptest::collection::SizeRange`).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `proptest::collection::vec(element, 1..8)` — a vector whose length is
+/// sampled from `size` and whose elements are sampled from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..=self.size.hi);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_respects_size_forms() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let v = vec(any::<u64>(), 1..8).sample(&mut rng);
+            assert!((1..8).contains(&v.len()));
+            let w = vec(0u8..10, 5usize).sample(&mut rng);
+            assert_eq!(w.len(), 5);
+            let x = vec(any::<bool>(), 0..=3).sample(&mut rng);
+            assert!(x.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn vec_of_tuples() {
+        let mut rng = TestRng::new(2);
+        let v = vec((1.0f64..2.0, -60i32..60, any::<bool>()), 64usize).sample(&mut rng);
+        assert_eq!(v.len(), 64);
+        assert!(v
+            .iter()
+            .all(|(m, e, _)| (1.0..2.0).contains(m) && (-60..60).contains(e)));
+    }
+}

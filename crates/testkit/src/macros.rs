@@ -1,0 +1,202 @@
+//! The `proptest!`-compatible macro family and the criterion-shaped
+//! `criterion_group!` / `criterion_main!` entry points.
+//!
+//! `#[macro_export]` places every macro at the crate root, so consumers
+//! that alias this crate as `proptest` (or `criterion`) in their
+//! `Cargo.toml` get the familiar `use proptest::prelude::*;` /
+//! `use criterion::{criterion_group, criterion_main};` imports for free.
+
+/// Property-test block: a drop-in for `proptest::proptest!` covering the
+/// forms used in this workspace — an optional
+/// `#![proptest_config(...)]` header followed by `#[test] fn name(arg in
+/// strategy, ...) { body }` items.
+///
+/// Differences from real proptest, by design (see `crates/testkit/README.md`):
+/// no shrinking (failures print all inputs plus replay instructions), and
+/// case counts are floored to
+/// [`MIN_CASES`](crate::test_runner::MIN_CASES).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            #![allow(clippy::redundant_closure_call)]
+            let __config = $config;
+            let __cases = $crate::test_runner::effective_cases(&__config);
+            let __max_rejects = $crate::test_runner::max_rejects(&__config, __cases);
+            let mut __rng =
+                $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut __done: u32 = 0;
+            let mut __rejects: u32 = 0;
+            while __done < __cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);)+
+                let __inputs = {
+                    let mut __s = ::std::string::String::new();
+                    $(
+                        __s.push_str(concat!(stringify!($arg), " = "));
+                        __s.push_str(&::std::format!("{:?}; ", $arg));
+                    )+
+                    __s
+                };
+                let __outcome: $crate::test_runner::TestCaseResult =
+                    (move || { $body ::core::result::Result::Ok(()) })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => {
+                        __done += 1;
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(__r)) => {
+                        __rejects += 1;
+                        if __rejects > __max_rejects {
+                            $crate::test_runner::too_many_rejects(
+                                stringify!($name), __rejects, &__r,
+                            );
+                        }
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        $crate::test_runner::fail_case(
+                            stringify!($name), __done + 1, __cases, &__inputs, &__msg,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// `proptest`-style assertion: reports the failing inputs instead of
+/// unwinding with a bare `assert!` message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {} ({})",
+                    stringify!($cond),
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with optional trailing format arguments.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n    left: {:?}\n   right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}` ({})\n    left: {:?}\n   right: {:?}",
+                    stringify!($left), stringify!($right), ::std::format!($($fmt)+), __l, __r,
+                ),
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with optional trailing format arguments.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`\n    both: {:?}",
+                    stringify!($left), stringify!($right), __l,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}` ({})\n    both: {:?}",
+                    stringify!($left), stringify!($right), ::std::format!($($fmt)+), __l,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Discard the current case (redrawn, not failed) when its inputs fall
+/// outside the property's precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption not met: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Criterion-compatible group declaration. Both forms are supported:
+/// `criterion_group!(benches, f1, f2)` and the keyed form with a custom
+/// `config = Criterion::default()...` expression. The generated function
+/// runs every target and then writes `BENCH_<target-name>.json` via
+/// [`Criterion::emit`](crate::bench::Criterion::emit).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut __c = $config;
+            $($target(&mut __c);)+
+            __c.emit(env!("CARGO_CRATE_NAME"));
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::bench::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Criterion-compatible `main` for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

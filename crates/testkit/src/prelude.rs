@@ -1,0 +1,7 @@
+//! The import surface mirroring `proptest::prelude`: bring the macro
+//! family, [`Strategy`], [`any`], and [`ProptestConfig`] into scope with
+//! one glob.
+
+pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

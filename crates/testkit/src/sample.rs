@@ -1,0 +1,47 @@
+//! Value-selection strategies (`proptest::sample` layout).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::fmt::Debug;
+
+/// Strategy choosing uniformly from a fixed list of options.
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// `proptest::sample::select(vec![...])` — draw one of the given values.
+pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_only_yields_listed_values() {
+        let mut rng = TestRng::new(1);
+        let s = select(vec![101u64, 65_537, 1_000_000_007]);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            match s.sample(&mut rng) {
+                101 => seen[0] = true,
+                65_537 => seen[1] = true,
+                1_000_000_007 => seen[2] = true,
+                other => panic!("unexpected sample {other}"),
+            }
+        }
+        assert!(
+            seen.iter().all(|&b| b),
+            "all options should appear in 200 draws"
+        );
+    }
+}

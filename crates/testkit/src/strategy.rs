@@ -1,0 +1,266 @@
+//! A shrinking-free, allocation-light strategy layer compatible with the
+//! subset of `proptest` this workspace uses.
+//!
+//! A [`Strategy`] is just "something a value can be sampled from": ranges
+//! (`0u64..64`, `1u32..=64`, `1u128..`), [`any`] for every primitive,
+//! tuples of strategies, [`crate::collection::vec`],
+//! [`crate::sample::select`], and the [`Strategy::prop_filter`] /
+//! [`Strategy::prop_map`] combinators. There is deliberately no shrinking:
+//! failures print the full input set and the reproduction seed instead.
+
+use crate::rng::{SampleRange, TestRng};
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Something test inputs can be drawn from. The associated `Value` must be
+/// `Debug` so failing cases can print their inputs.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Keep only samples satisfying `pred`; re-draws on rejection.
+    /// Panics if 1000 consecutive draws are rejected (a degenerate filter).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Transform samples with `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Blanket strategy impls for the std range types, for every primitive the
+/// RNG can sample (integers and floats).
+impl<T: Debug + Copy> Strategy for Range<T>
+where
+    Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.clone().sample_one(rng)
+    }
+}
+
+impl<T: Debug + Copy> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.clone().sample_one(rng)
+    }
+}
+
+impl<T: Debug + Copy> Strategy for RangeFrom<T>
+where
+    RangeFrom<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.clone().sample_one(rng)
+    }
+}
+
+/// Types with a whole-domain default strategy (`any::<T>()`).
+///
+/// Integer draws are edge-biased: 1 in 16 samples comes from
+/// `{MIN, MAX, 0, 1}` so boundary bugs surface without shrinking.
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                if rng.next_u64() & 0xF == 0 {
+                    match rng.next_u64() & 3 {
+                        0 => <$t>::MIN,
+                        1 => <$t>::MAX,
+                        2 => 0 as $t,
+                        _ => 1 as $t,
+                    }
+                } else {
+                    rng.next_u128() as $t
+                }
+            }
+        }
+    )+};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Uniform over bit patterns: wild magnitudes, subnormals, ±∞ and NaN
+    /// all occur (≈1 in 2000 draws is non-finite) — pair with
+    /// `prop_filter("finite", |v| v.is_finite())` when the property needs
+    /// finite inputs, exactly as with real proptest.
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u32())
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Whole-domain strategy for a primitive: `any::<u64>()`, `any::<bool>()`…
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Constant strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({:?}) rejected 1000 consecutive samples — strategy and filter are incompatible", self.reason);
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+impl_strategy_tuple! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_strategies() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let v = (3u64..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (-7i64..=7).sample(&mut rng);
+            assert!((-7..=7).contains(&w));
+            let x = (1u128..).sample(&mut rng);
+            assert!(x >= 1);
+            let f = (1.0f64..2.0).sample(&mut rng);
+            assert!((1.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn any_hits_edges() {
+        let mut rng = TestRng::new(2);
+        let mut saw_extreme = false;
+        for _ in 0..400 {
+            let v = any::<u64>().sample(&mut rng);
+            if v == u64::MAX || v == 0 {
+                saw_extreme = true;
+            }
+        }
+        assert!(saw_extreme, "edge bias should surface MIN/MAX/0/1 quickly");
+    }
+
+    #[test]
+    fn filter_and_map_compose() {
+        let mut rng = TestRng::new(3);
+        let even = (0u32..1000).prop_filter("even", |v| v % 2 == 0);
+        let doubled = (0u32..100).prop_map(|v| v * 2);
+        for _ in 0..200 {
+            assert_eq!(even.sample(&mut rng) % 2, 0);
+            assert_eq!(doubled.sample(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn finite_filter_on_bit_pattern_floats() {
+        let mut rng = TestRng::new(4);
+        let finite = any::<f64>().prop_filter("finite", |v| v.is_finite());
+        for _ in 0..2000 {
+            assert!(finite.sample(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn tuples_and_just() {
+        let mut rng = TestRng::new(5);
+        let (a, b, c) = (1.0f64..2.0, -60i32..60, any::<bool>()).sample(&mut rng);
+        assert!((1.0..2.0).contains(&a));
+        assert!((-60..60).contains(&b));
+        let _ = c;
+        assert_eq!(Just(41u8).sample(&mut rng), 41);
+    }
+}

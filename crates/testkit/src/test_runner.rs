@@ -1,0 +1,161 @@
+//! Property-test runner: configuration, case outcomes, and the helpers the
+//! [`crate::proptest!`] macro expands calls into.
+//!
+//! Mirrors the `proptest::test_runner` names this workspace touches
+//! (`ProptestConfig`, `TestCaseError`, `TestCaseResult`) so existing test
+//! code compiles against the shim unchanged.
+
+use crate::rng::{mix, TestRng};
+
+/// Case-count floor. Configs asking for fewer cases (tuned for real
+/// proptest's slower shrinking machinery) are raised to this, so every
+/// property still sees a meaningful sample of its input space.
+pub const MIN_CASES: u32 = 64;
+
+/// Runner configuration. Field names match `proptest::test_runner::
+/// ProptestConfig` so `ProptestConfig { cases: 24, ..Default::default() }`
+/// and `ProptestConfig::with_cases(48)` work verbatim.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Requested number of successful cases (floored to [`MIN_CASES`] at
+    /// run time; override globally with `HEAR_PROPTEST_CASES`).
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections across a whole run before the
+    /// test errors out as vacuous.
+    pub max_global_rejects: u32,
+    /// Accepted for source compatibility; the shim never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for source compatibility; unused.
+    pub verbose: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+            max_shrink_iters: 0,
+            verbose: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property is false for these inputs (`prop_assert!` family).
+    Fail(String),
+    /// The inputs fell outside the property's precondition
+    /// (`prop_assume!`); the case is redrawn, not failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Successful-case target for one run: the configured count floored to
+/// [`MIN_CASES`], or the `HEAR_PROPTEST_CASES` env override verbatim.
+pub fn effective_cases(config: &ProptestConfig) -> u32 {
+    if let Ok(v) = std::env::var("HEAR_PROPTEST_CASES") {
+        if let Ok(n) = v.trim().parse::<u32>() {
+            return n.max(1);
+        }
+    }
+    config.cases.max(MIN_CASES)
+}
+
+/// Global `prop_assume!` rejection budget for one run.
+pub fn max_rejects(config: &ProptestConfig, cases: u32) -> u32 {
+    config.max_global_rejects.max(cases.saturating_mul(100))
+}
+
+/// Deterministic per-test RNG: the FNV-1a hash of the test's module path
+/// and name, mixed with `HEAR_PROPTEST_SEED` when set. Reruns of the same
+/// binary replay identical inputs; distinct tests draw distinct streams.
+pub fn rng_for(test_path: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let user_seed = std::env::var("HEAR_PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    TestRng::seed_from_u64(mix(h) ^ user_seed)
+}
+
+/// Panic with a reproduction-ready report for a failed case.
+pub fn fail_case(test_name: &str, case: u32, cases: u32, inputs: &str, msg: &str) -> ! {
+    panic!(
+        "property `{test_name}` failed at case {case} of {cases}\n  \
+         {msg}\n  \
+         inputs: {inputs}\n  \
+         note: the run is deterministic; rerun this test binary (or set \
+         HEAR_PROPTEST_SEED to vary inputs, HEAR_PROPTEST_CASES to change depth)"
+    );
+}
+
+/// Panic when `prop_assume!` rejected so often the property is vacuous.
+pub fn too_many_rejects(test_name: &str, rejects: u32, last_reason: &str) -> ! {
+    panic!(
+        "property `{test_name}` rejected {rejects} candidate inputs via prop_assume! \
+         (last: {last_reason}); the strategy and precondition are incompatible"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_compat_surface() {
+        let c = ProptestConfig {
+            cases: 24,
+            ..ProptestConfig::default()
+        };
+        assert_eq!(c.cases, 24);
+        assert_eq!(effective_cases(&c), MIN_CASES, "small configs are floored");
+        let c = ProptestConfig::with_cases(500);
+        assert_eq!(effective_cases(&c), 500);
+    }
+
+    #[test]
+    fn rng_streams_differ_per_test() {
+        let mut a = rng_for("crate::mod::test_a");
+        let mut b = rng_for("crate::mod::test_b");
+        assert_ne!(a.next_u64(), b.next_u64());
+        let mut a2 = rng_for("crate::mod::test_a");
+        assert_eq!(a.next_u64(), {
+            a2.next_u64();
+            a2.next_u64()
+        });
+    }
+
+    #[test]
+    fn error_constructors() {
+        assert!(matches!(TestCaseError::fail("x"), TestCaseError::Fail(_)));
+        assert!(matches!(
+            TestCaseError::reject("y"),
+            TestCaseError::Reject(_)
+        ));
+    }
+}

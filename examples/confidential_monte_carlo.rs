@@ -72,7 +72,10 @@ fn main() {
     println!("π estimate            : {pi:.5}   (true 3.14159)");
     println!("E[r²] over the square : {mean:.5}   (true 2/3 ≈ 0.66667)");
     println!("Var[r²]               : {var:.5}");
-    assert!((pi - std::f64::consts::PI).abs() < 0.01, "π estimate off: {pi}");
+    assert!(
+        (pi - std::f64::consts::PI).abs() < 0.01,
+        "π estimate off: {pi}"
+    );
     assert!((mean - 2.0 / 3.0).abs() < 0.005);
     assert!(var > 0.0 && var < 1.0);
     println!("\nOK: counters and moments were reduced without ever leaving\nthe secure environment in plaintext.");

@@ -58,8 +58,8 @@ fn main() {
     });
 
     println!("what the switch saw from ranks 0 and 1 (same plaintext [7,7,7,7]):");
-    for rank in 0..2 {
-        for (call, ct) in results[rank].0.iter().enumerate() {
+    for (rank, res) in results.iter().enumerate().take(2) {
+        for (call, ct) in res.0.iter().enumerate() {
             println!("  rank {rank}, call {call}: {ct:?}");
         }
     }
@@ -68,7 +68,10 @@ fn main() {
     let r0c0 = &results[0].0[0];
     let r1c0 = &results[1].0[0];
     assert_ne!(r0c0, r1c0, "global safety: ranks must differ");
-    assert_ne!(&results[0].0[0], &results[0].0[1], "temporal safety: calls must differ");
+    assert_ne!(
+        &results[0].0[0], &results[0].0[1],
+        "temporal safety: calls must differ"
+    );
     let distinct: std::collections::HashSet<u32> = r0c0.iter().copied().collect();
     assert_eq!(distinct.len(), 4, "local safety: slots must differ");
 

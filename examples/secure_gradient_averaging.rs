@@ -53,10 +53,9 @@ fn main() {
             .nth(comm.rank())
             .unwrap();
         // Gradients ride the INC switch — encrypted, as HEAR intends.
-        let mut secure =
-            SecureComm::new(comm.clone(), keys).with_algo(ReduceAlgo::Switch);
+        let mut secure = SecureComm::new(comm.clone(), keys).with_algo(ReduceAlgo::Switch);
         let data = dataset(comm.rank());
-        let mut w = vec![0.0f64; DIM];
+        let mut w = [0.0f64; DIM];
         let mut last_loss = f64::INFINITY;
         for epoch in 0..EPOCHS {
             // Local gradient of the squared loss.

@@ -73,7 +73,10 @@ fn main() {
         "alarm flags (OR, AND)              : any>5.0 = {}, all>4.5 = {}",
         flags[0].0, flags[1].1
     );
-    println!("coordinator bucket tally           : {:?}", tally.as_ref().unwrap());
+    println!(
+        "coordinator bucket tally           : {:?}",
+        tally.as_ref().unwrap()
+    );
 
     // Cross-check against the pooled plaintext (which only this demo can
     // do — in production no one holds the pooled data).

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verify, exactly as ROADMAP.md states it:
+#
+#     cargo build --release && cargo test -q
+#
+# The workspace is hermetic (path dependencies only — see the workspace
+# Cargo.toml and tests/hermetic.rs), so this must pass offline with an
+# empty cargo cache. CARGO_NET_OFFLINE defaults to on to prove it; export
+# CARGO_NET_OFFLINE=false to override. Extra arguments are passed through
+# to both cargo invocations (e.g. `scripts/ci.sh --workspace`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE="${CARGO_NET_OFFLINE:-true}"
+
+cargo build --release "$@"
+cargo test -q "$@"

@@ -44,10 +44,19 @@ fn hfp_sum_error_vs_bigfloat_reference_is_small_and_gamma_ordered() {
 
     let (e0, e1, e2) = (run(0), run(1), run(2));
     // γ=2 keeps the full mantissa; γ=0 drops two bits — the Fig. 3 trend.
-    assert!(e2 <= e1 * 4.0 + 1e-12, "γ=2 ({e2}) should not be much worse than γ=1 ({e1})");
-    assert!(e0 > e2, "γ=0 ({e0}) must lose more precision than γ=2 ({e2})");
+    assert!(
+        e2 <= e1 * 4.0 + 1e-12,
+        "γ=2 ({e2}) should not be much worse than γ=1 ({e1})"
+    );
+    assert!(
+        e0 > e2,
+        "γ=0 ({e0}) must lose more precision than γ=2 ({e2})"
+    );
     assert!(e2 < 1e-4, "γ=2 relative error {e2} too large");
-    assert!(e0 < 1e-2, "γ=0 relative error {e0} out of the paper's ballpark");
+    assert!(
+        e0 < 1e-2,
+        "γ=0 relative error {e0} out of the paper's ballpark"
+    );
 }
 
 #[test]

@@ -65,9 +65,13 @@ fn float_schemes_track_f64_reference() {
         let data: Vec<f64> = (0..32)
             .map(|j| ((comm.rank() * 32 + j) as f64 * 0.7).cos() * 5.0 + 6.0)
             .collect();
-        let sum = sc.allreduce_float_sum(HfpFormat::fp32(2, 2), &data).unwrap();
+        let sum = sc
+            .allreduce_float_sum(HfpFormat::fp32(2, 2), &data)
+            .unwrap();
         let prod_in: Vec<f64> = data.iter().map(|v| v / 8.0 + 0.5).collect();
-        let prod = sc.allreduce_float_prod(HfpFormat::fp32(0, 0), &prod_in).unwrap();
+        let prod = sc
+            .allreduce_float_prod(HfpFormat::fp32(0, 0), &prod_in)
+            .unwrap();
         let ref_sum = comm.allreduce(&data, |a, b| a + b);
         let ref_prod = comm.allreduce(&prod_in, |a, b| a * b);
         (sum, prod, ref_sum, ref_prod)

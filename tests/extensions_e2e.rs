@@ -36,8 +36,8 @@ fn logical_reduction_over_switch_tree() {
     });
     for r in &results {
         assert_eq!(r[0], (false, false), "k=0: nobody true");
-        for k in 1..8 {
-            assert_eq!(r[k], (true, false), "k={k}: some true");
+        for (k, v) in r.iter().enumerate().take(8).skip(1) {
+            assert_eq!(*v, (true, false), "k={k}: some true");
         }
         assert_eq!(r[8], (true, true), "k=8: everyone true");
         assert_eq!(r[9], (true, true));
@@ -93,7 +93,14 @@ fn secure_collectives_compose_in_one_program() {
     // allreduce, on one communicator.
     let results = Simulator::new(3).run(|comm| {
         let mut sc = secure(comm, 4);
-        let config = sc.bcast_encrypted(0, if comm.rank() == 0 { vec![7, 13] } else { vec![] });
+        let config = sc.bcast_encrypted(
+            0,
+            if comm.rank() == 0 {
+                vec![7, 13]
+            } else {
+                vec![]
+            },
+        );
         let partial = sc.reduce_sum_u32(2, &[config[0] * (comm.rank() as u32 + 1)]);
         let all = sc.allreduce_sum_u32(&[config[1]]);
         let diag = sc.gather_encrypted(0, vec![comm.rank() as u32]);

@@ -2,7 +2,7 @@
 //! the trusted side is misused. Wrong results must never decrypt silently
 //! when verification is on; API misuse must fail loudly, not corrupt data.
 
-use hear::core::{Backend, CommKeys, Homac, HfpError, HfpFormat, IntSum, Scratch};
+use hear::core::{Backend, CommKeys, HfpError, HfpFormat, Homac, IntSum, Scratch};
 use hear::layer::SecureComm;
 use hear::mpi::Simulator;
 
@@ -62,7 +62,10 @@ fn desynchronized_epochs_produce_garbage_not_panics() {
     IntSum::encrypt_in_place(&k1, 0, &mut c1, &mut scratch);
     let mut agg = vec![c0[0].wrapping_add(c1[0])];
     IntSum::decrypt_in_place(&k0, 0, &mut agg, &mut scratch);
-    assert_ne!(agg[0], 10, "desync must not silently yield the right answer");
+    assert_ne!(
+        agg[0], 10,
+        "desync must not silently yield the right answer"
+    );
 }
 
 #[test]
@@ -70,7 +73,10 @@ fn float_encrypt_rejects_non_finite_and_overflow() {
     let k = keys(1, 4);
     let fs = hear::core::FloatSum::new(HfpFormat::fp32(2, 2));
     let mut out = Vec::new();
-    assert_eq!(fs.encrypt_f64(&k[0], 0, &[f64::NAN], &mut out), Err(HfpError::NonFinite));
+    assert_eq!(
+        fs.encrypt_f64(&k[0], 0, &[f64::NAN], &mut out),
+        Err(HfpError::NonFinite)
+    );
     assert_eq!(
         fs.encrypt_f64(&k[0], 0, &[f64::INFINITY], &mut out),
         Err(HfpError::NonFinite)
@@ -80,7 +86,9 @@ fn float_encrypt_rejects_non_finite_and_overflow() {
         Err(HfpError::ExponentOverflow(_))
     ));
     // A failing element anywhere in the vector aborts the whole call.
-    assert!(fs.encrypt_f64(&k[0], 0, &[1.0, 2.0, f64::NAN], &mut out).is_err());
+    assert!(fs
+        .encrypt_f64(&k[0], 0, &[1.0, 2.0, f64::NAN], &mut out)
+        .is_err());
 }
 
 #[test]
@@ -97,7 +105,10 @@ fn verified_layer_call_errors_cleanly_under_tampering() {
             let _ = sc.allreduce_sum_u32_verified(&[1]);
         });
     });
-    assert!(caught.is_err(), "verified call without with_homac must panic");
+    assert!(
+        caught.is_err(),
+        "verified call without with_homac must panic"
+    );
 }
 
 #[test]
@@ -146,6 +157,9 @@ fn replayed_tags_fail_after_epoch_advance() {
     let tags1 = homac.tag(&k1, 0, &ct1);
     assert!(homac.verify(&k1, 0, &ct1, &tags1), "fresh pair verifies");
     k1.advance();
-    assert!(!homac.verify(&k1, 0, &ct1, &tags1), "stale pair must fail after advance");
+    assert!(
+        !homac.verify(&k1, 0, &ct1, &tags1),
+        "stale pair must fail after advance"
+    );
     let _ = (ct, tags);
 }

@@ -1,0 +1,193 @@
+//! Dependency-freeze guard: the workspace must stay hermetic.
+//!
+//! The tier-1 verify (`cargo build --release && cargo test -q`) has to
+//! succeed offline with an empty cargo cache, so every dependency of every
+//! crate must resolve inside the repository. This test parses each
+//! `Cargo.toml` with a small std-only scanner and fails if any dependency
+//! entry could reach a registry: every entry must either be a `path`
+//! dependency or `workspace = true` pointing at a `[workspace.dependencies]`
+//! entry that is itself `path`-based.
+//!
+//! If this test fails, the fix is to vendor the functionality into a
+//! workspace crate (see `crates/testkit` for the precedent: it replaced
+//! `rand`, `proptest`, `criterion`, `crossbeam`, and `parking_lot`).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Repo root, derived from this file's compile-time location
+/// (`<repo>/tests/hermetic.rs`).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")) // crates/hear
+        .ancestors()
+        .nth(2)
+        .expect("crates/hear has a grandparent")
+        .to_path_buf()
+}
+
+/// A single dependency entry: the key and the raw TOML that defines it.
+#[derive(Debug)]
+struct DepEntry {
+    section: String,
+    name: String,
+    value: String,
+}
+
+/// Minimal TOML scan: walk `[section]` headers, and inside any
+/// `*dependencies*` section collect `name = <value>` entries, including
+/// multi-line inline tables. This is not a general TOML parser — it only
+/// has to be strict enough that anything it cannot classify is a failure,
+/// never a silent pass.
+fn scan_dependencies(text: &str) -> Vec<DepEntry> {
+    let mut deps = Vec::new();
+    let mut section = String::new();
+    let mut lines = text.lines().peekable();
+    while let Some(raw) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        if !section.contains("dependencies") {
+            continue;
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            continue;
+        };
+        let mut name = name.trim().trim_matches('"').to_string();
+        let mut value = value.trim().to_string();
+        // Inline tables may span lines until braces balance.
+        while value.matches('{').count() > value.matches('}').count() {
+            let next = lines.next().expect("unterminated inline table");
+            value.push(' ');
+            value.push_str(strip_comment(next).trim());
+        }
+        // Normalize the dotted-key forms `dep.workspace = true` and
+        // `dep.path = "..."` into their inline-table equivalents.
+        if let Some(stem) = name.strip_suffix(".workspace") {
+            name = stem.to_string();
+            value = format!("workspace = {value}");
+        } else if let Some(stem) = name.strip_suffix(".path") {
+            name = stem.to_string();
+            value = format!("path = {value}");
+        }
+        deps.push(DepEntry {
+            section: section.clone(),
+            name,
+            value,
+        });
+    }
+    deps
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Good enough here: no manifest in this workspace puts '#' in a string.
+    line.split('#').next().unwrap_or("")
+}
+
+/// Is this dependency entry hermetic on its own (path-based)?
+fn is_path_entry(value: &str) -> bool {
+    value.contains("path") && value.contains('=') && !value.contains("git")
+}
+
+/// Is it a `workspace = true` forward to `[workspace.dependencies]`?
+fn is_workspace_forward(value: &str) -> bool {
+    value.replace(' ', "").contains("workspace=true")
+}
+
+#[test]
+fn every_dependency_is_a_path_dependency() {
+    let root = repo_root();
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates_dir = root.join("crates");
+    for entry in fs::read_dir(&crates_dir).expect("crates/ exists") {
+        let manifest = entry.expect("readable dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            manifests.push(manifest);
+        }
+    }
+    assert!(
+        manifests.len() >= 12,
+        "expected the workspace manifest + 11 crates"
+    );
+
+    // Pass 1: the workspace table itself must be all-path.
+    let ws_text = fs::read_to_string(&manifests[0]).expect("workspace manifest");
+    let mut workspace_deps: BTreeMap<String, String> = BTreeMap::new();
+    let mut violations = Vec::new();
+    for dep in scan_dependencies(&ws_text) {
+        if dep.section == "workspace.dependencies" {
+            if !is_path_entry(&dep.value) {
+                violations.push(format!(
+                    "Cargo.toml [workspace.dependencies] {} = {} (not a path dependency)",
+                    dep.name, dep.value
+                ));
+            }
+            workspace_deps.insert(dep.name, dep.value);
+        }
+    }
+
+    // Pass 2: every member entry is either path-based or forwards to a
+    // (verified-path) workspace entry.
+    for manifest in &manifests[1..] {
+        let text = fs::read_to_string(manifest).expect("member manifest");
+        let rel = manifest.strip_prefix(&root).unwrap_or(manifest).display();
+        for dep in scan_dependencies(&text) {
+            let ok = if is_workspace_forward(&dep.value) {
+                workspace_deps.contains_key(&dep.name)
+            } else {
+                is_path_entry(&dep.value)
+            };
+            if !ok {
+                violations.push(format!(
+                    "{rel} [{}] {} = {} (registry/git dependencies are banned; \
+                     vendor it as a workspace crate instead)",
+                    dep.section, dep.name, dep.value
+                ));
+            }
+        }
+    }
+
+    assert!(
+        violations.is_empty(),
+        "non-hermetic dependencies found:\n  {}",
+        violations.join("\n  ")
+    );
+
+    // The scanner must actually have seen the known alias entries — guard
+    // against a refactor that silently empties the scan.
+    for expected in ["proptest", "criterion", "hear-testkit"] {
+        assert!(
+            workspace_deps.contains_key(expected),
+            "scanner failed to see workspace dependency `{expected}`"
+        );
+    }
+}
+
+#[test]
+fn scanner_rejects_registry_and_git_entries() {
+    let toml = r#"
+[package]
+name = "demo"
+
+[dependencies]
+good = { path = "../good" }
+fwd = { workspace = true }
+fwd2.workspace = true
+bad = "1.0"
+worse = { git = "https://example.com/x.git" }
+multi = { version = "2",
+          features = ["std"] }
+"#;
+    let deps = scan_dependencies(toml);
+    assert_eq!(deps.len(), 6);
+    let verdicts: Vec<bool> = deps
+        .iter()
+        .map(|d| is_path_entry(&d.value) || is_workspace_forward(&d.value))
+        .collect();
+    assert_eq!(verdicts, [true, true, true, false, false, false]);
+}

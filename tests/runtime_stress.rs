@@ -2,6 +2,9 @@
 //! schedules — delayed fabric + switch tree + nonblocking overlap +
 //! many concurrent collectives, with encrypted payloads throughout.
 
+// Expected values are written as explicit per-rank sums (0 + 2 + 4).
+#![allow(clippy::identity_op)]
+
 use hear::core::{Backend, CommKeys};
 use hear::layer::{ReduceAlgo, SecureComm};
 use hear::mpi::{Communicator, NetConfig, SimConfig, Simulator};
@@ -37,7 +40,10 @@ fn hundred_collectives_with_transit_delay() {
 #[test]
 fn switch_tree_with_delay_model() {
     let cfg = SimConfig::default()
-        .with_net(NetConfig { alpha: Duration::from_micros(80), beta_ns_per_byte: 0.2 })
+        .with_net(NetConfig {
+            alpha: Duration::from_micros(80),
+            beta_ns_per_byte: 0.2,
+        })
         .with_switch(2);
     let results = Simulator::with_config(6, cfg).run(|comm| {
         let mut sc = secure(comm, 2).with_algo(ReduceAlgo::Switch);
@@ -95,9 +101,7 @@ fn mixed_schemes_interleaved_heavily() {
                         .allreduce_float_sum(hear::core::HfpFormat::fp32(2, 2), &[i as f64 + 0.5])
                         .unwrap()[0]
                 }
-                2 => {
-                    sink += sc.allreduce_fixed_sum(hear::core::FixedCodec::new(16), &[0.25])[0]
-                }
+                2 => sink += sc.allreduce_fixed_sum(hear::core::FixedCodec::new(16), &[0.25])[0],
                 3 => sink += sc.allreduce_logical(&[i % 2 == 0])[0].0 as u8 as f64,
                 _ => sink += sc.allreduce_sum_u32_verified(&[i]).unwrap()[0] as f64,
             }
@@ -105,7 +109,11 @@ fn mixed_schemes_interleaved_heavily() {
         sink
     });
     for r in &results[1..] {
-        assert!((r - results[0]).abs() < 1e-9, "all ranks agree: {r} vs {}", results[0]);
+        assert!(
+            (r - results[0]).abs() < 1e-9,
+            "all ranks agree: {r} vs {}",
+            results[0]
+        );
     }
     assert!(results[0] > 0.0);
 }
@@ -137,10 +145,16 @@ fn large_vector_through_every_algorithm() {
     let cfg = SimConfig::default().with_switch(4);
     let n = 50_000usize;
     let results = Simulator::with_config(4, cfg).run(move |comm| {
-        let data: Vec<u32> = (0..n as u32).map(|j| j.wrapping_mul(2_654_435_761)).collect();
+        let data: Vec<u32> = (0..n as u32)
+            .map(|j| j.wrapping_mul(2_654_435_761))
+            .collect();
         let rd = secure(comm, 5).allreduce_sum_u32(&data);
-        let ring = secure(comm, 5).with_algo(ReduceAlgo::Ring).allreduce_sum_u32(&data);
-        let inc = secure(comm, 5).with_algo(ReduceAlgo::Switch).allreduce_sum_u32(&data);
+        let ring = secure(comm, 5)
+            .with_algo(ReduceAlgo::Ring)
+            .allreduce_sum_u32(&data);
+        let inc = secure(comm, 5)
+            .with_algo(ReduceAlgo::Switch)
+            .allreduce_sum_u32(&data);
         let piped = secure(comm, 5).allreduce_sum_u32_pipelined(&data, 4096);
         (rd, ring, inc, piped)
     });

@@ -69,7 +69,8 @@ fn local_safety_within_vector() {
     // Float SUM: equal values in different slots use different noise.
     let fs = FloatSum::new(HfpFormat::fp32(2, 2));
     let mut ct = Vec::new();
-    fs.encrypt_f64(&ks[0], 0, &vec![3.25f64; 64], &mut ct).unwrap();
+    fs.encrypt_f64(&ks[0], 0, &vec![3.25f64; 64], &mut ct)
+        .unwrap();
     let distinct: std::collections::HashSet<u128> = ct.iter().map(Hfp::to_bits).collect();
     assert!(distinct.len() >= 60);
 }

@@ -6,6 +6,10 @@
 //! include the cancelling neighbour noise for all but the last rank), the
 //! network-reduced ciphertext, the de-noise value, and the decryption.
 
+// The walkthrough spells out identity factors (×1, −0) on purpose: the
+// asserted expressions mirror the table rows digit for digit.
+#![allow(clippy::identity_op)]
+
 use hear::hfp::format::Hfp;
 use hear::hfp::ops;
 use hear::hfp::ringexp::ring_from_i64;
@@ -94,13 +98,29 @@ fn table3_float_sum_column_half_precision() {
     };
     let c1 = ops::mul(&x1, &noise, ew, mw);
     let c2 = ops::mul(&x2, &noise, ew, mw);
-    assert_eq!(c1.to_f64(), 1.3125 * f64::powi(2.0, 21), "rank 1 Encrypted row");
-    assert_eq!(c2.to_f64(), 1.875 * f64::powi(2.0, 22), "rank 2 Encrypted row");
+    assert_eq!(
+        c1.to_f64(),
+        1.3125 * f64::powi(2.0, 21),
+        "rank 1 Encrypted row"
+    );
+    assert_eq!(
+        c2.to_f64(),
+        1.875 * f64::powi(2.0, 22),
+        "rank 2 Encrypted row"
+    );
     let reduced = ops::add(&c1, &c2);
     // 1.3125×2^21 + 1.875×2^22 = 1.265625×2^23 (printed as 1.266×2^23).
-    assert_eq!(reduced.to_f64(), 1.265625 * f64::powi(2.0, 23), "Reduced row");
+    assert_eq!(
+        reduced.to_f64(),
+        1.265625 * f64::powi(2.0, 23),
+        "Reduced row"
+    );
     let decrypted = ops::div(&reduced, &noise, ew, mw);
-    assert_eq!(decrypted.to_f64(), 1.6875 * f64::powi(2.0, 9), "Decrypted row");
+    assert_eq!(
+        decrypted.to_f64(),
+        1.6875 * f64::powi(2.0, 9),
+        "Decrypted row"
+    );
 }
 
 #[test]
@@ -134,11 +154,18 @@ fn table3_float_prod_column_half_precision() {
     // Mantissa: 1.125·1.75/1.25 = 1.575; exponent: 9+22+13 = 44 ≡ 12.
     let sig_val = c1.sig as f64 / f64::powi(2.0, mw as i32);
     assert!((sig_val - 1.575).abs() < 2e-3, "rank 1 mantissa {sig_val}");
-    assert_eq!(c1.exponent(), (44i64 % 32) - 0, "exponent 44 on the 5-bit ring");
+    assert_eq!(
+        c1.exponent(),
+        (44i64 % 32) - 0,
+        "exponent 44 on the 5-bit ring"
+    );
     // Rank 2 (last): x ⊗ n₂ → 1.375·1.25 = 1.71875, exponent 1−13 = −12.
     let c2 = ops::mul(&x2, &n2, ew, mw);
     let sig_val = c2.sig as f64 / f64::powi(2.0, mw as i32);
-    assert!((sig_val - 1.71875).abs() < 1e-3, "rank 2 mantissa {sig_val}");
+    assert!(
+        (sig_val - 1.71875).abs() < 1e-3,
+        "rank 2 mantissa {sig_val}"
+    );
     assert_eq!(c2.exponent(), -12);
     // Network multiplies: mantissa 1.575·1.71875/2 ≈ 1.354, exponent 33 ≡ 1.
     let reduced = ops::mul(&c1, &c2, ew, mw);
@@ -148,7 +175,10 @@ fn table3_float_prod_column_half_precision() {
     // De-noise: the residual telescopes to rank 1's stream n₁.
     let decrypted = ops::div(&reduced, &n1, ew, mw);
     let sig_val = decrypted.sig as f64 / f64::powi(2.0, mw as i32);
-    assert!((sig_val - 1.546875).abs() < 2e-3, "Decrypted mantissa {sig_val}");
+    assert!(
+        (sig_val - 1.546875).abs() < 2e-3,
+        "Decrypted mantissa {sig_val}"
+    );
     assert_eq!(decrypted.exponent(), 10, "Decrypted = 1.547×2^10");
     // Cross-check against the plaintext product.
     let expect = (1.125 * 512.0) * (1.375 * 2.0);
