@@ -9,7 +9,7 @@
 use hear::core::{Backend, CommKeys};
 use hear::layer::measure_phases;
 use hear::mpi::Simulator;
-use hear_bench::scale_factor;
+use hear_bench::{json_output, scale_factor};
 
 fn run(backend: Option<Backend>, iters: u32) -> hear::layer::PhaseBreakdown {
     let be = backend.unwrap_or(Backend::AesSoft);
@@ -25,12 +25,15 @@ fn run(backend: Option<Backend>, iters: u32) -> hear::layer::PhaseBreakdown {
 
 fn main() {
     let iters = 10_000 * scale_factor() as u32;
-    println!("# Figure 4: 16 B MPI_Allreduce critical-path breakdown, 2 ranks, {iters} iters");
-    println!("# (per-iteration phase times in nanoseconds)");
-    println!(
-        "{:<22} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}",
-        "variant", "mem_alloc", "encrypt", "comm", "decrypt", "mem_free", "total", "crypto%"
-    );
+    let json = json_output();
+    if !json {
+        println!("# Figure 4: 16 B MPI_Allreduce critical-path breakdown, 2 ranks, {iters} iters");
+        println!("# (per-iteration phase times in nanoseconds)");
+        println!(
+            "{:<22} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}",
+            "variant", "mem_alloc", "encrypt", "comm", "decrypt", "mem_free", "total", "crypto%"
+        );
+    }
 
     let mut variants: Vec<(String, Option<Backend>)> = vec![
         ("Baseline (no crypto)".into(), None),
@@ -44,29 +47,53 @@ fn main() {
         variants.push(("HEAR + AES-NI".into(), Some(Backend::AesNi)));
     }
 
+    let mut rows = Vec::new();
     let mut sha_pct = None;
     let mut aes_pct = None;
     for (name, backend) in &variants {
         let b = run(*backend, iters);
         let per = |d: std::time::Duration| d.as_nanos() as f64 / iters as f64;
         let pct = b.crypto_overhead_pct();
-        println!(
-            "{:<22} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>8.1}%",
-            name,
-            per(b.mem_alloc),
-            per(b.encrypt),
-            per(b.comm),
-            per(b.decrypt),
-            per(b.mem_free),
-            per(b.total()),
-            pct
-        );
+        if json {
+            rows.push(format!(
+                "    {{\"variant\": \"{}\", \"mem_alloc_ns\": {:.1}, \"encrypt_ns\": {:.1}, \
+                 \"comm_ns\": {:.1}, \"decrypt_ns\": {:.1}, \"mem_free_ns\": {:.1}, \
+                 \"total_ns\": {:.1}, \"crypto_overhead_pct\": {:.2}}}",
+                name,
+                per(b.mem_alloc),
+                per(b.encrypt),
+                per(b.comm),
+                per(b.decrypt),
+                per(b.mem_free),
+                per(b.total()),
+                pct
+            ));
+        } else {
+            println!(
+                "{:<22} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>8.1}%",
+                name,
+                per(b.mem_alloc),
+                per(b.encrypt),
+                per(b.comm),
+                per(b.decrypt),
+                per(b.mem_free),
+                per(b.total()),
+                pct
+            );
+        }
         if name.contains("SHA1") {
             sha_pct = Some(pct);
         }
         if name.contains("AES-NI") {
             aes_pct = Some(pct);
         }
+    }
+    if json {
+        println!(
+            "{{\n  \"figure\": \"fig4\",\n  \"iterations\": {iters},\n  \"unit\": \"ns_per_iteration\",\n  \"variants\": [\n{}\n  ]\n}}",
+            rows.join(",\n")
+        );
+        return;
     }
     if let (Some(sha), Some(aes)) = (sha_pct, aes_pct) {
         println!(

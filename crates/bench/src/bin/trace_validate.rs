@@ -1,0 +1,111 @@
+//! CI schema validator for telemetry emissions.
+//!
+//! Parses files produced by `hear-telemetry`'s exporters with the in-repo
+//! parsers (`hear::telemetry::parse`) and exits nonzero on any schema
+//! violation. File kind is chosen by suffix:
+//!
+//! * `*.trace.json`    — chrome-trace: must parse, contain at least one
+//!   complete (`ph == "X"`) span and one `thread_name` metadata record,
+//!   and every event must sit in pid 1.
+//! * `*.prom`          — Prometheus text: must parse and expose at least
+//!   one `hear_`-prefixed sample.
+//! * anything else     — JSON snapshot: must parse and carry the
+//!   `counters`/`gauges`/`histograms` sections.
+//!
+//! Used by `scripts/ci.sh`'s traced smoke run:
+//!
+//! ```sh
+//! HEAR_TRACE=1 HEAR_TRACE_OUT=/tmp/smoke cargo run --release --example quickstart
+//! cargo run --release -p hear-bench --bin trace_validate -- \
+//!     /tmp/smoke.trace.json /tmp/smoke.prom /tmp/smoke.snapshot.json
+//! ```
+
+use hear::telemetry::parse;
+
+fn validate_trace(text: &str) -> Result<String, String> {
+    let events = parse::parse_chrome_trace(text).map_err(|e| e.to_string())?;
+    let spans = events.iter().filter(|e| e.ph == "X").count();
+    if spans == 0 {
+        return Err("no complete (ph == \"X\") span events".into());
+    }
+    if !events
+        .iter()
+        .any(|e| e.ph == "M" && e.name == "thread_name")
+    {
+        return Err("no thread_name metadata (Perfetto lane labels)".into());
+    }
+    if let Some(bad) = events.iter().find(|e| e.pid != 1) {
+        return Err(format!(
+            "event '{}' outside pid 1 (pid {})",
+            bad.name, bad.pid
+        ));
+    }
+    let lanes: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter(|e| e.ph == "X")
+        .map(|e| e.tid)
+        .collect();
+    Ok(format!("{spans} spans across {} lanes", lanes.len()))
+}
+
+fn validate_prom(text: &str) -> Result<String, String> {
+    let samples = parse::parse_prometheus(text).map_err(|e| e.to_string())?;
+    let hear = samples
+        .iter()
+        .filter(|s| s.name.starts_with("hear_"))
+        .count();
+    if hear == 0 {
+        return Err("no hear_* samples".into());
+    }
+    Ok(format!("{} samples ({hear} hear_*)", samples.len()))
+}
+
+fn validate_snapshot(text: &str) -> Result<String, String> {
+    let v = parse::parse_json(text).map_err(|e| e.to_string())?;
+    for section in ["counters", "gauges", "histograms"] {
+        if v.get(section).is_none() {
+            return Err(format!("missing '{section}' section"));
+        }
+    }
+    let events = v
+        .get("span_events")
+        .and_then(|n| n.as_f64())
+        .ok_or("missing numeric 'span_events'")?;
+    Ok(format!("snapshot with {events} span events"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: trace_validate <file.trace.json|file.prom|file.snapshot.json>...");
+        std::process::exit(2);
+    }
+    let mut failures = 0usize;
+    for path in &args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let verdict = if path.ends_with(".prom") {
+            validate_prom(&text)
+        } else if path.ends_with(".trace.json") {
+            validate_trace(&text)
+        } else {
+            validate_snapshot(&text)
+        };
+        match verdict {
+            Ok(summary) => println!("{path}: OK ({summary})"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

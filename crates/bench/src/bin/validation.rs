@@ -9,11 +9,14 @@
 use hear::core::{Backend, CommKeys, FloatSum, HfpFormat};
 use hear::layer::SecureComm;
 use hear::mpi::Simulator;
-use hear_bench::{exp_sampled_values, scale_factor};
+use hear_bench::{exp_sampled_values, json_output, scale_factor};
 
 fn main() {
     let n = 1_000_000 * scale_factor();
-    println!("# §6 results validation");
+    let json = json_output();
+    if !json {
+        println!("# §6 results validation");
+    }
 
     // Float enc/dec roundtrip error.
     let keys = CommKeys::generate(1, 0xBA11, Backend::best_available())
@@ -40,13 +43,15 @@ fn main() {
         }
         done += take;
     }
-    println!(
-        "MPI_FLOAT (FP32, γ=2): {} enc/dec iterations, mean rel err {:.3e}, max {:.3e}",
-        n,
-        total_rel / n as f64,
-        max_rel
-    );
-    println!("  paper: average 1.3e-7 over 10M iterations");
+    if !json {
+        println!(
+            "MPI_FLOAT (FP32, γ=2): {} enc/dec iterations, mean rel err {:.3e}, max {:.3e}",
+            n,
+            total_rel / n as f64,
+            max_rel
+        );
+        println!("  paper: average 1.3e-7 over 10M iterations");
+    }
 
     // Integer exactness: encrypted vs reference receive buffers.
     let results = Simulator::new(4).run(|comm| {
@@ -63,7 +68,17 @@ fn main() {
         enc == reference
     });
     assert!(results.iter().all(|ok| *ok));
-    println!(
-        "MPI_INT summation: 100k-element receive buffers identical on all 4 ranks (memcmp == 0)"
-    );
+    if json {
+        println!(
+            "{{\n  \"figure\": \"validation\",\n  \"float_roundtrip\": {{\"iterations\": {n}, \
+             \"mean_rel_err\": {:.6e}, \"max_rel_err\": {:.6e}, \"paper_mean_rel_err\": 1.3e-7}},\n  \
+             \"int_exact\": {{\"ranks\": 4, \"elements\": 100000, \"memcmp_zero\": true}}\n}}",
+            total_rel / n as f64,
+            max_rel
+        );
+    } else {
+        println!(
+            "MPI_INT summation: 100k-element receive buffers identical on all 4 ranks (memcmp == 0)"
+        );
+    }
 }

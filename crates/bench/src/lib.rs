@@ -118,6 +118,17 @@ pub fn scale_factor() -> usize {
     }
 }
 
+/// True when the binary was invoked with `--json`: experiment regenerators
+/// then emit machine-readable output (parseable with
+/// `hear::telemetry::parse::parse_json`) instead of the human table.
+pub fn json_output() -> bool {
+    flag_set(std::env::args(), "--json")
+}
+
+fn flag_set(mut args: impl Iterator<Item = String>, flag: &str) -> bool {
+    args.any(|a| a == flag)
+}
+
 pub fn gib_per_s(bps: f64) -> f64 {
     bps / 1e9
 }
@@ -125,6 +136,19 @@ pub fn gib_per_s(bps: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn flag_set_matches_exact_argument() {
+        let args = |v: &[&str]| {
+            v.iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .into_iter()
+        };
+        assert!(flag_set(args(&["fig4", "--json"]), "--json"));
+        assert!(!flag_set(args(&["fig4"]), "--json"));
+        assert!(!flag_set(args(&["fig4", "--jsonx"]), "--json"));
+    }
 
     #[test]
     fn stats_basics() {

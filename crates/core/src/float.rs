@@ -91,6 +91,7 @@ impl FloatSum {
         x: &[f64],
         out: &mut Vec<Hfp>,
     ) -> Result<(), HfpError> {
+        let _s = hear_telemetry::span!("encrypt", elems = x.len());
         let (le, lm) = self.fmt.plain_widths();
         let (cew, cmw) = self.fmt.cipher_widths();
         let mut noise = Vec::new();
@@ -114,6 +115,7 @@ impl FloatSum {
 
     /// Decrypt an aggregated vector: divide by the collective noise.
     pub fn decrypt_f64(&self, keys: &CommKeys, first: u64, agg: &[Hfp], out: &mut Vec<f64>) {
+        let _s = hear_telemetry::span!("decrypt", elems = agg.len());
         let (cew, cmw) = self.fmt.cipher_widths();
         let mut noise = Vec::new();
         noise_fill_n(
@@ -162,6 +164,7 @@ impl FloatProd {
         x: &[f64],
         out: &mut Vec<Hfp>,
     ) -> Result<(), HfpError> {
+        let _s = hear_telemetry::span!("encrypt", elems = x.len());
         let (le, lm) = self.fmt.plain_widths();
         let (cew, cmw) = self.fmt.cipher_widths();
         let mut own = Vec::new();
@@ -202,6 +205,7 @@ impl FloatProd {
     }
 
     pub fn decrypt_f64(&self, keys: &CommKeys, first: u64, agg: &[Hfp], out: &mut Vec<f64>) {
+        let _s = hear_telemetry::span!("decrypt", elems = agg.len());
         let (cew, cmw) = self.fmt.cipher_widths();
         let mut zero = Vec::new();
         noise_fill_n(

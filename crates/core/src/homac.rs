@@ -82,6 +82,7 @@ impl Homac {
 
     /// Cancelling tags for this rank's ciphertext block (Θ(1) verification).
     pub fn tag<W: RingWord>(&self, keys: &CommKeys, first: u64, cipher: &[W]) -> Vec<u64> {
+        let _s = hear_telemetry::span!("homac_tag", elems = cipher.len());
         cipher
             .iter()
             .enumerate()
@@ -131,14 +132,21 @@ impl Homac {
         tags: &[u64],
     ) -> bool {
         assert_eq!(agg.len(), tags.len());
+        let _s = hear_telemetry::span!("homac_verify", elems = agg.len());
         let two_b = pow_p(2, W::BITS as u64); // 2^b mod p
-        agg.iter().zip(tags).enumerate().all(|(i, (c, sigma))| {
+        let ok = agg.iter().zip(tags).enumerate().all(|(i, (c, sigma))| {
             let j = first + i as u64;
             let s0 = self.s_at(keys.base_zero(), j);
             let base = add_p(c.to_u64() % HOMAC_P, mul_p(*sigma, self.z));
             // Σc_i = c_t + k·2^b for some overflow count k < P.
             (0..keys.world() as u64).any(|k| add_p(base, mul_p(k % HOMAC_P, two_b)) == s0)
-        })
+        });
+        hear_telemetry::incr(if ok {
+            hear_telemetry::Metric::HomacVerifyPass
+        } else {
+            hear_telemetry::Metric::HomacVerifyFail
+        });
+        ok
     }
 
     /// Verify non-cancelling tags: reconstructs all `P` key streams.
@@ -150,14 +158,21 @@ impl Homac {
         tags: &[u64],
     ) -> bool {
         assert_eq!(agg.len(), tags.len());
+        let _s = hear_telemetry::span!("homac_verify", elems = agg.len());
         let two_b = pow_p(2, W::BITS as u64);
-        agg.iter().zip(tags).enumerate().all(|(i, (c, sigma))| {
+        let ok = agg.iter().zip(tags).enumerate().all(|(i, (c, sigma))| {
             let j = first + i as u64;
             let s_sum = (0..registry.world())
                 .fold(0u64, |acc, r| add_p(acc, self.s_at(registry.base_of(r), j)));
             let base = add_p(c.to_u64() % HOMAC_P, mul_p(*sigma, self.z));
             (0..registry.world() as u64).any(|k| add_p(base, mul_p(k % HOMAC_P, two_b)) == s_sum)
-        })
+        });
+        hear_telemetry::incr(if ok {
+            hear_telemetry::Metric::HomacVerifyPass
+        } else {
+            hear_telemetry::Metric::HomacVerifyFail
+        });
+        ok
     }
 
     /// Wire overhead of the tag channel relative to the data channel, as a

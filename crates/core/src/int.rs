@@ -57,6 +57,7 @@ impl IntSum {
         buf: &mut [W],
         scratch: &mut Scratch<W>,
     ) {
+        let _s = hear_telemetry::span!("encrypt", elems = buf.len());
         scratch.ensure(buf.len());
         let own = &mut scratch.own[..buf.len()];
         W::fill_noise(keys.prf(), keys.base_own(), first, own);
@@ -80,6 +81,7 @@ impl IntSum {
         agg: &mut [W],
         scratch: &mut Scratch<W>,
     ) {
+        let _s = hear_telemetry::span!("decrypt", elems = agg.len());
         scratch.ensure(agg.len());
         let zero = &mut scratch.own[..agg.len()];
         W::fill_noise(keys.prf(), keys.base_zero(), first, zero);
@@ -107,6 +109,7 @@ impl IntProd {
         buf: &mut [W],
         scratch: &mut Scratch<W>,
     ) {
+        let _s = hear_telemetry::span!("encrypt", elems = buf.len());
         scratch.ensure(buf.len());
         let own = &mut scratch.own[..buf.len()];
         W::fill_noise(keys.prf(), keys.base_own(), first, own);
@@ -129,6 +132,7 @@ impl IntProd {
         agg: &mut [W],
         scratch: &mut Scratch<W>,
     ) {
+        let _s = hear_telemetry::span!("decrypt", elems = agg.len());
         scratch.ensure(agg.len());
         let zero = &mut scratch.own[..agg.len()];
         W::fill_noise(keys.prf(), keys.base_zero(), first, zero);
@@ -153,6 +157,7 @@ impl IntXor {
         buf: &mut [W],
         scratch: &mut Scratch<W>,
     ) {
+        let _s = hear_telemetry::span!("encrypt", elems = buf.len());
         scratch.ensure(buf.len());
         let own = &mut scratch.own[..buf.len()];
         W::fill_noise(keys.prf(), keys.base_own(), first, own);
@@ -175,6 +180,7 @@ impl IntXor {
         agg: &mut [W],
         scratch: &mut Scratch<W>,
     ) {
+        let _s = hear_telemetry::span!("decrypt", elems = agg.len());
         scratch.ensure(agg.len());
         let zero = &mut scratch.own[..agg.len()];
         W::fill_noise(keys.prf(), keys.base_zero(), first, zero);
@@ -202,6 +208,7 @@ impl NaiveIntSum {
         buf: &mut [W],
         scratch: &mut Scratch<W>,
     ) {
+        let _s = hear_telemetry::span!("encrypt", elems = buf.len());
         scratch.ensure(buf.len());
         let own = &mut scratch.own[..buf.len()];
         W::fill_noise(keys.prf(), keys.base_own(), first, own);
@@ -217,6 +224,7 @@ impl NaiveIntSum {
         agg: &mut [W],
         scratch: &mut Scratch<W>,
     ) {
+        let _s = hear_telemetry::span!("decrypt", elems = agg.len());
         scratch.ensure(agg.len());
         let noise = &mut scratch.own[..agg.len()];
         for rank in 0..registry.world() {

@@ -47,6 +47,7 @@ impl CommKeys {
         seed: u64,
         backend: Backend,
     ) -> (Vec<CommKeys>, KeyRegistry) {
+        let _s = hear_telemetry::span!("keygen", world = world);
         assert!(world >= 1, "communicator needs at least one rank");
         assert!(
             backend.is_available(),
@@ -95,6 +96,7 @@ impl CommKeys {
     /// Advance the collective key: `kc ← F_kp(kc)`. Every rank of the
     /// communicator must call this once per Allreduce, in the same order.
     pub fn advance(&mut self) {
+        hear_telemetry::incr(hear_telemetry::Metric::KeyAdvances);
         self.kc = self.kp_prf.eval_block(self.kc as u128) as u64;
     }
 

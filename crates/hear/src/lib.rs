@@ -23,6 +23,9 @@
 //! * [`num`] ([`hear_num`]) — exact arithmetic (MPFR/GMP substitute).
 //! * [`baselines`] ([`hear_baselines`]) — Paillier/RSA/ElGamal for the
 //!   requirements comparison.
+//! * [`telemetry`] ([`hear_telemetry`]) — zero-dependency tracing and
+//!   metrics: spans, counters, chrome-trace/Prometheus/JSON exporters
+//!   (set `HEAR_TRACE=1`).
 //!
 //! ## Quickstart
 //!
@@ -53,3 +56,4 @@ pub use hear_mpi as mpi;
 pub use hear_net as net;
 pub use hear_num as num;
 pub use hear_prf as prf;
+pub use hear_telemetry as telemetry;

@@ -3,12 +3,15 @@
 //! Fig. 4 decomposes a 16-byte `MPI_Allreduce` integer summation into
 //! `mem_alloc → encrypt → comm → decrypt → mem_free` and compares the
 //! crypto overhead of the SHA-1 and AES-NI PRF backends against the bare
-//! runtime. This module reproduces that measurement: each phase is timed
-//! separately over many iterations and reported as accumulated time.
+//! runtime. This module reproduces that measurement as a thin consumer of
+//! the `hear-telemetry` span stream: each phase is wrapped in a top-level
+//! span recorded into a private registry, and the breakdown is folded from
+//! the drained events rather than from ad-hoc `Instant` bookkeeping.
 
 use hear_core::{CommKeys, IntSum, Scratch};
 use hear_mpi::Communicator;
-use std::time::{Duration, Instant};
+use hear_telemetry::Registry;
+use std::time::Duration;
 
 /// Accumulated per-phase time over a measurement run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -28,15 +31,46 @@ impl PhaseBreakdown {
 
     /// Crypto overhead relative to communication time — the percentages
     /// printed next to the bars in Fig. 4 (75.5 % for SHA-1, 7.1 % for
-    /// AES-NI on the paper's system).
+    /// AES-NI on the paper's system). Returns 0 when no communication time
+    /// was accumulated (e.g. under `NetConfig::instant()` with a clock too
+    /// coarse to see the fabric hop), instead of a nonsense huge ratio.
     pub fn crypto_overhead_pct(&self) -> f64 {
+        if self.comm.is_zero() {
+            return 0.0;
+        }
         let crypto = self.encrypt + self.decrypt;
-        100.0 * crypto.as_secs_f64() / self.comm.as_secs_f64().max(1e-12)
+        100.0 * crypto.as_secs_f64() / self.comm.as_secs_f64()
     }
 
     /// Mean per-iteration latency of one full secured allreduce.
+    /// [`Duration::ZERO`] when no iterations ran.
     pub fn per_iteration(&self) -> Duration {
-        self.total() / self.iterations.max(1)
+        if self.iterations == 0 {
+            return Duration::ZERO;
+        }
+        self.total() / self.iterations
+    }
+
+    /// Fold a drained span stream into the accumulator. Only *top-level*
+    /// spans (depth 0) with the five phase names count: the instrumented
+    /// substrate emits nested spans with overlapping names (hear-core's
+    /// `encrypt`/`decrypt`, hear-mpi's `allreduce`/`send`/`recv`) and those
+    /// must not be double-counted into their enclosing phase.
+    fn fold_events(&mut self, events: &[hear_telemetry::SpanEvent]) {
+        for ev in events {
+            if ev.depth != 0 {
+                continue;
+            }
+            let d = Duration::from_nanos(ev.dur_ns);
+            match ev.name {
+                "mem_alloc" => self.mem_alloc += d,
+                "encrypt" => self.encrypt += d,
+                "comm" => self.comm += d,
+                "decrypt" => self.decrypt += d,
+                "mem_free" => self.mem_free += d,
+                _ => {}
+            }
+        }
     }
 }
 
@@ -44,6 +78,11 @@ impl PhaseBreakdown {
 /// elements (4 elems = the paper's 16 B message) and return the phase
 /// accumulation. When `encrypted` is false, only alloc/comm/free run — the
 /// bare Cray-MPICH-equivalent baseline bar.
+///
+/// Each phase is a depth-0 span on a private enabled [`Registry`]
+/// installed for the duration of the call, so the measurement is exact
+/// even when global `HEAR_TRACE` tracing is live (the private context
+/// shadows the global one on this thread).
 pub fn measure_phases(
     comm: &Communicator,
     keys: &mut CommKeys,
@@ -51,6 +90,8 @@ pub fn measure_phases(
     iters: u32,
     encrypted: bool,
 ) -> PhaseBreakdown {
+    let reg = Registry::new_enabled();
+    let ctx = reg.install(Some(comm.rank()));
     let mut b = PhaseBreakdown {
         iterations: iters,
         ..Default::default()
@@ -59,33 +100,40 @@ pub fn measure_phases(
     // of the per-call critical path.
     let mut scratch = Scratch::with_capacity(elems);
     for i in 0..iters {
-        let t0 = Instant::now();
-        let mut buf: Vec<u32> = Vec::with_capacity(elems);
-        buf.extend((0..elems as u32).map(|j| j.wrapping_mul(i)));
-        let t1 = Instant::now();
-        b.mem_alloc += t1 - t0;
-
-        if encrypted {
-            keys.advance();
-            IntSum::encrypt_in_place(keys, 0, &mut buf, &mut scratch);
+        let mut buf: Vec<u32>;
+        {
+            let _s = hear_telemetry::span!("mem_alloc", elems = elems);
+            buf = Vec::with_capacity(elems);
+            buf.extend((0..elems as u32).map(|j| j.wrapping_mul(i)));
         }
-        let t2 = Instant::now();
-        b.encrypt += t2 - t1;
-
-        let mut agg = comm.allreduce(&buf, |a: &u32, c: &u32| a.wrapping_add(*c));
-        let t3 = Instant::now();
-        b.comm += t3 - t2;
-
-        if encrypted {
-            IntSum::decrypt_in_place(keys, 0, &mut agg, &mut scratch);
+        {
+            let _s = hear_telemetry::span!("encrypt", elems = elems);
+            if encrypted {
+                keys.advance();
+                IntSum::encrypt_in_place(keys, 0, &mut buf, &mut scratch);
+            }
         }
-        let t4 = Instant::now();
-        b.decrypt += t4 - t3;
-
-        drop(agg);
-        drop(buf);
-        b.mem_free += t4.elapsed();
+        let mut agg;
+        {
+            let _s = hear_telemetry::span!("comm", elems = elems);
+            agg = comm.allreduce(&buf, |a: &u32, c: &u32| a.wrapping_add(*c));
+        }
+        {
+            let _s = hear_telemetry::span!("decrypt", elems = elems);
+            if encrypted {
+                IntSum::decrypt_in_place(keys, 0, &mut agg, &mut scratch);
+            }
+        }
+        {
+            let _s = hear_telemetry::span!("mem_free", elems = elems);
+            drop(agg);
+            drop(buf);
+        }
+        // Drain per iteration so long runs can never overflow the span
+        // ring (which would silently lose phase time).
+        b.fold_events(&reg.drain_span_events());
     }
+    drop(ctx);
     b
 }
 
@@ -139,5 +187,54 @@ mod tests {
             sha.encrypt + sha.decrypt,
             aes.encrypt + aes.decrypt
         );
+    }
+
+    #[test]
+    fn zero_comm_overhead_is_zero_not_huge() {
+        // Satellite fix: a breakdown with zero accumulated comm time used
+        // to divide by (effectively) zero and report absurd percentages.
+        let b = PhaseBreakdown {
+            encrypt: Duration::from_micros(5),
+            decrypt: Duration::from_micros(5),
+            ..Default::default()
+        };
+        assert_eq!(b.crypto_overhead_pct(), 0.0);
+    }
+
+    #[test]
+    fn zero_iterations_per_iteration_is_zero() {
+        // Satellite fix: iterations == 0 must not read as "1 iteration".
+        let b = PhaseBreakdown {
+            comm: Duration::from_millis(3),
+            iterations: 0,
+            ..Default::default()
+        };
+        assert_eq!(b.per_iteration(), Duration::ZERO);
+        // And the happy path still divides.
+        let b2 = PhaseBreakdown {
+            comm: Duration::from_millis(4),
+            iterations: 2,
+            ..Default::default()
+        };
+        assert_eq!(b2.per_iteration(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn breakdown_is_fold_of_depth0_spans_only() {
+        // The phase fold must ignore nested substrate spans even when they
+        // reuse a phase name (hear-core emits its own depth-1 "encrypt").
+        use hear_telemetry::Registry;
+        let reg = Registry::new_enabled();
+        {
+            let _g = reg.install(Some(0));
+            let _outer = hear_telemetry::span!("encrypt");
+            let _inner = hear_telemetry::span!("encrypt"); // depth 1
+        }
+        let evs = reg.drain_span_events();
+        assert_eq!(evs.len(), 2);
+        let mut b = PhaseBreakdown::default();
+        b.fold_events(&evs);
+        let top = evs.iter().find(|e| e.depth == 0).unwrap();
+        assert_eq!(b.encrypt, Duration::from_nanos(top.dur_ns));
     }
 }

@@ -17,6 +17,7 @@ impl SecureComm {
     /// [`SecureComm::allreduce_sum_u32`].
     pub fn allreduce_sum_u32_pipelined(&mut self, data: &[u32], block_elems: usize) -> Vec<u32> {
         assert!(block_elems > 0, "block size must be positive");
+        let _s = hear_telemetry::span!("pipeline", elems = data.len(), block = block_elems);
         self.keys.advance();
         let comm = self.comm.clone();
         let mut out = vec![0u32; data.len()];
@@ -29,20 +30,30 @@ impl SecureComm {
             let end = (offset + block_elems).min(data.len());
             let mut buf = data[offset..end].to_vec();
             IntSum::encrypt_in_place(&self.keys, offset as u64, &mut buf, &mut self.scratch_u32);
+            hear_telemetry::incr(hear_telemetry::Metric::PipelineBlocks);
+            hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, 1);
             inflight.push_back((
                 offset,
                 comm.iallreduce_ring(buf, |a: &u32, b: &u32| a.wrapping_add(*b)),
             ));
             if inflight.len() >= DEPTH {
                 let (o, req) = inflight.pop_front().expect("non-empty");
-                let mut agg = req.wait();
+                let mut agg = {
+                    let _w = hear_telemetry::span!("pipeline_wait", offset = o);
+                    req.wait()
+                };
+                hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
                 IntSum::decrypt_in_place(&self.keys, o as u64, &mut agg, &mut self.scratch_u32);
                 out[o..o + agg.len()].copy_from_slice(&agg);
             }
             offset = end;
         }
         while let Some((o, req)) = inflight.pop_front() {
-            let mut agg = req.wait();
+            let mut agg = {
+                let _w = hear_telemetry::span!("pipeline_wait", offset = o);
+                req.wait()
+            };
+            hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
             IntSum::decrypt_in_place(&self.keys, o as u64, &mut agg, &mut self.scratch_u32);
             out[o..o + agg.len()].copy_from_slice(&agg);
         }
@@ -205,6 +216,7 @@ impl SecureComm {
         block_elems: usize,
     ) -> Result<Vec<f64>, hear_core::HfpError> {
         assert!(block_elems > 0, "block size must be positive");
+        let _s = hear_telemetry::span!("pipeline", elems = data.len(), block = block_elems);
         self.keys.advance();
         let comm = self.comm.clone();
         let scheme = hear_core::FloatSum::new(fmt);
@@ -218,6 +230,8 @@ impl SecureComm {
         while offset < data.len() {
             let end = (offset + block_elems).min(data.len());
             scheme.encrypt_f64(&self.keys, offset as u64, &data[offset..end], &mut ct)?;
+            hear_telemetry::incr(hear_telemetry::Metric::PipelineBlocks);
+            hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, 1);
             inflight.push_back((
                 offset,
                 comm.iallreduce_ring(ct.clone(), |a: &hear_core::Hfp, b: &hear_core::Hfp| {
@@ -226,14 +240,22 @@ impl SecureComm {
             ));
             if inflight.len() >= DEPTH {
                 let (o, req) = inflight.pop_front().expect("non-empty");
-                let agg = req.wait();
+                let agg = {
+                    let _w = hear_telemetry::span!("pipeline_wait", offset = o);
+                    req.wait()
+                };
+                hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
                 scheme.decrypt_f64(&self.keys, o as u64, &agg, &mut dec);
                 out[o..o + dec.len()].copy_from_slice(&dec);
             }
             offset = end;
         }
         while let Some((o, req)) = inflight.pop_front() {
-            let agg = req.wait();
+            let agg = {
+                let _w = hear_telemetry::span!("pipeline_wait", offset = o);
+                req.wait()
+            };
+            hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
             scheme.decrypt_f64(&self.keys, o as u64, &agg, &mut dec);
             out[o..o + dec.len()].copy_from_slice(&dec);
         }

@@ -106,9 +106,20 @@ impl MemoryPool {
     /// exhausted (the paper-accurate behaviour is to size the pool for the
     /// pipeline depth so this never happens on the hot path).
     pub fn take(&self) -> AlignedBuf {
-        lock_unpoisoned(&self.free)
-            .pop()
-            .unwrap_or_else(|| AlignedBuf::new(self.block_bytes))
+        let reused = {
+            let mut free = lock_unpoisoned(&self.free);
+            let b = free.pop();
+            if hear_telemetry::active() {
+                hear_telemetry::incr(if b.is_some() {
+                    hear_telemetry::Metric::PoolTakeReuse
+                } else {
+                    hear_telemetry::Metric::PoolTakeFresh
+                });
+                hear_telemetry::gauge_set(hear_telemetry::Gauge::PoolAvailable, free.len() as i64);
+            }
+            b
+        };
+        reused.unwrap_or_else(|| AlignedBuf::new(self.block_bytes))
     }
 
     /// Return a block to the pool.
@@ -118,7 +129,12 @@ impl MemoryPool {
             self.block_bytes,
             "foreign block returned to pool"
         );
-        lock_unpoisoned(&self.free).push(buf);
+        let mut free = lock_unpoisoned(&self.free);
+        free.push(buf);
+        if hear_telemetry::active() {
+            hear_telemetry::incr(hear_telemetry::Metric::PoolPuts);
+            hear_telemetry::gauge_set(hear_telemetry::Gauge::PoolAvailable, free.len() as i64);
+        }
     }
 }
 

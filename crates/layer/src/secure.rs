@@ -129,6 +129,7 @@ impl SecureComm {
         Op: Fn(&W, &W) -> W + Send + Sync + Clone + 'static,
         Scratch<W>: ScratchOf<W>,
     {
+        let _s = hear_telemetry::span!("secure_allreduce", elems = data.len());
         self.keys.advance();
         let mut buf = data.to_vec();
         // Temporarily move the scratch out so keys (shared) and scratch
@@ -341,6 +342,7 @@ impl SecureComm {
         &mut self,
         data: &[u32],
     ) -> Result<Vec<u32>, VerificationError> {
+        let _s = hear_telemetry::span!("secure_allreduce_verified", elems = data.len());
         let homac = self
             .homac
             .clone()

@@ -15,6 +15,7 @@ fn fold_into<T, F: Fn(&T, &T) -> T>(dst: &mut [T], src: &[T], op: &F) {
         src.len(),
         "reduction buffers must match in length"
     );
+    let _s = hear_telemetry::span!("reduce", elems = dst.len());
     for (d, s) in dst.iter_mut().zip(src) {
         *d = op(d, s);
     }
@@ -24,6 +25,7 @@ impl Communicator {
     /// Dissemination barrier: ⌈log₂ P⌉ rounds.
     pub fn barrier(&self) {
         let tag = self.next_coll_tag();
+        let _s = hear_telemetry::span!("barrier", tag = tag);
         let (rank, world) = (self.rank(), self.world());
         let mut dist = 1;
         while dist < world {
@@ -38,6 +40,7 @@ impl Communicator {
     /// Binomial-tree broadcast from `root`. Every rank returns the data.
     pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, data: Vec<T>) -> Vec<T> {
         let tag = self.next_coll_tag();
+        let _s = hear_telemetry::span!("bcast", root = root, tag = tag);
         let (world, rank) = (self.world(), self.rank());
         if world == 1 {
             return data;
@@ -118,6 +121,7 @@ impl Communicator {
         F: Fn(&T, &T) -> T,
     {
         let (world, rank) = (self.world(), self.rank());
+        let _s = hear_telemetry::span!("allreduce", elems = data.len(), tag = tag);
         let mut acc: Vec<T> = data.to_vec();
         if world == 1 {
             return acc;
@@ -177,6 +181,7 @@ impl Communicator {
         F: Fn(&T, &T) -> T,
     {
         let (world, rank) = (self.world(), self.rank());
+        let _s = hear_telemetry::span!("allreduce_ring", elems = data.len(), tag = tag);
         let mut acc: Vec<T> = data.to_vec();
         if world == 1 {
             return acc;

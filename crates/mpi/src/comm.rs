@@ -137,7 +137,11 @@ impl Communicator {
             let fabric = self.fabric.clone();
             let topo = topo.clone();
             let op = op.clone();
+            let tele = hear_telemetry::spawn_context();
             std::thread::spawn(move || {
+                // Switch nodes are infrastructure, not ranks: record into
+                // the spawning rank's registry but under a rankless lane.
+                let _tele = tele.map(|(reg, _)| reg.install(None));
                 crate::inc::switch_node_service::<T, F>(&fabric, &topo, node, tag, &op);
             });
         }
@@ -155,6 +159,7 @@ impl Communicator {
     /// call collectives in the same program order, so the per-rank counters
     /// stay aligned without any coordination.
     pub(crate) fn next_coll_tag(&self) -> u64 {
+        hear_telemetry::incr(hear_telemetry::Metric::Collectives);
         COLL_TAG_BASE + (self.coll_seq.fetch_add(1, Ordering::Relaxed) << 8)
     }
 
@@ -167,6 +172,7 @@ impl Communicator {
     pub(crate) fn send_internal<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
         assert!(dst < self.world, "destination out of range");
         let bytes = std::mem::size_of::<T>() * data.len();
+        let _s = hear_telemetry::span!("send", bytes = bytes, dst = dst, tag = tag);
         self.fabric.send_boxed(
             self.endpoint(self.rank),
             self.endpoint(dst),
@@ -183,6 +189,7 @@ impl Communicator {
     }
 
     pub(crate) fn recv_internal<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        let _s = hear_telemetry::span!("recv", src = src, tag = tag);
         let env = self.fabric.mailboxes[self.endpoint(self.rank)]
             .take(self.endpoint(src), self.tag_with_context(tag));
         *env.payload

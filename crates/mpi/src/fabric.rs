@@ -107,7 +107,11 @@ impl Mailbox {
             }
             std::thread::yield_now();
         }
+        if early.is_some() {
+            hear_telemetry::incr(hear_telemetry::Metric::MailboxSpinHits);
+        }
         let env = early.unwrap_or_else(|| {
+            hear_telemetry::incr(hear_telemetry::Metric::MailboxParks);
             let mut st = lock_unpoisoned(&self.state);
             loop {
                 if let Some(env) = st.pop_match(source, tag) {
@@ -168,6 +172,9 @@ impl Fabric {
         payload: Box<dyn Any + Send>,
         bytes: usize,
     ) {
+        hear_telemetry::incr(hear_telemetry::Metric::FabricMsgs);
+        hear_telemetry::add(hear_telemetry::Metric::FabricBytes, bytes as u64);
+        hear_telemetry::observe(hear_telemetry::Hist::FabricMsgBytes, bytes as u64);
         let now = Instant::now();
         let available_at = if self.net.is_instant() {
             now

@@ -43,8 +43,12 @@ impl Communicator {
     {
         let tag = self.next_coll_tag();
         let comm = self.clone();
+        let tele = hear_telemetry::spawn_context();
         Request {
-            handle: std::thread::spawn(move || comm.allreduce_tagged(tag, &data, op)),
+            handle: std::thread::spawn(move || {
+                let _tele = tele.map(|(reg, rank)| reg.install(rank));
+                comm.allreduce_tagged(tag, &data, op)
+            }),
         }
     }
 
@@ -57,8 +61,12 @@ impl Communicator {
     {
         let tag = self.next_coll_tag();
         let comm = self.clone();
+        let tele = hear_telemetry::spawn_context();
         Request {
-            handle: std::thread::spawn(move || comm.allreduce_ring_tagged(tag, &data, op)),
+            handle: std::thread::spawn(move || {
+                let _tele = tele.map(|(reg, rank)| reg.install(rank));
+                comm.allreduce_ring_tagged(tag, &data, op)
+            }),
         }
     }
 }

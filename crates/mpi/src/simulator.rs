@@ -71,8 +71,23 @@ impl Simulator {
                 c
             })
             .collect();
+        // Rank threads inherit the launching thread's telemetry registry
+        // (private installed context or enabled global), each under a lane
+        // attributed to its own rank — that is what makes chrome-trace
+        // lanes line up with MPI ranks.
+        let tele = hear_telemetry::spawn_context();
+        let f = &f;
         std::thread::scope(|scope| {
-            let handles: Vec<_> = comms.iter().map(|comm| scope.spawn(|| f(comm))).collect();
+            let handles: Vec<_> = comms
+                .iter()
+                .map(|comm| {
+                    let tele = tele.clone();
+                    scope.spawn(move || {
+                        let _tele = tele.map(|(reg, _)| reg.install(Some(comm.rank())));
+                        f(comm)
+                    })
+                })
+                .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
@@ -103,6 +118,46 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_world_rejected() {
         let _ = Simulator::new(0);
+    }
+
+    #[test]
+    fn telemetry_lanes_and_counters_match_schedule() {
+        use hear_telemetry::{Metric, Registry};
+        // Private registry so concurrent tests can't pollute the counts.
+        let reg = Registry::new_enabled();
+        let _g = reg.install(None);
+        const LEN: usize = 5;
+        let results = Simulator::new(4).run(|comm| {
+            let data: Vec<u64> = (0..LEN as u64).map(|j| comm.rank() as u64 + j).collect();
+            comm.allreduce(&data, |a, b| a + b)
+        });
+        assert_eq!(results.len(), 4);
+        // Recursive doubling, P = 4 (power of two): log2(P) = 2 sendrecv
+        // steps per rank -> 4·2 = 8 messages, each LEN u64s.
+        assert_eq!(reg.counter(Metric::FabricMsgs), 8);
+        assert_eq!(reg.counter(Metric::FabricBytes), 8 * LEN as u64 * 8);
+        // One tag allocation per rank.
+        assert_eq!(reg.counter(Metric::Collectives), 4);
+        // Every rank owns a lane, correctly attributed.
+        let ranks = reg.lane_ranks();
+        for r in 0..4 {
+            assert!(ranks.contains(&Some(r)), "missing lane for rank {r}");
+        }
+        // Per-rank span stream survives concurrent recording intact.
+        let evs = reg.span_events();
+        for r in 0..4 {
+            let of = |name: &str| {
+                evs.iter()
+                    .filter(|e| e.name == name && e.rank == Some(r))
+                    .count()
+            };
+            assert_eq!(of("allreduce"), 1, "rank {r}");
+            assert_eq!(of("send"), 2, "rank {r}");
+            assert_eq!(of("recv"), 2, "rank {r}");
+            assert_eq!(of("reduce"), 2, "rank {r}");
+        }
+        // Nothing leaked into a foreign lane: every event is rank-tagged.
+        assert!(evs.iter().all(|e| e.rank.is_some()));
     }
 
     #[test]

@@ -161,11 +161,12 @@ impl PrfCipher {
     pub fn backend(&self) -> Backend {
         self.backend
     }
-}
 
-impl Prf for PrfCipher {
+    /// Backend dispatch without the telemetry counter — the counted entry
+    /// points below account for blocks exactly once, whether they come in
+    /// one at a time or through the bulk fill.
     #[inline]
-    fn eval_block(&self, x: u128) -> u128 {
+    fn eval_uncounted(&self, x: u128) -> u128 {
         match &self.inner {
             PrfImpl::Soft(a) => a.encrypt_block(x),
             #[cfg(target_arch = "x86_64")]
@@ -175,8 +176,27 @@ impl Prf for PrfCipher {
             PrfImpl::Sha1Ni(s) => s.eval_block(x),
         }
     }
+}
+
+/// Telemetry counter for blocks evaluated by `backend`.
+fn blocks_metric(backend: Backend) -> hear_telemetry::Metric {
+    match backend {
+        Backend::AesSoft => hear_telemetry::Metric::PrfBlocksAesSoft,
+        Backend::AesNi => hear_telemetry::Metric::PrfBlocksAesNi,
+        Backend::Sha1 => hear_telemetry::Metric::PrfBlocksSha1,
+        Backend::Sha1Ni => hear_telemetry::Metric::PrfBlocksSha1Ni,
+    }
+}
+
+impl Prf for PrfCipher {
+    #[inline]
+    fn eval_block(&self, x: u128) -> u128 {
+        hear_telemetry::add(blocks_metric(self.backend), 1);
+        self.eval_uncounted(x)
+    }
 
     fn fill_blocks(&self, base: u128, out: &mut [u128]) {
+        hear_telemetry::add(blocks_metric(self.backend), out.len() as u64);
         match &self.inner {
             #[cfg(target_arch = "x86_64")]
             PrfImpl::Ni(a) => {
@@ -199,7 +219,7 @@ impl Prf for PrfCipher {
             }
             _ => {
                 for (i, o) in out.iter_mut().enumerate() {
-                    *o = self.eval_block(base.wrapping_add(i as u128));
+                    *o = self.eval_uncounted(base.wrapping_add(i as u128));
                 }
             }
         }
@@ -244,6 +264,10 @@ pub fn keystream_u32(prf: &dyn Prf, base: u128, first: u64, out: &mut [u32]) {
     if out.is_empty() {
         return;
     }
+    hear_telemetry::add(
+        hear_telemetry::Metric::KeystreamBytes,
+        std::mem::size_of_val(out) as u64,
+    );
     let mut idx = 0usize;
     let mut j = first;
     // Leading partial block.
@@ -280,6 +304,10 @@ pub fn keystream_u64(prf: &dyn Prf, base: u128, first: u64, out: &mut [u64]) {
     if out.is_empty() {
         return;
     }
+    hear_telemetry::add(
+        hear_telemetry::Metric::KeystreamBytes,
+        std::mem::size_of_val(out) as u64,
+    );
     let mut idx = 0usize;
     let mut j = first;
     while !j.is_multiple_of(2) && idx < out.len() {
@@ -397,6 +425,26 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_counts_blocks_and_bytes_exactly() {
+        use hear_telemetry::{Metric, Registry};
+        let reg = Registry::new_enabled();
+        let prf = PrfCipher::new(Backend::AesSoft, 0xD1).unwrap();
+        {
+            let _ctx = reg.install(None);
+            let _ = prf.eval_block(1);
+            let mut blocks = [0u128; 7];
+            prf.fill_blocks(0, &mut blocks); // 7 blocks, counted once (no double count)
+            let mut ks = [0u32; 10];
+            keystream_u32(&prf, 0, 0, &mut ks); // 40 bytes
+        }
+        assert_eq!(reg.counter(Metric::KeystreamBytes), 40);
+        // 1 (eval) + 7 (fill) + blocks evaluated by the keystream: 2 via
+        // the bulk fill_blocks plus one eval_block per trailing word (2).
+        assert_eq!(reg.counter(Metric::PrfBlocksAesSoft), 1 + 7 + 2 + 2);
+        assert_eq!(reg.counter(Metric::PrfBlocksSha1), 0);
+    }
+
+    #[test]
     fn backends_differ_from_each_other() {
         // SHA-1 PRF and AES PRF must not coincide (sanity that the enum
         // dispatch is wired correctly).
@@ -476,6 +524,10 @@ pub fn word_u8(prf: &dyn Prf, base: u128, j: u64) -> u8 {
 /// Fill `out` with the 16-bit keystream rooted at `base`, starting at
 /// element index `first`.
 pub fn keystream_u16(prf: &dyn Prf, base: u128, first: u64, out: &mut [u16]) {
+    hear_telemetry::add(
+        hear_telemetry::Metric::KeystreamBytes,
+        std::mem::size_of_val(out) as u64,
+    );
     fill_keystream(prf, base, first, out, 8, |block, k| {
         block_words_u16(block)[k]
     });
@@ -484,6 +536,7 @@ pub fn keystream_u16(prf: &dyn Prf, base: u128, first: u64, out: &mut [u16]) {
 /// Fill `out` with the byte keystream rooted at `base`, starting at
 /// element index `first`.
 pub fn keystream_u8(prf: &dyn Prf, base: u128, first: u64, out: &mut [u8]) {
+    hear_telemetry::add(hear_telemetry::Metric::KeystreamBytes, out.len() as u64);
     fill_keystream(prf, base, first, out, 16, |block, k| {
         block_words_u8(block)[k]
     });

@@ -270,6 +270,18 @@ impl Criterion {
         out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(bench_name)));
         out.push_str("  \"harness\": \"hear-testkit\",\n");
         out.push_str("  \"unit\": \"ns_per_iter\",\n");
+        // With tracing live (HEAR_TRACE=1, or a test flipping the global
+        // registry on), embed the metric snapshot so a bench artifact
+        // carries the PRF/fabric/pipeline counters behind its numbers.
+        {
+            let reg = hear_telemetry::Registry::global();
+            if reg.is_enabled() {
+                out.push_str(&format!(
+                    "  \"telemetry\": {},\n",
+                    hear_telemetry::export::json_snapshot(reg)
+                ));
+            }
+        }
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             let s = &r.stats;
@@ -440,6 +452,22 @@ mod tests {
         assert!(body.contains("\"id\": \"emit_probe\""));
         assert!(body.contains("median_ns"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn emit_embeds_telemetry_snapshot_when_enabled() {
+        let reg = hear_telemetry::Registry::global();
+        let was = reg.is_enabled();
+        reg.set_enabled(true);
+        let mut c = tiny();
+        c.bench_function("telemetry_probe", |b| b.iter(|| 3u32 * 3));
+        let body = c.to_json("with_telemetry");
+        reg.set_enabled(was);
+        assert!(
+            body.contains("\"telemetry\": {\"counters\":{"),
+            "snapshot missing from: {body}"
+        );
+        assert!(body.contains("hear_fabric_messages_total"));
     }
 
     #[test]

@@ -59,4 +59,12 @@ fn main() {
         assert!((floats[1] - 3.75).abs() < 1e-4);
     }
     println!("\nOK: every byte that crossed the (simulated) wire was encrypted.");
+
+    // With HEAR_TRACE=1, dump the collected spans/metrics (chrome-trace
+    // JSON, Prometheus text, JSON snapshot) under HEAR_TRACE_OUT.
+    if let Some(paths) = hear::telemetry::dump_if_env() {
+        for p in paths {
+            println!("telemetry written to {}", p.display());
+        }
+    }
 }

@@ -15,3 +15,12 @@ export CARGO_NET_OFFLINE="${CARGO_NET_OFFLINE:-true}"
 
 cargo build --release "$@"
 cargo test -q "$@"
+
+# Traced smoke run: quickstart under HEAR_TRACE=1 must emit all three
+# telemetry formats, and they must pass the in-repo schema validator.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+HEAR_TRACE=1 HEAR_TRACE_OUT="$smoke_dir/smoke" \
+    cargo run --release -q -p hear --example quickstart >/dev/null
+cargo run --release -q -p hear-bench --bin trace_validate -- \
+    "$smoke_dir/smoke.trace.json" "$smoke_dir/smoke.prom" "$smoke_dir/smoke.snapshot.json"
