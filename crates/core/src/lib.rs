@@ -28,6 +28,7 @@ pub mod int;
 pub mod keys;
 pub mod properties;
 pub mod rng;
+pub mod scheme;
 pub mod security;
 pub mod word;
 
@@ -37,6 +38,10 @@ pub use float::{noise_at, noise_fill_n, FloatProd, FloatSum, FloatSumExp};
 pub use homac::{Homac, HOMAC_P};
 pub use int::{IntProd, IntSum, IntXor, NaiveIntSum, Scratch};
 pub use keys::{CommKeys, KeyRegistry};
+pub use scheme::{
+    FixedSumScheme, FloatProdScheme, FloatSumExpScheme, FloatSumScheme, IntProdScheme,
+    IntSumScheme, IntXorScheme, Scheme, DIGEST_BASE, DIGEST_LANES,
+};
 pub use security::{map_adversary, MapStats};
 pub use word::RingWord;
 

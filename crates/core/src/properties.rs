@@ -84,6 +84,47 @@ pub const TABLE2: [SchemeRow; 6] = [
     },
 ];
 
+/// Render Table 2 as a GitHub-flavoured markdown table. README/DESIGN
+/// embed this output verbatim (a docs-sync test keeps them current), so
+/// the documentation cannot drift from the code.
+pub fn table2_markdown() -> String {
+    let mut s = String::from(
+        "| Datatype | Operation | Lossiness | Security | Inflation | Hardware |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    for row in &TABLE2 {
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            row.datatype, row.operation, row.lossiness, row.security, row.inflation, row.hardware
+        ));
+    }
+    s
+}
+
+/// Render the engine's composition matrix: every Table 2 scheme composes
+/// with every reduction algorithm, chunking mode and verification mode.
+/// The orthogonality is structural (one generic engine), so each cell is
+/// simply "yes" — except XOR verification, whose nibble-counter digest is
+/// sound only up to 15 ranks.
+pub fn composition_matrix_markdown() -> String {
+    let mut s = String::from(
+        "| Scheme | Recursive doubling | Ring | Switch (INC) | Pipelined | HoMAC verified |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    for row in &TABLE2 {
+        let verified = if row.operation.contains("XOR") {
+            "yes (≤ 15 ranks)"
+        } else {
+            "yes"
+        };
+        s.push_str(&format!(
+            "| {} {} | yes | yes | yes | yes | {} |\n",
+            row.datatype, row.operation, verified
+        ));
+    }
+    s
+}
+
 impl std::fmt::Display for Lossiness {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -125,5 +166,19 @@ mod tests {
         }
         // v2 is the only medium-loss scheme.
         assert_eq!(TABLE2[4].lossiness, Lossiness::Medium);
+    }
+
+    #[test]
+    fn markdown_renders_every_row() {
+        let t2 = table2_markdown();
+        let matrix = composition_matrix_markdown();
+        for row in &TABLE2 {
+            assert!(t2.contains(row.operation), "{} missing", row.operation);
+            assert!(matrix.contains(row.operation), "{} missing", row.operation);
+        }
+        // Header + separator + six scheme rows.
+        assert_eq!(t2.lines().count(), 8);
+        assert_eq!(matrix.lines().count(), 8);
+        assert!(matrix.contains("≤ 15 ranks"));
     }
 }

@@ -8,7 +8,7 @@
 //! span recorded into a private registry, and the breakdown is folded from
 //! the drained events rather than from ad-hoc `Instant` bookkeeping.
 
-use hear_core::{CommKeys, IntSum, Scratch};
+use hear_core::{CommKeys, IntSumScheme, Scheme};
 use hear_mpi::Communicator;
 use hear_telemetry::Registry;
 use std::time::Duration;
@@ -96,9 +96,12 @@ pub fn measure_phases(
         iterations: iters,
         ..Default::default()
     };
-    // The scratch is part of libhear's persistent state (memory pool), not
-    // of the per-call critical path.
-    let mut scratch = Scratch::with_capacity(elems);
+    // The scheme (and its keystream scratch) is part of libhear's
+    // persistent state (memory pool), not of the per-call critical path;
+    // likewise the reused wire/plaintext staging buffers.
+    let mut scheme = IntSumScheme::<u32>::default();
+    let mut wire: Vec<u32> = Vec::new();
+    let mut dec: Vec<u32> = Vec::new();
     for i in 0..iters {
         let mut buf: Vec<u32>;
         {
@@ -110,18 +113,22 @@ pub fn measure_phases(
             let _s = hear_telemetry::span!("encrypt", elems = elems);
             if encrypted {
                 keys.advance();
-                IntSum::encrypt_in_place(keys, 0, &mut buf, &mut scratch);
+                scheme
+                    .mask_block(keys, 0, &buf, &mut wire)
+                    .expect("integer masking is infallible");
             }
         }
         let mut agg;
         {
             let _s = hear_telemetry::span!("comm", elems = elems);
-            agg = comm.allreduce(&buf, |a: &u32, c: &u32| a.wrapping_add(*c));
+            let payload: &[u32] = if encrypted { &wire } else { &buf };
+            agg = comm.allreduce(payload, |a: &u32, c: &u32| a.wrapping_add(*c));
         }
         {
             let _s = hear_telemetry::span!("decrypt", elems = elems);
             if encrypted {
-                IntSum::decrypt_in_place(keys, 0, &mut agg, &mut scratch);
+                scheme.unmask_block(keys, 0, &agg, &mut dec);
+                std::mem::swap(&mut agg, &mut dec);
             }
         }
         {

@@ -1,0 +1,570 @@
+//! The single allreduce engine.
+//!
+//! Every public `allreduce_*` method on [`SecureComm`] is a thin shim over
+//! [`SecureComm::allreduce_with`], which composes four orthogonal choices:
+//!
+//! * **cipher** — any [`Scheme`] (Table 2's six rows plus fixed point),
+//! * **algorithm** — [`ReduceAlgo`]: recursive doubling, ring, or the
+//!   in-network switch tree,
+//! * **chunking** — [`ChunkMode`]: one synchronous block, strictly
+//!   sequential blocks, or the depth-2 pipeline of paper §6 / Fig. 6,
+//! * **integrity** — optional HoMAC verification (§5.5) over a digest
+//!   side-channel, uniform across all schemes.
+//!
+//! Cells that previously required a hand-rolled method — e.g. a *verified
+//! pipelined float sum on a switch tree* — are now just an [`EngineCfg`].
+//!
+//! ## Verified transport
+//!
+//! Verification must work for wire formats (like [`hear_core::Hfp`]) whose
+//! reduction is not a ring addition, so it does not tag the payload cipher
+//! directly. Instead each element carries a *digest*: up to four `u64`
+//! summation lanes of the plaintext (defined per scheme, exact for integer
+//! and fixed-point data, quantized within the Table 2 lossiness for
+//! floats). The lanes are encrypted under the lossless [`IntSum`] cipher at
+//! PRF indices offset by [`DIGEST_BASE`] — disjoint from every payload
+//! index — then HoMAC-tagged. The network reduces `(c, d, σ)` packets
+//! component-wise; on receipt the engine verifies the tags (any tampering
+//! with `d` or `σ` is caught by the MAC), decrypts the lane sums, and
+//! checks the decrypted payload against them (any tampering with `c` is
+//! caught by the digest). Zero-length inputs and single-rank communicators
+//! short-circuit uniformly before any transport.
+
+use crate::secure::{ReduceAlgo, SecureComm, VerificationError};
+use hear_core::{CommKeys, Homac, IntSum, Scheme, Scratch, DIGEST_BASE, DIGEST_LANES};
+use hear_mpi::Request;
+use std::collections::VecDeque;
+
+/// How the engine chunks the payload across collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkMode {
+    /// One blocking collective over the whole vector.
+    #[default]
+    Sync,
+    /// Fixed-size blocks, strictly one after another (Fig. 6's "Naïve
+    /// (sync)" baseline).
+    Blocked(usize),
+    /// Fixed-size blocks with two collectives in flight, overlapping
+    /// encrypt(n+1) / decrypt(n−1) with the reduction of block n (§6).
+    Pipelined(usize),
+}
+
+/// Full configuration of one engine call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineCfg {
+    pub chunk: ChunkMode,
+    /// Attach the HoMAC-authenticated digest side-channel (§5.5).
+    pub verified: bool,
+    /// Reduction algorithm override; `None` uses the communicator's
+    /// [`SecureComm::with_algo`] setting.
+    pub algo: Option<ReduceAlgo>,
+}
+
+impl EngineCfg {
+    /// One blocking collective (the default).
+    pub fn sync() -> EngineCfg {
+        EngineCfg::default()
+    }
+
+    /// Sequential blocks of `block_elems` elements.
+    pub fn blocked(block_elems: usize) -> EngineCfg {
+        EngineCfg {
+            chunk: ChunkMode::Blocked(block_elems),
+            ..EngineCfg::default()
+        }
+    }
+
+    /// Pipelined blocks of `block_elems` elements.
+    pub fn pipelined(block_elems: usize) -> EngineCfg {
+        EngineCfg {
+            chunk: ChunkMode::Pipelined(block_elems),
+            ..EngineCfg::default()
+        }
+    }
+
+    /// Enable HoMAC result verification (requires
+    /// [`SecureComm::with_homac`]).
+    pub fn verified(mut self) -> EngineCfg {
+        self.verified = true;
+        self
+    }
+
+    /// Override the reduction algorithm for this call only.
+    pub fn with_algo(mut self, algo: ReduceAlgo) -> EngineCfg {
+        self.algo = Some(algo);
+        self
+    }
+}
+
+/// Why an engine call failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// Float encoding rejected the input (NaN/Inf/overflow).
+    Hfp(hear_core::HfpError),
+    /// HoMAC or digest verification rejected the aggregate.
+    Verification(VerificationError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Hfp(e) => write!(f, "{e}"),
+            EngineError::Verification(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<hear_core::HfpError> for EngineError {
+    fn from(e: hear_core::HfpError) -> Self {
+        EngineError::Hfp(e)
+    }
+}
+
+impl From<VerificationError> for EngineError {
+    fn from(e: VerificationError) -> Self {
+        EngineError::Verification(e)
+    }
+}
+
+impl EngineError {
+    /// Unwrap into the float-encoding error. Panics on a verification
+    /// error — use only on plain (non-verified) calls, which can never
+    /// fail verification.
+    pub fn into_hfp(self) -> hear_core::HfpError {
+        match self {
+            EngineError::Hfp(e) => e,
+            EngineError::Verification(_) => {
+                unreachable!("plain engine calls cannot fail verification")
+            }
+        }
+    }
+}
+
+/// What the network reduces in verified mode: the payload ciphertext plus
+/// the encrypted digest lanes and their HoMAC tags (§5.5's "(σ, c)" pair,
+/// widened with the digest channel).
+#[derive(Debug, Clone)]
+pub(crate) struct Packet<W> {
+    c: W,
+    d: [u64; DIGEST_LANES],
+    s: [u64; DIGEST_LANES],
+}
+
+/// The combiner for [`Packet`] streams. A non-capturing generic `fn`, so
+/// every transport — including the key-less switch service threads — can
+/// carry it as a plain function pointer.
+fn packet_op<S: Scheme>(a: &Packet<S::Wire>, b: &Packet<S::Wire>) -> Packet<S::Wire> {
+    let mut d = [0u64; DIGEST_LANES];
+    let mut s = [0u64; DIGEST_LANES];
+    for i in 0..DIGEST_LANES {
+        d[i] = a.d[i].wrapping_add(b.d[i]);
+        s[i] = Homac::combine(a.s[i], b.s[i]);
+    }
+    Packet {
+        c: S::op(&a.c, &b.c),
+        d,
+        s,
+    }
+}
+
+/// Two blocks in flight overlap encrypt(n+1) and decrypt(n−1) with the
+/// reduction of block n.
+const DEPTH: usize = 2;
+
+/// PRF index of the first digest lane of the block starting at `offset`.
+#[inline]
+fn digest_first(offset: usize) -> u64 {
+    DIGEST_BASE + offset as u64 * DIGEST_LANES as u64
+}
+
+/// Mask one block and wrap it into verified-transport packets.
+fn seal_block<S: Scheme>(
+    scheme: &mut S,
+    homac: &Homac,
+    keys: &CommKeys,
+    offset: usize,
+    input: &[S::Input],
+    wire: &mut Vec<S::Wire>,
+    dscratch: &mut Scratch<u64>,
+) -> Result<Vec<Packet<S::Wire>>, EngineError> {
+    scheme.mask_block(keys, offset as u64, input, wire)?;
+    let mut dlanes: Vec<u64> = Vec::with_capacity(input.len() * DIGEST_LANES);
+    let mut lanes = [0u64; DIGEST_LANES];
+    for x in input {
+        scheme.digest(x, &mut lanes);
+        dlanes.extend_from_slice(&lanes);
+    }
+    let first_d = digest_first(offset);
+    IntSum::encrypt_in_place(keys, first_d, &mut dlanes, dscratch);
+    let sigmas = homac.tag(keys, first_d, &dlanes);
+    Ok(wire
+        .drain(..)
+        .zip(
+            dlanes
+                .chunks_exact(DIGEST_LANES)
+                .zip(sigmas.chunks_exact(DIGEST_LANES)),
+        )
+        .map(|(c, (d, s))| Packet {
+            c,
+            d: d.try_into().expect("chunks_exact yields DIGEST_LANES"),
+            s: s.try_into().expect("chunks_exact yields DIGEST_LANES"),
+        })
+        .collect())
+}
+
+/// Verify, decrypt and digest-check one aggregated block into `dec`.
+#[allow(clippy::too_many_arguments)]
+fn open_block<S: Scheme>(
+    scheme: &mut S,
+    homac: &Homac,
+    keys: &CommKeys,
+    world: usize,
+    offset: usize,
+    agg: Vec<Packet<S::Wire>>,
+    dec: &mut Vec<S::Input>,
+    dscratch: &mut Scratch<u64>,
+) -> Result<(), EngineError> {
+    let n = agg.len();
+    let mut cs: Vec<S::Wire> = Vec::with_capacity(n);
+    let mut d_agg: Vec<u64> = Vec::with_capacity(n * DIGEST_LANES);
+    let mut s_agg: Vec<u64> = Vec::with_capacity(n * DIGEST_LANES);
+    for p in agg {
+        cs.push(p.c);
+        d_agg.extend_from_slice(&p.d);
+        s_agg.extend_from_slice(&p.s);
+    }
+    let first_d = digest_first(offset);
+    if !homac.verify(keys, first_d, &d_agg, &s_agg) {
+        return Err(EngineError::Verification(VerificationError));
+    }
+    IntSum::decrypt_in_place(keys, first_d, &mut d_agg, dscratch);
+    scheme.unmask_block(keys, offset as u64, &cs, dec);
+    for (i, r) in dec.iter().enumerate() {
+        let lanes: [u64; DIGEST_LANES] = d_agg[i * DIGEST_LANES..(i + 1) * DIGEST_LANES]
+            .try_into()
+            .expect("lane slice has DIGEST_LANES words");
+        if !scheme.digest_check(r, &lanes, world) {
+            return Err(EngineError::Verification(VerificationError));
+        }
+    }
+    Ok(())
+}
+
+impl SecureComm {
+    /// The generic secured allreduce: any [`Scheme`] × any [`ReduceAlgo`] ×
+    /// any [`ChunkMode`] × optional verification. Every legacy
+    /// `allreduce_*` method is a shim over this, and
+    /// [`SecureComm::pmpi_allreduce`] routes runtime-typed calls here.
+    pub fn allreduce_with<S: Scheme + 'static>(
+        &mut self,
+        scheme: &mut S,
+        data: &[S::Input],
+        cfg: EngineCfg,
+    ) -> Result<Vec<S::Input>, EngineError> {
+        let block = match cfg.chunk {
+            ChunkMode::Sync => data.len().max(1),
+            ChunkMode::Blocked(b) | ChunkMode::Pipelined(b) => {
+                assert!(b > 0, "block size must be positive");
+                b
+            }
+        };
+        // The span mirrors the legacy per-method instrumentation: the
+        // Fig. 6 baseline (`Blocked`) intentionally ran unspanned.
+        let _span = match cfg.chunk {
+            ChunkMode::Pipelined(b) => Some(hear_telemetry::span!(
+                "pipeline",
+                elems = data.len(),
+                block = b
+            )),
+            ChunkMode::Sync if cfg.verified => Some(hear_telemetry::span!(
+                "secure_allreduce_verified",
+                elems = data.len()
+            )),
+            ChunkMode::Sync => Some(hear_telemetry::span!(
+                "secure_allreduce",
+                elems = data.len()
+            )),
+            ChunkMode::Blocked(_) => None,
+        };
+        let homac = if cfg.verified {
+            assert!(
+                self.world() <= S::MAX_VERIFIED_WORLD,
+                "{} digest verification is sound only up to {} ranks",
+                S::NAME,
+                S::MAX_VERIFIED_WORLD
+            );
+            Some(
+                self.homac
+                    .clone()
+                    .expect("enable verification with with_homac()"),
+            )
+        } else {
+            None
+        };
+        self.keys.advance();
+        if data.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.world() == 1 {
+            // Nothing crosses the network: mask/unmask locally so every
+            // algorithm (even Switch without a switch fabric) degenerates
+            // to the identity, and verification has nothing to check.
+            return self.run_local(scheme, data, block);
+        }
+        let algo = cfg.algo.unwrap_or(self.algo);
+        match (cfg.chunk, homac) {
+            (ChunkMode::Pipelined(_), None) => self.run_plain_pipelined(scheme, data, block, algo),
+            (ChunkMode::Pipelined(_), Some(h)) => {
+                self.run_verified_pipelined(scheme, data, block, algo, &h)
+            }
+            (_, None) => self.run_plain_sync(scheme, data, block, algo),
+            (_, Some(h)) => self.run_verified_sync(scheme, data, block, algo, &h),
+        }
+    }
+
+    /// Single-rank path: the aggregate of one contribution is itself.
+    fn run_local<S: Scheme>(
+        &mut self,
+        scheme: &mut S,
+        data: &[S::Input],
+        block: usize,
+    ) -> Result<Vec<S::Input>, EngineError> {
+        let mut out: Vec<S::Input> = data.to_vec();
+        let mut wire = Vec::new();
+        let mut dec = Vec::new();
+        let mut offset = 0usize;
+        while offset < data.len() {
+            let end = (offset + block).min(data.len());
+            scheme.mask_block(&self.keys, offset as u64, &data[offset..end], &mut wire)?;
+            scheme.unmask_block(&self.keys, offset as u64, &wire, &mut dec);
+            for (slot, v) in out[offset..end].iter_mut().zip(dec.iter()) {
+                *slot = v.clone();
+            }
+            offset = end;
+        }
+        Ok(out)
+    }
+
+    /// The algorithm-selected blocking transport.
+    fn transport_sync<T, F>(&self, data: Vec<T>, algo: ReduceAlgo, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T + Send + Sync + Clone + 'static,
+    {
+        match algo {
+            ReduceAlgo::RecursiveDoubling => self.comm.allreduce_owned(data, op),
+            ReduceAlgo::Ring => self.comm.allreduce_ring_owned(data, op),
+            ReduceAlgo::Switch => self.comm.allreduce_inc_owned(data, op),
+        }
+    }
+
+    /// The algorithm-selected nonblocking transport.
+    fn transport_nb<T, F>(&self, data: Vec<T>, algo: ReduceAlgo, op: F) -> Request<Vec<T>>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T + Send + Sync + Clone + 'static,
+    {
+        match algo {
+            ReduceAlgo::RecursiveDoubling => self.comm.iallreduce(data, op),
+            ReduceAlgo::Ring => self.comm.iallreduce_ring(data, op),
+            ReduceAlgo::Switch => self.comm.iallreduce_inc(data, op),
+        }
+    }
+
+    fn run_plain_sync<S: Scheme + 'static>(
+        &mut self,
+        scheme: &mut S,
+        data: &[S::Input],
+        block: usize,
+        algo: ReduceAlgo,
+    ) -> Result<Vec<S::Input>, EngineError> {
+        let mut out: Vec<S::Input> = data.to_vec();
+        let mut wire = Vec::new();
+        let mut dec = Vec::new();
+        let mut offset = 0usize;
+        while offset < data.len() {
+            let end = (offset + block).min(data.len());
+            scheme.mask_block(&self.keys, offset as u64, &data[offset..end], &mut wire)?;
+            let agg = self.transport_sync(std::mem::take(&mut wire), algo, S::op);
+            scheme.unmask_block(&self.keys, offset as u64, &agg, &mut dec);
+            for (slot, v) in out[offset..end].iter_mut().zip(dec.iter()) {
+                *slot = v.clone();
+            }
+            offset = end;
+        }
+        Ok(out)
+    }
+
+    fn run_plain_pipelined<S: Scheme + 'static>(
+        &mut self,
+        scheme: &mut S,
+        data: &[S::Input],
+        block: usize,
+        algo: ReduceAlgo,
+    ) -> Result<Vec<S::Input>, EngineError> {
+        let mut out: Vec<S::Input> = data.to_vec();
+        let mut inflight: VecDeque<(usize, Request<Vec<S::Wire>>)> = VecDeque::new();
+        let mut wire = Vec::new();
+        let mut dec = Vec::new();
+        let mut offset = 0usize;
+        while offset < data.len() {
+            let end = (offset + block).min(data.len());
+            // An encode error aborts the call; already-posted blocks are
+            // detached and complete in the background on every rank.
+            scheme.mask_block(&self.keys, offset as u64, &data[offset..end], &mut wire)?;
+            hear_telemetry::incr(hear_telemetry::Metric::PipelineBlocks);
+            hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, 1);
+            inflight.push_back((
+                offset,
+                self.transport_nb(std::mem::take(&mut wire), algo, S::op),
+            ));
+            if inflight.len() >= DEPTH {
+                let (o, req) = inflight.pop_front().expect("non-empty");
+                let agg = {
+                    let _w = hear_telemetry::span!("pipeline_wait", offset = o);
+                    req.wait()
+                };
+                hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
+                scheme.unmask_block(&self.keys, o as u64, &agg, &mut dec);
+                for (slot, v) in out[o..o + dec.len()].iter_mut().zip(dec.iter()) {
+                    *slot = v.clone();
+                }
+            }
+            offset = end;
+        }
+        while let Some((o, req)) = inflight.pop_front() {
+            let agg = {
+                let _w = hear_telemetry::span!("pipeline_wait", offset = o);
+                req.wait()
+            };
+            hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
+            scheme.unmask_block(&self.keys, o as u64, &agg, &mut dec);
+            for (slot, v) in out[o..o + dec.len()].iter_mut().zip(dec.iter()) {
+                *slot = v.clone();
+            }
+        }
+        Ok(out)
+    }
+
+    fn run_verified_sync<S: Scheme + 'static>(
+        &mut self,
+        scheme: &mut S,
+        data: &[S::Input],
+        block: usize,
+        algo: ReduceAlgo,
+        homac: &Homac,
+    ) -> Result<Vec<S::Input>, EngineError> {
+        let world = self.world();
+        let mut out: Vec<S::Input> = data.to_vec();
+        let mut wire = Vec::new();
+        let mut dec = Vec::new();
+        let mut dscratch = Scratch::<u64>::default();
+        let mut offset = 0usize;
+        while offset < data.len() {
+            let end = (offset + block).min(data.len());
+            let packets = seal_block(
+                scheme,
+                homac,
+                &self.keys,
+                offset,
+                &data[offset..end],
+                &mut wire,
+                &mut dscratch,
+            )?;
+            let agg = self.transport_sync(packets, algo, packet_op::<S>);
+            open_block(
+                scheme,
+                homac,
+                &self.keys,
+                world,
+                offset,
+                agg,
+                &mut dec,
+                &mut dscratch,
+            )?;
+            for (slot, v) in out[offset..end].iter_mut().zip(dec.iter()) {
+                *slot = v.clone();
+            }
+            offset = end;
+        }
+        Ok(out)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_verified_pipelined<S: Scheme + 'static>(
+        &mut self,
+        scheme: &mut S,
+        data: &[S::Input],
+        block: usize,
+        algo: ReduceAlgo,
+        homac: &Homac,
+    ) -> Result<Vec<S::Input>, EngineError> {
+        let world = self.world();
+        let mut out: Vec<S::Input> = data.to_vec();
+        let mut inflight: VecDeque<(usize, Request<Vec<Packet<S::Wire>>>)> = VecDeque::new();
+        let mut wire = Vec::new();
+        let mut dec = Vec::new();
+        let mut dscratch = Scratch::<u64>::default();
+        let mut offset = 0usize;
+        while offset < data.len() {
+            let end = (offset + block).min(data.len());
+            let packets = seal_block(
+                scheme,
+                homac,
+                &self.keys,
+                offset,
+                &data[offset..end],
+                &mut wire,
+                &mut dscratch,
+            )?;
+            hear_telemetry::incr(hear_telemetry::Metric::PipelineBlocks);
+            hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, 1);
+            inflight.push_back((offset, self.transport_nb(packets, algo, packet_op::<S>)));
+            if inflight.len() >= DEPTH {
+                let (o, req) = inflight.pop_front().expect("non-empty");
+                let agg = {
+                    let _w = hear_telemetry::span!("pipeline_wait", offset = o);
+                    req.wait()
+                };
+                hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
+                open_block(
+                    scheme,
+                    homac,
+                    &self.keys,
+                    world,
+                    o,
+                    agg,
+                    &mut dec,
+                    &mut dscratch,
+                )?;
+                for (slot, v) in out[o..o + dec.len()].iter_mut().zip(dec.iter()) {
+                    *slot = v.clone();
+                }
+            }
+            offset = end;
+        }
+        while let Some((o, req)) = inflight.pop_front() {
+            let agg = {
+                let _w = hear_telemetry::span!("pipeline_wait", offset = o);
+                req.wait()
+            };
+            hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
+            open_block(
+                scheme,
+                homac,
+                &self.keys,
+                world,
+                o,
+                agg,
+                &mut dec,
+                &mut dscratch,
+            )?;
+            for (slot, v) in out[o..o + dec.len()].iter_mut().zip(dec.iter()) {
+                *slot = v.clone();
+            }
+        }
+        Ok(out)
+    }
+}

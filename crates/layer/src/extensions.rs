@@ -26,7 +26,9 @@ impl SecureComm {
     }
 
     /// `MPI_Allreduce(MPI_C_BOOL, MPI_LAND/MPI_LOR)` via the §5.4
-    /// summation encoding: returns `(or, and)` per element.
+    /// summation encoding: returns `(or, and)` per element. Derived shim
+    /// over [`SecureComm::allreduce_with`] (via the integer SUM path; see
+    /// also [`SecureComm::pmpi_allreduce`]).
     pub fn allreduce_logical(&mut self, bits: &[bool]) -> Vec<(bool, bool)> {
         let mut enc = Vec::new();
         encode_bools(bits, &mut enc);
@@ -36,7 +38,8 @@ impl SecureComm {
 
     /// Cluster-wide mean and variance of per-rank samples (§5.4's
     /// preprocessing pattern: square locally, SUM globally). `n_total` is
-    /// returned alongside so callers can weight further.
+    /// returned alongside so callers can weight further. Composes two
+    /// engine shims (see [`SecureComm::allreduce_with`]).
     pub fn allreduce_variance(&mut self, samples: &[f64]) -> (f64, f64, u64) {
         let (s, s2) = variance_moments(samples);
         let counts = self.allreduce_sum_u64(&[samples.len() as u64]);
@@ -48,7 +51,8 @@ impl SecureComm {
     }
 
     /// Complex float summation (Table 2's "Float, Complex" datatype):
-    /// component-wise Eq. 7 over interleaved (re, im) lanes.
+    /// component-wise Eq. 7 over interleaved (re, im) lanes. Derived shim
+    /// over [`SecureComm::allreduce_with`] (via the float SUM path).
     pub fn allreduce_complex_sum(
         &mut self,
         fmt: HfpFormat,
@@ -67,7 +71,8 @@ impl SecureComm {
     /// Complex"): products are not component-wise, but in polar form they
     /// decompose exactly onto the two HEAR float schemes — magnitudes
     /// multiply (Eq. 6) while phases add (Eq. 7). Phases are reduced
-    /// mod 2π on decode.
+    /// mod 2π on decode. Composes the two float engine shims (see
+    /// [`SecureComm::allreduce_with`]).
     pub fn allreduce_complex_prod(
         &mut self,
         data: &[(f64, f64)],

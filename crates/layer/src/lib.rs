@@ -3,13 +3,17 @@
 //! The end-to-end system of paper §6: a drop-in secured Allreduce that
 //! wraps the MPI runtime without application changes. Provides
 //! [`SecureComm`] (transparent encrypt → reduce → decrypt for every
-//! supported datatype/op, with optional HoMAC verification), the
-//! page-aligned [`pool::MemoryPool`], pipelined large-message transfers
+//! supported datatype/op, with optional HoMAC verification), the single
+//! generic [`engine`] behind every method
+//! ([`SecureComm::allreduce_with`]: scheme × algorithm × chunking ×
+//! verification, all orthogonal), the page-aligned [`pool::MemoryPool`],
+//! pipelined large-message transfers
 //! ([`SecureComm::allreduce_sum_u32_pipelined`], Fig. 6), and the
 //! critical-path phase instrumentation of Fig. 4 ([`breakdown`]).
 
 pub mod breakdown;
 pub mod dispatch;
+pub mod engine;
 pub mod extensions;
 pub mod pipeline;
 pub mod pool;
@@ -17,6 +21,7 @@ pub mod secure;
 
 pub use breakdown::{measure_phases, PhaseBreakdown};
 pub use dispatch::{DispatchError, TypedSlice, TypedVec};
+pub use engine::{ChunkMode, EngineCfg, EngineError};
 pub use extensions::SecureP2p;
 pub use pool::{AlignedBuf, MemoryPool};
 pub use secure::{ReduceAlgo, SecureComm, Tagged, VerificationError};

@@ -5,79 +5,53 @@
 //! `n+1` and decrypts block `n−1`. The block size trades pipeline fill
 //! against per-message latency — the sweep in Fig. 6 finds 128–256 KiB
 //! optimal on the paper's system.
+//!
+//! The overlap machinery lives in [`crate::engine`]; the methods here are
+//! shims that pin the historical transport choice (ring) and block size.
 
-use crate::secure::SecureComm;
-use hear_core::IntSum;
-use hear_mpi::Request;
-use std::collections::VecDeque;
+use crate::engine::{EngineCfg, EngineError};
+use crate::secure::{ReduceAlgo, SecureComm};
+use hear_core::{FloatSumScheme, IntSumScheme};
 
 impl SecureComm {
     /// Pipelined encrypted sum of a large u32 vector using `block_elems`
     /// elements per pipeline block. Semantically identical to
-    /// [`SecureComm::allreduce_sum_u32`].
+    /// [`SecureComm::allreduce_sum_u32`]. Shim over
+    /// [`SecureComm::allreduce_with`] with [`EngineCfg::pipelined`] on the
+    /// ring transport.
     pub fn allreduce_sum_u32_pipelined(&mut self, data: &[u32], block_elems: usize) -> Vec<u32> {
-        assert!(block_elems > 0, "block size must be positive");
-        let _s = hear_telemetry::span!("pipeline", elems = data.len(), block = block_elems);
-        self.keys.advance();
-        let comm = self.comm.clone();
-        let mut out = vec![0u32; data.len()];
-        let mut inflight: VecDeque<(usize, Request<Vec<u32>>)> = VecDeque::new();
-        // Two blocks in flight suffice to overlap encrypt(n+1) and
-        // decrypt(n−1) with the reduction of block n.
-        const DEPTH: usize = 2;
-        let mut offset = 0usize;
-        while offset < data.len() {
-            let end = (offset + block_elems).min(data.len());
-            let mut buf = data[offset..end].to_vec();
-            IntSum::encrypt_in_place(&self.keys, offset as u64, &mut buf, &mut self.scratch_u32);
-            hear_telemetry::incr(hear_telemetry::Metric::PipelineBlocks);
-            hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, 1);
-            inflight.push_back((
-                offset,
-                comm.iallreduce_ring(buf, |a: &u32, b: &u32| a.wrapping_add(*b)),
-            ));
-            if inflight.len() >= DEPTH {
-                let (o, req) = inflight.pop_front().expect("non-empty");
-                let mut agg = {
-                    let _w = hear_telemetry::span!("pipeline_wait", offset = o);
-                    req.wait()
-                };
-                hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
-                IntSum::decrypt_in_place(&self.keys, o as u64, &mut agg, &mut self.scratch_u32);
-                out[o..o + agg.len()].copy_from_slice(&agg);
-            }
-            offset = end;
-        }
-        while let Some((o, req)) = inflight.pop_front() {
-            let mut agg = {
-                let _w = hear_telemetry::span!("pipeline_wait", offset = o);
-                req.wait()
-            };
-            hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
-            IntSum::decrypt_in_place(&self.keys, o as u64, &mut agg, &mut self.scratch_u32);
-            out[o..o + agg.len()].copy_from_slice(&agg);
-        }
-        out
+        let mut s = IntSumScheme::with_scratch(std::mem::take(&mut self.scratch_u32));
+        let cfg = EngineCfg::pipelined(block_elems).with_algo(ReduceAlgo::Ring);
+        let out = self.allreduce_with(&mut s, data, cfg);
+        self.scratch_u32 = s.into_scratch();
+        out.expect("integer schemes are infallible")
     }
 
     /// The "Naïve (sync)" variant of Fig. 6: blocks are encrypted, reduced
-    /// and decrypted strictly one after another (no overlap).
+    /// and decrypted strictly one after another (no overlap). Shim over
+    /// [`SecureComm::allreduce_with`] with [`EngineCfg::blocked`].
     pub fn allreduce_sum_u32_blocked_sync(&mut self, data: &[u32], block_elems: usize) -> Vec<u32> {
-        assert!(block_elems > 0, "block size must be positive");
-        self.keys.advance();
-        let comm = self.comm.clone();
-        let mut out = vec![0u32; data.len()];
-        let mut offset = 0usize;
-        while offset < data.len() {
-            let end = (offset + block_elems).min(data.len());
-            let mut buf = data[offset..end].to_vec();
-            IntSum::encrypt_in_place(&self.keys, offset as u64, &mut buf, &mut self.scratch_u32);
-            let mut agg = comm.allreduce_ring(&buf, |a: &u32, b: &u32| a.wrapping_add(*b));
-            IntSum::decrypt_in_place(&self.keys, offset as u64, &mut agg, &mut self.scratch_u32);
-            out[offset..end].copy_from_slice(&agg);
-            offset = end;
-        }
-        out
+        let mut s = IntSumScheme::with_scratch(std::mem::take(&mut self.scratch_u32));
+        let cfg = EngineCfg::blocked(block_elems).with_algo(ReduceAlgo::Ring);
+        let out = self.allreduce_with(&mut s, data, cfg);
+        self.scratch_u32 = s.into_scratch();
+        out.expect("integer schemes are infallible")
+    }
+
+    /// Pipelined encrypted float sum (Eq. 7) — the configuration libhear
+    /// pipelines for "data-heavy applications such as gradient summing in
+    /// distributed ML" (§6). Semantically identical to
+    /// [`SecureComm::allreduce_float_sum`]. Shim over
+    /// [`SecureComm::allreduce_with`].
+    pub fn allreduce_float_sum_pipelined(
+        &mut self,
+        fmt: hear_core::HfpFormat,
+        data: &[f64],
+        block_elems: usize,
+    ) -> Result<Vec<f64>, hear_core::HfpError> {
+        let cfg = EngineCfg::pipelined(block_elems).with_algo(ReduceAlgo::Ring);
+        self.allreduce_with(&mut FloatSumScheme::new(fmt), data, cfg)
+            .map_err(EngineError::into_hfp)
     }
 }
 
@@ -201,65 +175,6 @@ mod tests {
         Simulator::new(1).run(|comm| {
             secure(comm, 4).allreduce_sum_u32_pipelined(&[1], 0);
         });
-    }
-}
-
-impl SecureComm {
-    /// Pipelined encrypted float sum (Eq. 7) — the configuration libhear
-    /// pipelines for "data-heavy applications such as gradient summing in
-    /// distributed ML" (§6). Semantically identical to
-    /// [`SecureComm::allreduce_float_sum`].
-    pub fn allreduce_float_sum_pipelined(
-        &mut self,
-        fmt: hear_core::HfpFormat,
-        data: &[f64],
-        block_elems: usize,
-    ) -> Result<Vec<f64>, hear_core::HfpError> {
-        assert!(block_elems > 0, "block size must be positive");
-        let _s = hear_telemetry::span!("pipeline", elems = data.len(), block = block_elems);
-        self.keys.advance();
-        let comm = self.comm.clone();
-        let scheme = hear_core::FloatSum::new(fmt);
-        let mut out = vec![0.0f64; data.len()];
-        let mut inflight: std::collections::VecDeque<(usize, Request<Vec<hear_core::Hfp>>)> =
-            std::collections::VecDeque::new();
-        const DEPTH: usize = 2;
-        let mut ct = Vec::new();
-        let mut dec = Vec::new();
-        let mut offset = 0usize;
-        while offset < data.len() {
-            let end = (offset + block_elems).min(data.len());
-            scheme.encrypt_f64(&self.keys, offset as u64, &data[offset..end], &mut ct)?;
-            hear_telemetry::incr(hear_telemetry::Metric::PipelineBlocks);
-            hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, 1);
-            inflight.push_back((
-                offset,
-                comm.iallreduce_ring(ct.clone(), |a: &hear_core::Hfp, b: &hear_core::Hfp| {
-                    hear_core::FloatSum::combine(a, b)
-                }),
-            ));
-            if inflight.len() >= DEPTH {
-                let (o, req) = inflight.pop_front().expect("non-empty");
-                let agg = {
-                    let _w = hear_telemetry::span!("pipeline_wait", offset = o);
-                    req.wait()
-                };
-                hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
-                scheme.decrypt_f64(&self.keys, o as u64, &agg, &mut dec);
-                out[o..o + dec.len()].copy_from_slice(&dec);
-            }
-            offset = end;
-        }
-        while let Some((o, req)) = inflight.pop_front() {
-            let agg = {
-                let _w = hear_telemetry::span!("pipeline_wait", offset = o);
-                req.wait()
-            };
-            hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
-            scheme.decrypt_f64(&self.keys, o as u64, &agg, &mut dec);
-            out[o..o + dec.len()].copy_from_slice(&dec);
-        }
-        Ok(out)
     }
 }
 

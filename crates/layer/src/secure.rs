@@ -9,10 +9,16 @@
 //! dispatch and optional HoMAC verification handled transparently. The
 //! wrapped communicator — and everything on the other side of it,
 //! including the INC switch tree — only ever sees ciphertexts.
+//!
+//! Every method here is a thin shim over the one generic engine,
+//! [`SecureComm::allreduce_with`] (see [`crate::engine`]); the lint gate
+//! below keeps it that way.
+#![deny(clippy::too_many_lines)]
 
+use crate::engine::{EngineCfg, EngineError};
 use hear_core::{
-    CommKeys, FixedCodec, FloatProd, FloatSum, FloatSumExp, Hfp, HfpFormat, Homac, IntProd, IntSum,
-    IntXor, RingWord, Scratch,
+    CommKeys, FixedCodec, FixedSumScheme, FloatProdScheme, FloatSumExpScheme, FloatSumScheme,
+    HfpFormat, Homac, IntProdScheme, IntSumScheme, IntXorScheme, Scratch,
 };
 use hear_mpi::Communicator;
 
@@ -44,7 +50,9 @@ impl std::fmt::Display for VerificationError {
 impl std::error::Error for VerificationError {}
 
 /// A ciphertext/tag pair as transported when verification is enabled
-/// (§5.5: "sends to the network a pair of values (σ, c)").
+/// (§5.5: "sends to the network a pair of values (σ, c)"). The engine
+/// transports the richer [`crate::engine`] packet internally; this type
+/// remains the public vocabulary for the raw tagged-word protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Tagged<W> {
     pub c: W,
@@ -107,62 +115,32 @@ impl SecureComm {
         &self.comm
     }
 
-    fn transport<T, F>(&self, data: Vec<T>, op: F) -> Vec<T>
-    where
-        T: Clone + Send + 'static,
-        F: Fn(&T, &T) -> T + Send + Sync + Clone + 'static,
-    {
-        match self.algo {
-            ReduceAlgo::RecursiveDoubling => self.comm.allreduce(&data, op),
-            ReduceAlgo::Ring => self.comm.allreduce_ring(&data, op),
-            ReduceAlgo::Switch => self.comm.allreduce_inc(&data, op),
-        }
-    }
-
     // ---- integer ops -----------------------------------------------------
+    //
+    // Each shim lends its lane width's persistent keystream scratch to the
+    // scheme for the duration of the engine call, so the hot path never
+    // allocates noise buffers.
 
-    fn int_op<W, Enc, Dec, Op>(&mut self, data: &[W], enc: Enc, dec: Dec, op: Op) -> Vec<W>
-    where
-        W: RingWord,
-        Enc: Fn(&CommKeys, u64, &mut [W], &mut Scratch<W>),
-        Dec: Fn(&CommKeys, u64, &mut [W], &mut Scratch<W>),
-        Op: Fn(&W, &W) -> W + Send + Sync + Clone + 'static,
-        Scratch<W>: ScratchOf<W>,
-    {
-        let _s = hear_telemetry::span!("secure_allreduce", elems = data.len());
-        self.keys.advance();
-        let mut buf = data.to_vec();
-        // Temporarily move the scratch out so keys (shared) and scratch
-        // (mutable) can be borrowed together.
-        let mut scratch = std::mem::take(<Scratch<W> as ScratchOf<W>>::of(self));
-        enc(&self.keys, 0, &mut buf, &mut scratch);
-        let mut agg = self.transport(buf, op);
-        dec(&self.keys, 0, &mut agg, &mut scratch);
-        *<Scratch<W> as ScratchOf<W>>::of(self) = scratch;
-        agg
-    }
-
-    /// `MPI_Allreduce(MPI_UINT32_T, MPI_SUM)`.
+    /// `MPI_Allreduce(MPI_UINT32_T, MPI_SUM)` — shim over
+    /// [`SecureComm::allreduce_with`] / [`SecureComm::pmpi_allreduce`].
     pub fn allreduce_sum_u32(&mut self, data: &[u32]) -> Vec<u32> {
-        self.int_op(
-            data,
-            IntSum::encrypt_in_place,
-            IntSum::decrypt_in_place,
-            |a: &u32, b: &u32| a.wrapping_add(*b),
-        )
+        let mut s = IntSumScheme::with_scratch(std::mem::take(&mut self.scratch_u32));
+        let out = self.allreduce_with(&mut s, data, EngineCfg::sync());
+        self.scratch_u32 = s.into_scratch();
+        out.expect("integer schemes are infallible")
     }
 
-    /// `MPI_Allreduce(MPI_UINT64_T, MPI_SUM)`.
+    /// `MPI_Allreduce(MPI_UINT64_T, MPI_SUM)` — shim over
+    /// [`SecureComm::allreduce_with`].
     pub fn allreduce_sum_u64(&mut self, data: &[u64]) -> Vec<u64> {
-        self.int_op(
-            data,
-            IntSum::encrypt_in_place,
-            IntSum::decrypt_in_place,
-            |a: &u64, b: &u64| a.wrapping_add(*b),
-        )
+        let mut s = IntSumScheme::with_scratch(std::mem::take(&mut self.scratch_u64));
+        let out = self.allreduce_with(&mut s, data, EngineCfg::sync());
+        self.scratch_u64 = s.into_scratch();
+        out.expect("integer schemes are infallible")
     }
 
-    /// `MPI_Allreduce(MPI_INT, MPI_SUM)` — the paper's headline datatype.
+    /// `MPI_Allreduce(MPI_INT, MPI_SUM)` — the paper's headline datatype;
+    /// shim over [`SecureComm::allreduce_with`] via the u32 lane view.
     pub fn allreduce_sum_i32(&mut self, data: &[i32]) -> Vec<i32> {
         let lanes = hear_core::word::as_unsigned_i32(data);
         self.allreduce_sum_u32(lanes)
@@ -171,7 +149,8 @@ impl SecureComm {
             .collect()
     }
 
-    /// `MPI_Allreduce(MPI_INT64_T, MPI_SUM)`.
+    /// `MPI_Allreduce(MPI_INT64_T, MPI_SUM)` — shim over
+    /// [`SecureComm::allreduce_with`] via the u64 lane view.
     pub fn allreduce_sum_i64(&mut self, data: &[i64]) -> Vec<i64> {
         let lanes = hear_core::word::as_unsigned_i64(data);
         self.allreduce_sum_u64(lanes)
@@ -180,89 +159,83 @@ impl SecureComm {
             .collect()
     }
 
-    /// `MPI_Allreduce(MPI_UINT32_T, MPI_PROD)`.
+    /// `MPI_Allreduce(MPI_UINT32_T, MPI_PROD)` — shim over
+    /// [`SecureComm::allreduce_with`].
     pub fn allreduce_prod_u32(&mut self, data: &[u32]) -> Vec<u32> {
-        self.int_op(
-            data,
-            IntProd::encrypt_in_place,
-            IntProd::decrypt_in_place,
-            |a: &u32, b: &u32| a.wrapping_mul(*b),
-        )
+        let mut s = IntProdScheme::with_scratch(std::mem::take(&mut self.scratch_u32));
+        let out = self.allreduce_with(&mut s, data, EngineCfg::sync());
+        self.scratch_u32 = s.into_scratch();
+        out.expect("integer schemes are infallible")
     }
 
-    /// `MPI_Allreduce(MPI_UINT64_T, MPI_PROD)`.
+    /// `MPI_Allreduce(MPI_UINT64_T, MPI_PROD)` — shim over
+    /// [`SecureComm::allreduce_with`].
     pub fn allreduce_prod_u64(&mut self, data: &[u64]) -> Vec<u64> {
-        self.int_op(
-            data,
-            IntProd::encrypt_in_place,
-            IntProd::decrypt_in_place,
-            |a: &u64, b: &u64| a.wrapping_mul(*b),
-        )
+        let mut s = IntProdScheme::with_scratch(std::mem::take(&mut self.scratch_u64));
+        let out = self.allreduce_with(&mut s, data, EngineCfg::sync());
+        self.scratch_u64 = s.into_scratch();
+        out.expect("integer schemes are infallible")
     }
 
-    /// `MPI_Allreduce(MPI_UINT32_T, MPI_BXOR)` (also MPI_LXOR on 0/1 data).
+    /// `MPI_Allreduce(MPI_UINT32_T, MPI_BXOR)` (also MPI_LXOR on 0/1
+    /// data) — shim over [`SecureComm::allreduce_with`].
     pub fn allreduce_xor_u32(&mut self, data: &[u32]) -> Vec<u32> {
-        self.int_op(
-            data,
-            IntXor::encrypt_in_place,
-            IntXor::decrypt_in_place,
-            |a: &u32, b: &u32| a ^ b,
-        )
+        let mut s = IntXorScheme::with_scratch(std::mem::take(&mut self.scratch_u32));
+        let out = self.allreduce_with(&mut s, data, EngineCfg::sync());
+        self.scratch_u32 = s.into_scratch();
+        out.expect("integer schemes are infallible")
     }
 
-    /// `MPI_Allreduce(MPI_UINT64_T, MPI_BXOR)`.
+    /// `MPI_Allreduce(MPI_UINT64_T, MPI_BXOR)` — shim over
+    /// [`SecureComm::allreduce_with`].
     pub fn allreduce_xor_u64(&mut self, data: &[u64]) -> Vec<u64> {
-        self.int_op(
-            data,
-            IntXor::encrypt_in_place,
-            IntXor::decrypt_in_place,
-            |a: &u64, b: &u64| a ^ b,
-        )
+        let mut s = IntXorScheme::with_scratch(std::mem::take(&mut self.scratch_u64));
+        let out = self.allreduce_with(&mut s, data, EngineCfg::sync());
+        self.scratch_u64 = s.into_scratch();
+        out.expect("integer schemes are infallible")
     }
 
-    /// `MPI_Allreduce(MPI_UINT16_T, MPI_SUM)` (also MPI_SHORT via cast).
+    /// `MPI_Allreduce(MPI_UINT16_T, MPI_SUM)` (also MPI_SHORT via cast) —
+    /// shim over [`SecureComm::allreduce_with`].
     pub fn allreduce_sum_u16(&mut self, data: &[u16]) -> Vec<u16> {
-        self.int_op(
-            data,
-            IntSum::encrypt_in_place,
-            IntSum::decrypt_in_place,
-            |a: &u16, b: &u16| a.wrapping_add(*b),
-        )
+        let mut s = IntSumScheme::with_scratch(std::mem::take(&mut self.scratch_u16));
+        let out = self.allreduce_with(&mut s, data, EngineCfg::sync());
+        self.scratch_u16 = s.into_scratch();
+        out.expect("integer schemes are infallible")
     }
 
-    /// `MPI_Allreduce(MPI_BYTE/MPI_UINT8_T, MPI_SUM)`.
+    /// `MPI_Allreduce(MPI_BYTE/MPI_UINT8_T, MPI_SUM)` — shim over
+    /// [`SecureComm::allreduce_with`].
     pub fn allreduce_sum_u8(&mut self, data: &[u8]) -> Vec<u8> {
-        self.int_op(
-            data,
-            IntSum::encrypt_in_place,
-            IntSum::decrypt_in_place,
-            |a: &u8, b: &u8| a.wrapping_add(*b),
-        )
+        let mut s = IntSumScheme::with_scratch(std::mem::take(&mut self.scratch_u8));
+        let out = self.allreduce_with(&mut s, data, EngineCfg::sync());
+        self.scratch_u8 = s.into_scratch();
+        out.expect("integer schemes are infallible")
     }
 
-    /// `MPI_Allreduce(MPI_UINT16_T, MPI_BXOR)`.
+    /// `MPI_Allreduce(MPI_UINT16_T, MPI_BXOR)` — shim over
+    /// [`SecureComm::allreduce_with`].
     pub fn allreduce_xor_u16(&mut self, data: &[u16]) -> Vec<u16> {
-        self.int_op(
-            data,
-            IntXor::encrypt_in_place,
-            IntXor::decrypt_in_place,
-            |a: &u16, b: &u16| a ^ b,
-        )
+        let mut s = IntXorScheme::with_scratch(std::mem::take(&mut self.scratch_u16));
+        let out = self.allreduce_with(&mut s, data, EngineCfg::sync());
+        self.scratch_u16 = s.into_scratch();
+        out.expect("integer schemes are infallible")
     }
 
     // ---- fixed point (§5.2) ----------------------------------------------
 
-    /// Fixed-point sum: encode with `codec`, run the integer SUM scheme.
+    /// Fixed-point sum: encode with `codec`, run the integer SUM scheme —
+    /// shim over [`SecureComm::allreduce_with`].
     pub fn allreduce_fixed_sum(&mut self, codec: FixedCodec, data: &[f64]) -> Vec<f64> {
-        let mut lanes = Vec::new();
-        codec.encode_slice(data, &mut lanes);
-        let agg = self.allreduce_sum_u64(&lanes);
-        let mut out = Vec::new();
-        codec.decode_slice(&agg, &mut out);
-        out
+        let mut s = FixedSumScheme::with_scratch(codec, std::mem::take(&mut self.scratch_u64));
+        let out = self.allreduce_with(&mut s, data, EngineCfg::sync());
+        self.scratch_u64 = s.into_scratch();
+        out.expect("fixed-point sum is infallible")
     }
 
-    /// Fixed-point product: the output scale compounds with the world size.
+    /// Fixed-point product: the output scale compounds with the world
+    /// size, so this stays composed over
+    /// [`SecureComm::allreduce_prod_u64`] (itself an engine shim).
     pub fn allreduce_fixed_prod(&mut self, codec: FixedCodec, data: &[f64]) -> Vec<f64> {
         let mut lanes = Vec::new();
         codec.encode_slice(data, &mut lanes);
@@ -274,23 +247,19 @@ impl SecureComm {
 
     // ---- floats (§5.3) ---------------------------------------------------
 
-    /// `MPI_Allreduce(MPI_FLOAT/MPI_DOUBLE, MPI_SUM)` via HFP (Eq. 7).
+    /// `MPI_Allreduce(MPI_FLOAT/MPI_DOUBLE, MPI_SUM)` via HFP (Eq. 7) —
+    /// shim over [`SecureComm::allreduce_with`].
     pub fn allreduce_float_sum(
         &mut self,
         fmt: HfpFormat,
         data: &[f64],
     ) -> Result<Vec<f64>, hear_core::HfpError> {
-        self.keys.advance();
-        let scheme = FloatSum::new(fmt);
-        let mut ct = Vec::new();
-        scheme.encrypt_f64(&self.keys, 0, data, &mut ct)?;
-        let agg = self.transport(ct, |a: &Hfp, b: &Hfp| FloatSum::combine(a, b));
-        let mut out = Vec::new();
-        scheme.decrypt_f64(&self.keys, 0, &agg, &mut out);
-        Ok(out)
+        self.allreduce_with(&mut FloatSumScheme::new(fmt), data, EngineCfg::sync())
+            .map_err(EngineError::into_hfp)
     }
 
-    /// `MPI_Allreduce(MPI_FLOAT, MPI_SUM)` on f32 data (FP32 layout).
+    /// `MPI_Allreduce(MPI_FLOAT, MPI_SUM)` on f32 data (FP32 layout) —
+    /// shim over [`SecureComm::allreduce_float_sum`].
     pub fn allreduce_f32_sum(
         &mut self,
         gamma: u32,
@@ -301,102 +270,45 @@ impl SecureComm {
         Ok(out.into_iter().map(|v| v as f32).collect())
     }
 
-    /// `MPI_Allreduce(MPI_DOUBLE, MPI_PROD)` via HFP (Eq. 6).
+    /// `MPI_Allreduce(MPI_DOUBLE, MPI_PROD)` via HFP (Eq. 6) — shim over
+    /// [`SecureComm::allreduce_with`].
     pub fn allreduce_float_prod(
         &mut self,
         fmt: HfpFormat,
         data: &[f64],
     ) -> Result<Vec<f64>, hear_core::HfpError> {
-        self.keys.advance();
-        let scheme = FloatProd::new(fmt);
-        let mut ct = Vec::new();
-        scheme.encrypt_f64(&self.keys, 0, data, &mut ct)?;
-        let agg = self.transport(ct, |a: &Hfp, b: &Hfp| FloatProd::combine(a, b));
-        let mut out = Vec::new();
-        scheme.decrypt_f64(&self.keys, 0, &agg, &mut out);
-        Ok(out)
+        self.allreduce_with(&mut FloatProdScheme::new(fmt), data, EngineCfg::sync())
+            .map_err(EngineError::into_hfp)
     }
 
-    /// Alternative float sum (§5.3.4): global safety, reduced range.
+    /// Alternative float sum (§5.3.4): global safety, reduced range —
+    /// shim over [`SecureComm::allreduce_with`].
     pub fn allreduce_float_sum_v2(
         &mut self,
         fmt: HfpFormat,
         data: &[f64],
     ) -> Result<Vec<f64>, hear_core::HfpError> {
-        self.keys.advance();
-        let scheme = FloatSumExp::new(fmt);
-        let mut ct = Vec::new();
-        scheme.encrypt_f64(&self.keys, 0, data, &mut ct)?;
-        let agg = self.transport(ct, |a: &Hfp, b: &Hfp| FloatSumExp::combine(a, b));
-        let mut out = Vec::new();
-        scheme.decrypt_f64(&self.keys, 0, &agg, &mut out);
-        Ok(out)
+        self.allreduce_with(&mut FloatSumExpScheme::new(fmt), data, EngineCfg::sync())
+            .map_err(EngineError::into_hfp)
     }
 
     // ---- verified reductions (§5.5) ---------------------------------------
 
     /// Integer sum with HoMAC result verification: the network carries
-    /// `(ciphertext, tag)` pairs and the result is rejected if the
-    /// aggregate fails authentication.
+    /// authenticated packets and the result is rejected if the aggregate
+    /// fails authentication. Shim over [`SecureComm::allreduce_with`]
+    /// with [`EngineCfg::verified`].
     pub fn allreduce_sum_u32_verified(
         &mut self,
         data: &[u32],
     ) -> Result<Vec<u32>, VerificationError> {
-        let _s = hear_telemetry::span!("secure_allreduce_verified", elems = data.len());
-        let homac = self
-            .homac
-            .clone()
-            .expect("enable verification with with_homac()");
-        self.keys.advance();
-        let mut buf = data.to_vec();
-        IntSum::encrypt_in_place(&self.keys, 0, &mut buf, &mut self.scratch_u32);
-        let tags = homac.tag(&self.keys, 0, &buf);
-        let pairs: Vec<Tagged<u32>> = buf
-            .into_iter()
-            .zip(tags)
-            .map(|(c, sigma)| Tagged { c, sigma })
-            .collect();
-        let agg = self.transport(pairs, |a: &Tagged<u32>, b: &Tagged<u32>| Tagged {
-            c: a.c.wrapping_add(b.c),
-            sigma: Homac::combine(a.sigma, b.sigma),
-        });
-        let (mut cs, sigmas): (Vec<u32>, Vec<u64>) =
-            agg.into_iter().map(|t| (t.c, t.sigma)).unzip();
-        if !homac.verify(&self.keys, 0, &cs, &sigmas) {
-            return Err(VerificationError);
-        }
-        IntSum::decrypt_in_place(&self.keys, 0, &mut cs, &mut self.scratch_u32);
-        Ok(cs)
-    }
-}
-
-/// Selects the right scratch buffer field for a lane width (keeps the
-/// generic `int_op` free of per-width duplication).
-pub(crate) trait ScratchOf<W: RingWord> {
-    fn of(sc: &mut SecureComm) -> &mut Scratch<W>;
-}
-
-impl ScratchOf<u32> for Scratch<u32> {
-    fn of(sc: &mut SecureComm) -> &mut Scratch<u32> {
-        &mut sc.scratch_u32
-    }
-}
-
-impl ScratchOf<u16> for Scratch<u16> {
-    fn of(sc: &mut SecureComm) -> &mut Scratch<u16> {
-        &mut sc.scratch_u16
-    }
-}
-
-impl ScratchOf<u8> for Scratch<u8> {
-    fn of(sc: &mut SecureComm) -> &mut Scratch<u8> {
-        &mut sc.scratch_u8
-    }
-}
-
-impl ScratchOf<u64> for Scratch<u64> {
-    fn of(sc: &mut SecureComm) -> &mut Scratch<u64> {
-        &mut sc.scratch_u64
+        let mut s = IntSumScheme::with_scratch(std::mem::take(&mut self.scratch_u32));
+        let out = self.allreduce_with(&mut s, data, EngineCfg::sync().verified());
+        self.scratch_u32 = s.into_scratch();
+        out.map_err(|e| match e {
+            EngineError::Verification(v) => v,
+            EngineError::Hfp(_) => unreachable!("integer schemes are infallible"),
+        })
     }
 }
 

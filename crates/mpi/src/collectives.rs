@@ -112,18 +112,29 @@ impl Communicator {
         F: Fn(&T, &T) -> T,
     {
         let tag = self.next_coll_tag();
-        self.allreduce_tagged(tag, data, op)
+        self.allreduce_owned_tagged(tag, data.to_vec(), op)
     }
 
-    pub(crate) fn allreduce_tagged<T, F>(&self, tag: u64, data: &[T], op: F) -> Vec<T>
+    /// Recursive-doubling allreduce consuming the input buffer — the
+    /// copy-free entry the HEAR engine chunks over.
+    pub fn allreduce_owned<T, F>(&self, data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let tag = self.next_coll_tag();
+        self.allreduce_owned_tagged(tag, data, op)
+    }
+
+    pub(crate) fn allreduce_owned_tagged<T, F>(&self, tag: u64, data: Vec<T>, op: F) -> Vec<T>
     where
         T: Clone + Send + 'static,
         F: Fn(&T, &T) -> T,
     {
         let (world, rank) = (self.world(), self.rank());
         let _s = hear_telemetry::span!("allreduce", elems = data.len(), tag = tag);
-        let mut acc: Vec<T> = data.to_vec();
-        if world == 1 {
+        let mut acc: Vec<T> = data;
+        if world == 1 || acc.is_empty() {
             return acc;
         }
         let pof2 = world.next_power_of_two() / if world.is_power_of_two() { 1 } else { 2 };
@@ -172,18 +183,29 @@ impl Communicator {
         F: Fn(&T, &T) -> T,
     {
         let tag = self.next_coll_tag();
-        self.allreduce_ring_tagged(tag, data, op)
+        self.allreduce_ring_owned_tagged(tag, data.to_vec(), op)
     }
 
-    pub(crate) fn allreduce_ring_tagged<T, F>(&self, tag: u64, data: &[T], op: F) -> Vec<T>
+    /// Ring allreduce consuming the input buffer — the copy-free entry the
+    /// HEAR engine chunks over.
+    pub fn allreduce_ring_owned<T, F>(&self, data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let tag = self.next_coll_tag();
+        self.allreduce_ring_owned_tagged(tag, data, op)
+    }
+
+    pub(crate) fn allreduce_ring_owned_tagged<T, F>(&self, tag: u64, data: Vec<T>, op: F) -> Vec<T>
     where
         T: Clone + Send + 'static,
         F: Fn(&T, &T) -> T,
     {
         let (world, rank) = (self.world(), self.rank());
         let _s = hear_telemetry::span!("allreduce_ring", elems = data.len(), tag = tag);
-        let mut acc: Vec<T> = data.to_vec();
-        if world == 1 {
+        let mut acc: Vec<T> = data;
+        if world == 1 || acc.is_empty() {
             return acc;
         }
         let n = acc.len();
@@ -199,26 +221,34 @@ impl Communicator {
             .collect();
         let next = (rank + 1) % world;
         let prev = (rank + world - 1) % world;
+        // One reusable segment buffer per hop: each received segment's
+        // allocation becomes the next hop's send buffer, halving the
+        // per-step allocations without changing the message schedule.
+        let mut seg: Vec<T> = Vec::new();
         // Reduce-scatter: after world-1 steps, rank owns the fully reduced
         // chunk (rank+1) mod world.
         for step in 0..world - 1 {
             let send_chunk = (rank + world - step) % world;
             let recv_chunk = (rank + world - step - 1) % world;
             let (s, e) = bounds[send_chunk];
-            let out: Vec<T> = acc[s..e].to_vec();
-            let incoming = self.sendrecv_internal(next, tag, out, prev, tag);
+            seg.clear();
+            seg.extend_from_slice(&acc[s..e]);
+            let incoming = self.sendrecv_internal(next, tag, std::mem::take(&mut seg), prev, tag);
             let (s, e) = bounds[recv_chunk];
             fold_into(&mut acc[s..e], &incoming, &op);
+            seg = incoming;
         }
         // Allgather: circulate the reduced chunks.
         for step in 0..world - 1 {
             let send_chunk = (rank + 1 + world - step) % world;
             let recv_chunk = (rank + world - step) % world;
             let (s, e) = bounds[send_chunk];
-            let out: Vec<T> = acc[s..e].to_vec();
-            let incoming = self.sendrecv_internal(next, tag, out, prev, tag);
+            seg.clear();
+            seg.extend_from_slice(&acc[s..e]);
+            let incoming = self.sendrecv_internal(next, tag, std::mem::take(&mut seg), prev, tag);
             let (s, e) = bounds[recv_chunk];
             acc[s..e].clone_from_slice(&incoming);
+            seg = incoming;
         }
         acc
     }

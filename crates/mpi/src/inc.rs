@@ -229,17 +229,36 @@ impl Communicator {
         T: Clone + Send + 'static,
         F: Fn(&T, &T) -> T + Send + Sync + Clone + 'static,
     {
+        let tag = self.next_coll_tag();
+        self.allreduce_inc_tagged(tag, data.to_vec(), op)
+    }
+
+    /// Switch-tree allreduce consuming the input buffer — the copy-free
+    /// entry the HEAR engine chunks over.
+    pub fn allreduce_inc_owned<T, F>(&self, data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T + Send + Sync + Clone + 'static,
+    {
+        let tag = self.next_coll_tag();
+        self.allreduce_inc_tagged(tag, data, op)
+    }
+
+    pub(crate) fn allreduce_inc_tagged<T, F>(&self, tag: u64, data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T + Send + Sync + Clone + 'static,
+    {
         let topo = self
             .switch_topology()
             .expect("allreduce_inc requires a switch-enabled simulator");
-        let tag = self.next_coll_tag();
         // Kick the switch service for this collective (one service task per
         // switch node, spawned by the simulator's switch executor).
         self.spawn_switch_service::<T, F>(&topo, tag, op);
         let leaf = topo.base_endpoint + topo.leaf_of_rank[self.rank()];
-        let bytes = std::mem::size_of_val(data);
+        let bytes = std::mem::size_of_val(&data[..]);
         self.fabric
-            .send_boxed(self.rank(), leaf, tag, Box::new(data.to_vec()), bytes);
+            .send_boxed(self.rank(), leaf, tag, Box::new(data), bytes);
         let env = self.fabric.mailboxes[self.rank()].take(leaf, tag + 1);
         *env.payload
             .downcast::<Vec<T>>()

@@ -24,3 +24,8 @@ HEAR_TRACE=1 HEAR_TRACE_OUT="$smoke_dir/smoke" \
     cargo run --release -q -p hear --example quickstart >/dev/null
 cargo run --release -q -p hear-bench --bin trace_validate -- \
     "$smoke_dir/smoke.trace.json" "$smoke_dir/smoke.prom" "$smoke_dir/smoke.snapshot.json"
+
+# Composition-matrix smoke: every scheme × algorithm × chunking × HoMAC
+# cell through the one generic engine, checked against the plaintext
+# reference. Exits nonzero on any mismatch.
+cargo run --release -q -p hear-bench --bin matrix_smoke

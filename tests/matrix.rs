@@ -1,0 +1,463 @@
+//! The composition matrix test: every cipher scheme × transport algorithm
+//! × chunking mode × HoMAC verification, one generic engine call each,
+//! checked against the plaintext reference with the per-scheme tolerance
+//! implied by Table 2's lossiness column. Before the engine refactor most
+//! of these cells were unwritable (e.g. a verified pipelined float sum on
+//! the switch tree); now every one is
+//! `SecureComm::allreduce_with(scheme, data, cfg)`.
+
+use hear::core::properties::{composition_matrix_markdown, table2_markdown, Lossiness, TABLE2};
+use hear::core::{
+    Backend, CommKeys, FixedCodec, FixedSumScheme, FloatProdScheme, FloatSumExpScheme,
+    FloatSumScheme, HfpFormat, Homac, IntProdScheme, IntSumScheme, IntXorScheme, Scheme,
+};
+use hear::layer::{EngineCfg, ReduceAlgo, SecureComm};
+use hear::mpi::{SimConfig, Simulator};
+
+const WORLD: usize = 4;
+const SEED: u64 = 0xA117;
+
+/// Every (algorithm, pipelined?, verified?) cell the engine must serve.
+fn cells() -> Vec<(ReduceAlgo, bool, bool)> {
+    let mut v = Vec::new();
+    for algo in [
+        ReduceAlgo::RecursiveDoubling,
+        ReduceAlgo::Ring,
+        ReduceAlgo::Switch,
+    ] {
+        for pipelined in [false, true] {
+            for verified in [false, true] {
+                v.push((algo, pipelined, verified));
+            }
+        }
+    }
+    v
+}
+
+fn cfg_for(algo: ReduceAlgo, pipelined: bool, verified: bool) -> EngineCfg {
+    let base = if pipelined {
+        // A block size that does not divide the test length, so chunk
+        // boundaries and the tail block are both exercised.
+        EngineCfg::pipelined(5)
+    } else {
+        EngineCfg::sync()
+    };
+    let base = base.with_algo(algo);
+    if verified {
+        base.verified()
+    } else {
+        base
+    }
+}
+
+/// Run one scheme through all 12 cells at world = 4 on a switch-enabled
+/// simulator and compare every rank's every cell against `expected`.
+fn sweep<S, MS, CL>(mk_scheme: MS, inputs: Vec<Vec<S::Input>>, expected: Vec<S::Input>, close: CL)
+where
+    S: Scheme + 'static,
+    S::Input: PartialEq + std::fmt::Debug + Sync,
+    MS: Fn() -> S + Send + Sync,
+    CL: Fn(&S::Input, &S::Input) -> bool,
+{
+    let inputs = &inputs;
+    let mk_scheme = &mk_scheme;
+    let results = Simulator::with_config(WORLD, SimConfig::default().with_switch(4)).run(|comm| {
+        let keys = CommKeys::generate(WORLD, SEED, Backend::best_available())
+            .into_iter()
+            .nth(comm.rank())
+            .unwrap();
+        let homac = Homac::generate(SEED ^ 0x5a5a, Backend::best_available());
+        let mut sc = SecureComm::new(comm.clone(), keys).with_homac(homac);
+        let data = inputs[comm.rank()].clone();
+        let mut out = Vec::new();
+        for (algo, pipelined, verified) in cells() {
+            let mut s = mk_scheme();
+            let got = sc
+                .allreduce_with(&mut s, &data, cfg_for(algo, pipelined, verified))
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{} failed on ({algo:?}, pipelined={pipelined}, verified={verified}): {e}",
+                        S::NAME
+                    )
+                });
+            out.push((algo, pipelined, verified, got));
+        }
+        out
+    });
+    for (rank, cells) in results.iter().enumerate() {
+        for (algo, pipelined, verified, got) in cells {
+            assert_eq!(
+                got.len(),
+                expected.len(),
+                "{} rank={rank} ({algo:?}, pipelined={pipelined}, verified={verified})",
+                S::NAME
+            );
+            for (j, (g, e)) in got.iter().zip(&expected).enumerate() {
+                assert!(
+                    close(g, e),
+                    "{} rank={rank} ({algo:?}, pipelined={pipelined}, verified={verified}) \
+                     elem {j}: got {g:?}, expected {e:?}",
+                    S::NAME
+                );
+            }
+        }
+    }
+}
+
+fn rel_close(tol: f64) -> impl Fn(&f64, &f64) -> bool {
+    move |g, e| {
+        let scale = e.abs().max(1.0);
+        (g - e).abs() / scale < tol
+    }
+}
+
+/// Table-2-derived tolerance for a scheme's lossiness class.
+fn tol_for(row: usize) -> f64 {
+    match TABLE2[row].lossiness {
+        Lossiness::Lossless => 0.0,
+        Lossiness::Minor => 1e-4,
+        Lossiness::Medium => 1e-3,
+    }
+}
+
+#[test]
+fn int_sum_full_matrix() {
+    let inputs: Vec<Vec<u32>> = (0..WORLD)
+        .map(|r| {
+            (0..23)
+                .map(|j| (j as u32).wrapping_mul(0x9E37_79B9).wrapping_add(r as u32))
+                .collect()
+        })
+        .collect();
+    let expected: Vec<u32> = (0..23)
+        .map(|j| {
+            inputs
+                .iter()
+                .fold(0u32, |acc, rank| acc.wrapping_add(rank[j]))
+        })
+        .collect();
+    assert_eq!(tol_for(IntSumScheme::<u32>::TABLE2_ROW), 0.0);
+    sweep(
+        IntSumScheme::<u32>::default,
+        inputs,
+        expected,
+        |g: &u32, e: &u32| g == e,
+    );
+}
+
+#[test]
+fn int_prod_full_matrix() {
+    let inputs: Vec<Vec<u64>> = (0..WORLD)
+        .map(|r| (0..17).map(|j| 1 + ((j + r as u64) % 9)).collect())
+        .collect();
+    let expected: Vec<u64> = (0..17)
+        .map(|j| {
+            inputs
+                .iter()
+                .fold(1u64, |acc, rank| acc.wrapping_mul(rank[j as usize]))
+        })
+        .collect();
+    assert_eq!(tol_for(IntProdScheme::<u64>::TABLE2_ROW), 0.0);
+    sweep(
+        IntProdScheme::<u64>::default,
+        inputs,
+        expected,
+        |g: &u64, e: &u64| g == e,
+    );
+}
+
+#[test]
+fn int_xor_full_matrix() {
+    // XOR digests are sound only up to 15 ranks; world = 4 is inside.
+    let inputs: Vec<Vec<u32>> = (0..WORLD)
+        .map(|r| {
+            (0..19)
+                .map(|j| (j as u32).wrapping_mul(0xDEAD_BEEF) ^ (r as u32) << 13)
+                .collect()
+        })
+        .collect();
+    let expected: Vec<u32> = (0..19)
+        .map(|j| inputs.iter().fold(0u32, |acc, rank| acc ^ rank[j]))
+        .collect();
+    sweep(
+        IntXorScheme::<u32>::default,
+        inputs,
+        expected,
+        |g: &u32, e: &u32| g == e,
+    );
+}
+
+#[test]
+fn fixed_sum_full_matrix() {
+    let inputs: Vec<Vec<f64>> = (0..WORLD)
+        .map(|r| {
+            (0..13)
+                .map(|j| ((r * 13 + j) as f64 * 0.37).sin() * 4.0)
+                .collect()
+        })
+        .collect();
+    let expected: Vec<f64> = (0..13)
+        .map(|j| inputs.iter().map(|rank| rank[j]).sum())
+        .collect();
+    // Fixed point with 16 fractional bits: quantisation, not HFP loss.
+    sweep(
+        || FixedSumScheme::new(FixedCodec::new(16)),
+        inputs,
+        expected,
+        rel_close(1e-3),
+    );
+}
+
+#[test]
+fn float_sum_v1_full_matrix() {
+    let inputs: Vec<Vec<f64>> = (0..WORLD)
+        .map(|r| {
+            (0..21)
+                .map(|j| ((r * 21 + j) as f64 * 0.17).cos() * 3.0 + 4.0)
+                .collect()
+        })
+        .collect();
+    let expected: Vec<f64> = (0..21)
+        .map(|j| inputs.iter().map(|rank| rank[j]).sum())
+        .collect();
+    let tol = tol_for(FloatSumScheme::TABLE2_ROW);
+    assert!(tol > 0.0);
+    sweep(
+        // γ=2 is required for the cancelling noise layout (Eq. 7).
+        || FloatSumScheme::new(HfpFormat::fp32(2, 2)),
+        inputs,
+        expected,
+        rel_close(tol),
+    );
+}
+
+#[test]
+fn float_sum_v2_full_matrix() {
+    // v2 trades range for global safety: keep inputs small so the shared
+    // exponent never overflows (δ must be 0 for the v2 layout).
+    let inputs: Vec<Vec<f64>> = (0..WORLD)
+        .map(|r| {
+            (0..11)
+                .map(|j| ((r * 11 + j) as f64 * 0.29).sin() * 0.4)
+                .collect()
+        })
+        .collect();
+    let expected: Vec<f64> = (0..11)
+        .map(|j| inputs.iter().map(|rank| rank[j]).sum())
+        .collect();
+    let tol = tol_for(FloatSumExpScheme::TABLE2_ROW);
+    sweep(
+        || FloatSumExpScheme::new(HfpFormat::fp64(0, 0)),
+        inputs,
+        expected,
+        rel_close(tol),
+    );
+}
+
+#[test]
+fn float_prod_full_matrix() {
+    // Nonzero inputs clustered around 1 so products of 4 ranks stay in
+    // range and the multiplicative digest stays well-conditioned.
+    let inputs: Vec<Vec<f64>> = (0..WORLD)
+        .map(|r| {
+            (0..9)
+                .map(|j| 0.6 + ((r * 9 + j) as f64 * 0.41).cos().abs())
+                .collect()
+        })
+        .collect();
+    let expected: Vec<f64> = (0..9)
+        .map(|j| inputs.iter().map(|rank| rank[j]).product())
+        .collect();
+    let tol = tol_for(FloatProdScheme::TABLE2_ROW);
+    sweep(
+        // δ must be 0 for the multiplicative layout (Eq. 6).
+        || FloatProdScheme::new(HfpFormat::fp64(0, 0)),
+        inputs,
+        expected,
+        rel_close(tol),
+    );
+}
+
+// ---- uniform edge cases (satellite #1) ---------------------------------
+
+#[test]
+fn empty_input_is_empty_everywhere() {
+    // Zero-length reductions short-circuit inside the engine for every
+    // cell — including verified + pipelined, which used to hang or panic
+    // depending on the legacy path.
+    let results = Simulator::with_config(WORLD, SimConfig::default().with_switch(4)).run(|comm| {
+        let keys = CommKeys::generate(WORLD, 77, Backend::best_available())
+            .into_iter()
+            .nth(comm.rank())
+            .unwrap();
+        let homac = Homac::generate(78, Backend::best_available());
+        let mut sc = SecureComm::new(comm.clone(), keys).with_homac(homac);
+        let mut lens = Vec::new();
+        for (algo, pipelined, verified) in cells() {
+            let mut s = IntSumScheme::<u32>::default();
+            let got = sc
+                .allreduce_with(&mut s, &[], cfg_for(algo, pipelined, verified))
+                .unwrap();
+            lens.push(got.len());
+        }
+        let mut f = FloatSumScheme::new(HfpFormat::fp32(2, 2));
+        lens.push(
+            sc.allreduce_with(&mut f, &[], EngineCfg::pipelined(4).verified())
+                .unwrap()
+                .len(),
+        );
+        lens
+    });
+    for lens in &results {
+        assert!(lens.iter().all(|l| *l == 0));
+    }
+}
+
+#[test]
+fn world_of_one_runs_every_cell_without_a_fabric() {
+    // A single rank has nothing to reduce with: every cell — even Switch
+    // (no switch fabric configured here!) and verified + pipelined — must
+    // return the input unchanged instead of touching the transport.
+    let results = Simulator::new(1).run(|comm| {
+        let keys = CommKeys::generate(1, 5, Backend::best_available())
+            .into_iter()
+            .nth(comm.rank())
+            .unwrap();
+        let homac = Homac::generate(6, Backend::best_available());
+        let mut sc = SecureComm::new(comm.clone(), keys).with_homac(homac);
+        let data: Vec<u32> = (0..7).map(|j| j * 3 + 1).collect();
+        let mut outs = Vec::new();
+        for (algo, pipelined, verified) in cells() {
+            let mut s = IntSumScheme::<u32>::default();
+            outs.push(
+                sc.allreduce_with(&mut s, &data, cfg_for(algo, pipelined, verified))
+                    .unwrap(),
+            );
+        }
+        let mut f = FloatSumScheme::new(HfpFormat::fp32(2, 2));
+        let floats = sc
+            .allreduce_with(
+                &mut f,
+                &[1.25, -2.5],
+                EngineCfg::pipelined(1)
+                    .verified()
+                    .with_algo(ReduceAlgo::Switch),
+            )
+            .unwrap();
+        (data, outs, floats)
+    });
+    let (data, outs, floats) = &results[0];
+    for out in outs {
+        assert_eq!(out, data);
+    }
+    assert!((floats[0] - 1.25).abs() < 1e-4);
+    assert!((floats[1] + 2.5).abs() < 1e-4);
+}
+
+#[test]
+fn fewer_elements_than_ranks_on_the_ring() {
+    // count < world stresses the ring's empty-segment handling.
+    let results = Simulator::new(4).run(|comm| {
+        let keys = CommKeys::generate(4, 9, Backend::best_available())
+            .into_iter()
+            .nth(comm.rank())
+            .unwrap();
+        let mut sc = SecureComm::new(comm.clone(), keys);
+        let mut s = IntSumScheme::<u32>::default();
+        sc.allreduce_with(
+            &mut s,
+            &[comm.rank() as u32 + 1, 10],
+            EngineCfg::sync().with_algo(ReduceAlgo::Ring),
+        )
+        .unwrap()
+    });
+    for r in &results {
+        assert_eq!(*r, vec![1 + 2 + 3 + 4, 40]);
+    }
+}
+
+// ---- randomized cell picking (satellite #3) ----------------------------
+
+mod random_cells {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        /// One random (world, length, block, cell) tuple per case: the
+        /// engine must agree with the plaintext wrapping-sum reference in
+        /// every corner the deterministic sweep's fixed shape misses.
+        #[test]
+        fn random_cell_matches_reference(
+            world in 1usize..5,
+            len in 0usize..60,
+            block in 1usize..16,
+            seed in any::<u64>(),
+            algo_pick in 0u8..3,
+            pipelined in any::<bool>(),
+            verified in any::<bool>(),
+        ) {
+            let algo = match algo_pick {
+                0 => ReduceAlgo::RecursiveDoubling,
+                1 => ReduceAlgo::Ring,
+                _ => ReduceAlgo::Switch,
+            };
+            let results = Simulator::with_config(world, SimConfig::default().with_switch(2))
+                .run(move |comm| {
+                    let keys = CommKeys::generate(world, seed, Backend::best_available())
+                        .into_iter()
+                        .nth(comm.rank())
+                        .unwrap();
+                    let homac = Homac::generate(seed ^ 0x17, Backend::best_available());
+                    let mut sc = SecureComm::new(comm.clone(), keys).with_homac(homac);
+                    let data: Vec<u32> = (0..len as u32)
+                        .map(|j| {
+                            j.wrapping_mul(seed as u32 | 1)
+                                .wrapping_add(comm.rank() as u32)
+                        })
+                        .collect();
+                    let base = if pipelined {
+                        EngineCfg::pipelined(block)
+                    } else {
+                        EngineCfg::sync()
+                    };
+                    let cfg = if verified {
+                        base.with_algo(algo).verified()
+                    } else {
+                        base.with_algo(algo)
+                    };
+                    let mut s = IntSumScheme::<u32>::default();
+                    let enc = sc.allreduce_with(&mut s, &data, cfg).unwrap();
+                    let reference = comm.allreduce(&data, |a, b| a.wrapping_add(*b));
+                    (enc, reference)
+                });
+            for (enc, reference) in &results {
+                prop_assert_eq!(enc, reference);
+            }
+        }
+    }
+}
+
+// ---- docs stay in sync with the generators (satellite #4) ---------------
+
+#[test]
+fn readme_and_design_embed_the_generated_matrices() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let readme = std::fs::read_to_string(format!("{root}/README.md")).unwrap();
+    let design = std::fs::read_to_string(format!("{root}/DESIGN.md")).unwrap();
+    for line in composition_matrix_markdown().lines() {
+        assert!(
+            design.contains(line),
+            "DESIGN.md is missing a composition-matrix line:\n{line}\n\
+             (regenerate with hear::core::properties::composition_matrix_markdown)"
+        );
+    }
+    for line in table2_markdown().lines() {
+        assert!(
+            readme.contains(line),
+            "README.md is missing a Table 2 line:\n{line}\n\
+             (regenerate with hear::core::properties::table2_markdown)"
+        );
+    }
+}
