@@ -1,0 +1,143 @@
+//! Mask/unmask throughput: fused one-pass kernels vs the split
+//! fill-then-combine path, per PRF backend × word width, on a 64 KiB
+//! payload. Emits `BENCH_crypto.json` (the per-commit crypto trajectory)
+//! and doubles as the `perf_gate` driver for `scripts/ci.sh`:
+//!
+//! ```text
+//! crypto_throughput            # full sweep, writes BENCH_crypto.json
+//! crypto_throughput --gate     # fused must not be slower than split
+//! ```
+//!
+//! The split path is what every scheme did before the fused kernels:
+//! `keystream_*` into a scratch vector, then a second wrapping-add pass —
+//! two passes over the payload, three over the keystream. The fused path
+//! ([`hear::prf::kernels`]) folds each PRF block into the payload as it is
+//! generated, so the keystream never exists in memory; on AES-NI the
+//! blocks stay in SSE registers through the 8-wide pipeline. `HEAR_SCALE`
+//! and `HEAR_BENCH_FAST` budgets apply as for every other bench target.
+
+use criterion::{black_box, Criterion, Throughput};
+use hear::prf::kernels::add_keystream_into;
+use hear::prf::{keystream_u16, keystream_u32, keystream_u64, keystream_u8, Backend, PrfCipher};
+
+/// Small payload: 64 KiB, the Fig. 5 sweet spot (big enough to leave L1,
+/// small enough that every backend finishes a sample fast).
+const PAYLOAD_BYTES: usize = 64 * 1024;
+
+/// Large payload: 4 MiB, past last-level cache, where the split path's
+/// extra keystream round trip costs real memory bandwidth — the gradient
+/// regime of §7.2. AES-NI only (the software backends would take seconds
+/// per sample and their ratio is compute-bound anyway).
+const BIG_PAYLOAD_BYTES: usize = 4 * 1024 * 1024;
+
+/// `--gate` tolerance: fused may be at most this factor slower than split
+/// before the gate fails. Generous because CI shares one loaded core; on
+/// idle hardware fused wins outright (that 1.5×+ margin is what
+/// `BENCH_crypto.json` tracks).
+const GATE_TOLERANCE: f64 = 1.25;
+
+macro_rules! bench_width {
+    ($g:expr, $prf:expr, $bytes:expr, $ty:ty, $split:path) => {{
+        let n = $bytes / std::mem::size_of::<$ty>();
+        let base: u128 = 0x5eed_0000;
+        let mut payload: Vec<$ty> = (0..n).map(|j| j as $ty).collect();
+        let mut scratch: Vec<$ty> = vec![0; n];
+        let bits = 8 * std::mem::size_of::<$ty>();
+        $g.bench_function(format!("u{bits}/fused"), |b| {
+            b.iter(|| {
+                add_keystream_into($prf, base, 0, &mut payload[..]);
+                black_box(payload[0]);
+            })
+        });
+        $g.bench_function(format!("u{bits}/split"), |b| {
+            b.iter(|| {
+                $split($prf, base, 0, &mut scratch[..]);
+                for (p, k) in payload.iter_mut().zip(scratch.iter()) {
+                    *p = p.wrapping_add(*k);
+                }
+                black_box(payload[0]);
+            })
+        });
+    }};
+}
+
+fn backends() -> Vec<Backend> {
+    [
+        Backend::Sha1,
+        Backend::Sha1Ni,
+        Backend::AesSoft,
+        Backend::AesNi,
+    ]
+    .into_iter()
+    .filter(|b| b.is_available())
+    .collect()
+}
+
+fn sweep(c: &mut Criterion) {
+    for backend in backends() {
+        let prf = PrfCipher::new(backend, 0xC0FFEE).expect("backend was filtered for availability");
+        let mut g = c.benchmark_group(format!("mask_64KiB/{backend:?}"));
+        g.throughput(Throughput::Bytes(PAYLOAD_BYTES as u64));
+        bench_width!(g, &prf, PAYLOAD_BYTES, u8, keystream_u8);
+        bench_width!(g, &prf, PAYLOAD_BYTES, u16, keystream_u16);
+        bench_width!(g, &prf, PAYLOAD_BYTES, u32, keystream_u32);
+        bench_width!(g, &prf, PAYLOAD_BYTES, u64, keystream_u64);
+        g.finish();
+    }
+    if Backend::AesNi.is_available() {
+        let prf = PrfCipher::new(Backend::AesNi, 0xC0FFEE).expect("availability checked");
+        let mut g = c.benchmark_group("mask_4MiB/AesNi");
+        g.throughput(Throughput::Bytes(BIG_PAYLOAD_BYTES as u64));
+        bench_width!(g, &prf, BIG_PAYLOAD_BYTES, u8, keystream_u8);
+        bench_width!(g, &prf, BIG_PAYLOAD_BYTES, u16, keystream_u16);
+        bench_width!(g, &prf, BIG_PAYLOAD_BYTES, u32, keystream_u32);
+        bench_width!(g, &prf, BIG_PAYLOAD_BYTES, u64, keystream_u64);
+        g.finish();
+    }
+}
+
+/// `--gate`: fused u32 masking on the best backend must not be slower
+/// than the split path, within [`GATE_TOLERANCE`]. Best-of-3 attempts
+/// because the CI core is shared and a single descheduled sample can
+/// invert a close race.
+fn run_gate() -> ! {
+    let backend = Backend::best_available();
+    let mut worst = f64::INFINITY;
+    for attempt in 1..=3 {
+        let mut c = Criterion::default();
+        let prf = PrfCipher::new(backend, 0xC0FFEE).expect("best backend always constructs");
+        let mut g = c.benchmark_group("gate");
+        g.throughput(Throughput::Bytes(PAYLOAD_BYTES as u64));
+        bench_width!(g, &prf, PAYLOAD_BYTES, u32, keystream_u32);
+        g.finish();
+        let fused = c.stats("gate/u32/fused").expect("recorded").median_ns;
+        let split = c.stats("gate/u32/split").expect("recorded").median_ns;
+        let ratio = fused / split;
+        println!(
+            "perf_gate[{backend:?}] attempt {attempt}: fused {fused:.0} ns vs split \
+             {split:.0} ns per 64 KiB (fused/split = {ratio:.3}, limit {GATE_TOLERANCE})"
+        );
+        if ratio <= GATE_TOLERANCE {
+            println!(
+                "perf_gate: OK (fused is {:.2}x the split path)",
+                1.0 / ratio
+            );
+            std::process::exit(0);
+        }
+        worst = worst.min(ratio);
+    }
+    eprintln!(
+        "perf_gate: FAIL — fused mask path is {worst:.3}x the split path \
+         (limit {GATE_TOLERANCE}); the one-pass kernels have regressed"
+    );
+    std::process::exit(1);
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--gate") {
+        run_gate();
+    }
+    let mut c = Criterion::default();
+    sweep(&mut c);
+    c.emit("crypto");
+}

@@ -82,24 +82,35 @@ impl Homac {
 
     /// Cancelling tags for this rank's ciphertext block (Θ(1) verification).
     pub fn tag<W: RingWord>(&self, keys: &CommKeys, first: u64, cipher: &[W]) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.tag_into(keys, first, cipher, &mut out);
+        out
+    }
+
+    /// [`Homac::tag`] into a caller-owned vector — the engine stages tags
+    /// through its pooled arena so verified steady state allocates nothing.
+    pub fn tag_into<W: RingWord>(
+        &self,
+        keys: &CommKeys,
+        first: u64,
+        cipher: &[W],
+        out: &mut Vec<u64>,
+    ) {
         let _s = hear_telemetry::span!("homac_tag", elems = cipher.len());
-        cipher
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                let j = first + i as u64;
-                let c_res = c.to_u64() % HOMAC_P;
-                let s = if keys.is_last() {
-                    self.s_at(keys.base_own(), j)
-                } else {
-                    sub_p(
-                        self.s_at(keys.base_own(), j),
-                        self.s_at(keys.base_next(), j),
-                    )
-                };
-                mul_p(sub_p(s, c_res), self.z_inv)
-            })
-            .collect()
+        out.clear();
+        out.extend(cipher.iter().enumerate().map(|(i, c)| {
+            let j = first + i as u64;
+            let c_res = c.to_u64() % HOMAC_P;
+            let s = if keys.is_last() {
+                self.s_at(keys.base_own(), j)
+            } else {
+                sub_p(
+                    self.s_at(keys.base_own(), j),
+                    self.s_at(keys.base_next(), j),
+                )
+            };
+            mul_p(sub_p(s, c_res), self.z_inv)
+        }));
     }
 
     /// Non-cancelling tags (Θ(P) verification via [`Homac::verify_plain`]).

@@ -11,6 +11,68 @@
 
 use crate::keys::{CommKeys, KeyRegistry};
 use crate::word::RingWord;
+use hear_prf::{
+    add_blocks_into, add_keystream_into, sub_blocks_into, sub_keystream_into, xor_blocks_into,
+    xor_keystream_into,
+};
+use hear_telemetry::Metric;
+
+/// The three group operations the fused kernels implement.
+#[derive(Clone, Copy)]
+enum FusedOp {
+    Add,
+    Sub,
+    Xor,
+}
+
+/// Fold one noise stream into `buf` with a single fused pass, consulting
+/// the prefetch cache first.
+///
+/// On a cache hit the blocks were generated uncounted by the producer
+/// thread, so this consumer attributes them here — per-backend block
+/// count, keystream bytes and masked bytes — which keeps every counter
+/// total identical whether or not the prefetcher is running. Any miss
+/// falls back to inline fused generation, which does its own accounting.
+fn apply_stream<W: RingWord>(keys: &CommKeys, base: u128, first: u64, buf: &mut [W], op: FusedOp) {
+    if buf.is_empty() {
+        return;
+    }
+    if let Some(cache) = keys.cache() {
+        let per = W::PER_BLOCK as u64;
+        let first_block = first / per;
+        let last_word = first + buf.len() as u64 - 1;
+        let nblocks = (last_word / per - first_block + 1) as usize;
+        let skip = first - first_block * per;
+        let hit = cache.with_blocks(
+            keys.epoch(),
+            base,
+            first_block,
+            nblocks,
+            |blocks| match op {
+                FusedOp::Add => add_blocks_into(blocks, skip, buf),
+                FusedOp::Sub => sub_blocks_into(blocks, skip, buf),
+                FusedOp::Xor => xor_blocks_into(blocks, skip, buf),
+            },
+        );
+        if hit.is_some() {
+            let backend = keys.prf().backend();
+            hear_telemetry::incr(Metric::PrefetchHits);
+            hear_telemetry::add(hear_prf::blocks_metric(backend), nblocks as u64);
+            hear_telemetry::add(Metric::KeystreamBytes, std::mem::size_of_val(buf) as u64);
+            hear_telemetry::add(
+                hear_prf::masked_metric(backend),
+                std::mem::size_of_val(buf) as u64,
+            );
+            return;
+        }
+        hear_telemetry::incr(Metric::PrefetchMisses);
+    }
+    match op {
+        FusedOp::Add => add_keystream_into(keys.prf(), base, first, buf),
+        FusedOp::Sub => sub_keystream_into(keys.prf(), base, first, buf),
+        FusedOp::Xor => xor_keystream_into(keys.prf(), base, first, buf),
+    }
+}
 
 /// Reusable noise scratch so the hot path performs no allocation when the
 /// caller (e.g. the libhear memory pool) keeps one around.
@@ -58,19 +120,10 @@ impl IntSum {
         scratch: &mut Scratch<W>,
     ) {
         let _s = hear_telemetry::span!("encrypt", elems = buf.len());
-        scratch.ensure(buf.len());
-        let own = &mut scratch.own[..buf.len()];
-        W::fill_noise(keys.prf(), keys.base_own(), first, own);
-        if keys.is_last() {
-            for (b, n) in buf.iter_mut().zip(own.iter()) {
-                *b = b.wadd(*n);
-            }
-        } else {
-            let next = &mut scratch.next[..buf.len()];
-            W::fill_noise(keys.prf(), keys.base_next(), first, next);
-            for ((b, n), m) in buf.iter_mut().zip(own.iter()).zip(next.iter()) {
-                *b = b.wadd(*n).wsub(*m);
-            }
+        let _ = scratch; // fused path needs no noise staging
+        apply_stream(keys, keys.base_own(), first, buf, FusedOp::Add);
+        if !keys.is_last() {
+            apply_stream(keys, keys.base_next(), first, buf, FusedOp::Sub);
         }
     }
 
@@ -82,12 +135,8 @@ impl IntSum {
         scratch: &mut Scratch<W>,
     ) {
         let _s = hear_telemetry::span!("decrypt", elems = agg.len());
-        scratch.ensure(agg.len());
-        let zero = &mut scratch.own[..agg.len()];
-        W::fill_noise(keys.prf(), keys.base_zero(), first, zero);
-        for (a, n) in agg.iter_mut().zip(zero.iter()) {
-            *a = a.wsub(*n);
-        }
+        let _ = scratch;
+        apply_stream(keys, keys.base_zero(), first, agg, FusedOp::Sub);
     }
 
     /// The associative operation the (untrusted) network applies.
@@ -158,19 +207,10 @@ impl IntXor {
         scratch: &mut Scratch<W>,
     ) {
         let _s = hear_telemetry::span!("encrypt", elems = buf.len());
-        scratch.ensure(buf.len());
-        let own = &mut scratch.own[..buf.len()];
-        W::fill_noise(keys.prf(), keys.base_own(), first, own);
-        if keys.is_last() {
-            for (b, n) in buf.iter_mut().zip(own.iter()) {
-                *b = b.bxor(*n);
-            }
-        } else {
-            let next = &mut scratch.next[..buf.len()];
-            W::fill_noise(keys.prf(), keys.base_next(), first, next);
-            for ((b, n), m) in buf.iter_mut().zip(own.iter()).zip(next.iter()) {
-                *b = b.bxor(*n).bxor(*m);
-            }
+        let _ = scratch;
+        apply_stream(keys, keys.base_own(), first, buf, FusedOp::Xor);
+        if !keys.is_last() {
+            apply_stream(keys, keys.base_next(), first, buf, FusedOp::Xor);
         }
     }
 
@@ -181,12 +221,8 @@ impl IntXor {
         scratch: &mut Scratch<W>,
     ) {
         let _s = hear_telemetry::span!("decrypt", elems = agg.len());
-        scratch.ensure(agg.len());
-        let zero = &mut scratch.own[..agg.len()];
-        W::fill_noise(keys.prf(), keys.base_zero(), first, zero);
-        for (a, n) in agg.iter_mut().zip(zero.iter()) {
-            *a = a.bxor(*n);
-        }
+        let _ = scratch;
+        apply_stream(keys, keys.base_zero(), first, agg, FusedOp::Xor);
     }
 
     #[inline]
@@ -209,12 +245,8 @@ impl NaiveIntSum {
         scratch: &mut Scratch<W>,
     ) {
         let _s = hear_telemetry::span!("encrypt", elems = buf.len());
-        scratch.ensure(buf.len());
-        let own = &mut scratch.own[..buf.len()];
-        W::fill_noise(keys.prf(), keys.base_own(), first, own);
-        for (b, n) in buf.iter_mut().zip(own.iter()) {
-            *b = b.wadd(*n);
-        }
+        let _ = scratch;
+        apply_stream(keys, keys.base_own(), first, buf, FusedOp::Add);
     }
 
     /// Θ(P) decryption: needs the full key registry.

@@ -15,8 +15,10 @@
 //! `kc ← F_kp(kc)`, which provides temporal safety: the same plaintext
 //! encrypts differently across consecutive calls.
 
+use crate::prefetch::KeystreamCache;
 use crate::rng::KeyRng;
 use hear_prf::{Backend, Prf, PrfCipher};
+use std::sync::Arc;
 
 /// The Θ(1) per-rank key state for one communicator.
 pub struct CommKeys {
@@ -28,6 +30,9 @@ pub struct CommKeys {
     kc: u64,
     ke_prf: PrfCipher,
     kp_prf: PrfCipher,
+    /// Optional prefetched-keystream cache the schemes consult before
+    /// generating noise inline. `None` until a layer attaches one.
+    cache: Option<Arc<KeystreamCache>>,
 }
 
 impl CommKeys {
@@ -68,6 +73,7 @@ impl CommKeys {
                 kc,
                 ke_prf: PrfCipher::new(backend, ke).expect("backend availability checked"),
                 kp_prf: PrfCipher::new(backend, kp).expect("backend availability checked"),
+                cache: None,
             })
             .collect();
         let registry = KeyRegistry {
@@ -129,6 +135,37 @@ impl CommKeys {
     /// addition scheme (Eq. 7), which deliberately involves no per-rank key.
     pub fn base_collective(&self) -> u128 {
         self.kc as u128
+    }
+
+    /// Attach a prefetched-keystream cache; the schemes consult it before
+    /// generating noise inline.
+    pub fn attach_cache(&mut self, cache: Arc<KeystreamCache>) {
+        self.cache = Some(cache);
+    }
+
+    /// The attached prefetch cache, if any.
+    pub fn cache(&self) -> Option<&Arc<KeystreamCache>> {
+        self.cache.as_ref()
+    }
+
+    /// The epoch the *next* [`CommKeys::advance`] will move to, without
+    /// advancing and without touching the `KeyAdvances` counter (the real
+    /// advance, not the peek, is the accountable event). This is what makes
+    /// prefetching possible: a producer can generate epoch *i+1*'s
+    /// keystream while epoch *i* is still live.
+    pub fn peek_next_epoch(&self) -> u64 {
+        self.kp_prf.eval_block_uncounted(self.kc as u128) as u64
+    }
+
+    /// The three noise-stream bases `(own, next, zero)` this rank would use
+    /// at collective-key value `epoch` — for planning prefetch work against
+    /// [`CommKeys::peek_next_epoch`].
+    pub fn bases_at(&self, epoch: u64) -> (u128, u128, u128) {
+        (
+            self.ks_own.wrapping_add(epoch) as u128,
+            self.ks_next.wrapping_add(epoch) as u128,
+            self.ks_zero.wrapping_add(epoch) as u128,
+        )
     }
 }
 

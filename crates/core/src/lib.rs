@@ -26,6 +26,7 @@ pub mod float;
 pub mod homac;
 pub mod int;
 pub mod keys;
+pub mod prefetch;
 pub mod properties;
 pub mod rng;
 pub mod scheme;
@@ -38,6 +39,7 @@ pub use float::{noise_at, noise_fill_n, FloatProd, FloatSum, FloatSumExp};
 pub use homac::{Homac, HOMAC_P};
 pub use int::{IntProd, IntSum, IntXor, NaiveIntSum, Scratch};
 pub use keys::{CommKeys, KeyRegistry};
+pub use prefetch::{CacheSlot, KeystreamCache, StreamPlan};
 pub use scheme::{
     FixedSumScheme, FloatProdScheme, FloatSumExpScheme, FloatSumScheme, IntProdScheme,
     IntSumScheme, IntXorScheme, Scheme, DIGEST_BASE, DIGEST_LANES,

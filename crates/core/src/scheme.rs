@@ -87,7 +87,58 @@ pub trait Scheme {
         lane_sums: &[u64; DIGEST_LANES],
         world: usize,
     ) -> bool;
+
+    /// Encrypt an arbitrarily long slice in one call. The default loops
+    /// over [`Scheme::mask_block`] in bounded chunks through a staging
+    /// vector; schemes whose masking is a single fused keystream pass
+    /// override this with one direct `mask_block` call, which allocates
+    /// nothing beyond `out`'s growth.
+    fn mask_slice(
+        &mut self,
+        keys: &CommKeys,
+        first: u64,
+        input: &[Self::Input],
+        out: &mut Vec<Self::Wire>,
+    ) -> Result<(), HfpError> {
+        out.clear();
+        let mut staged = Vec::new();
+        for (i, chunk) in input.chunks(SLICE_CHUNK).enumerate() {
+            self.mask_block(keys, first + (i * SLICE_CHUNK) as u64, chunk, &mut staged)?;
+            out.extend_from_slice(&staged);
+        }
+        Ok(())
+    }
+
+    /// Decrypt an arbitrarily long aggregated slice in one call; same
+    /// contract and default strategy as [`Scheme::mask_slice`].
+    fn unmask_slice(
+        &mut self,
+        keys: &CommKeys,
+        first: u64,
+        agg: &[Self::Wire],
+        out: &mut Vec<Self::Input>,
+    ) {
+        out.clear();
+        let mut staged = Vec::new();
+        for (i, chunk) in agg.chunks(SLICE_CHUNK).enumerate() {
+            self.unmask_block(keys, first + (i * SLICE_CHUNK) as u64, chunk, &mut staged);
+            out.extend_from_slice(&staged);
+        }
+    }
+
+    /// Byte width of the noise words this scheme draws from the payload
+    /// streams (`base_own`/`base_next`/`base_zero`) when masking is a
+    /// fused keystream combine — what a keystream prefetcher needs to plan
+    /// block generation one epoch ahead. `None` opts the scheme out of
+    /// prefetch: its noise is consumed some other way (product exponents,
+    /// float codecs).
+    fn noise_width(&self) -> Option<usize> {
+        None
+    }
 }
+
+/// Chunk size (elements) of the default `mask_slice`/`unmask_slice` loops.
+const SLICE_CHUNK: usize = 1 << 14;
 
 // ---------------------------------------------------------------------------
 // Integer sum
@@ -150,6 +201,24 @@ impl<W: RingWord> Scheme for IntSumScheme<W> {
         // The wire sum and the lane sum wrap identically mod 2^b.
         W::from_u64_trunc(lane_sums[0]) == *result
     }
+
+    fn mask_slice(
+        &mut self,
+        keys: &CommKeys,
+        first: u64,
+        input: &[W],
+        out: &mut Vec<W>,
+    ) -> Result<(), HfpError> {
+        self.mask_block(keys, first, input, out)
+    }
+
+    fn unmask_slice(&mut self, keys: &CommKeys, first: u64, agg: &[W], out: &mut Vec<W>) {
+        self.unmask_block(keys, first, agg, out);
+    }
+
+    fn noise_width(&self) -> Option<usize> {
+        Some(std::mem::size_of::<W>())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -206,6 +275,20 @@ impl<W: RingWord> Scheme for IntProdScheme<W> {
     fn digest(&self, x: &W, out: &mut [u64; DIGEST_LANES]) {
         let (e, v, s) = prod_digest(x.to_u64(), W::BITS);
         *out = [e, v, s, 0];
+    }
+
+    fn mask_slice(
+        &mut self,
+        keys: &CommKeys,
+        first: u64,
+        input: &[W],
+        out: &mut Vec<W>,
+    ) -> Result<(), HfpError> {
+        self.mask_block(keys, first, input, out)
+    }
+
+    fn unmask_slice(&mut self, keys: &CommKeys, first: u64, agg: &[W], out: &mut Vec<W>) {
+        self.unmask_block(keys, first, agg, out);
     }
 
     fn digest_check(&self, result: &W, lane_sums: &[u64; DIGEST_LANES], _world: usize) -> bool {
@@ -362,6 +445,24 @@ impl<W: RingWord> Scheme for IntXorScheme<W> {
         }
         true
     }
+
+    fn mask_slice(
+        &mut self,
+        keys: &CommKeys,
+        first: u64,
+        input: &[W],
+        out: &mut Vec<W>,
+    ) -> Result<(), HfpError> {
+        self.mask_block(keys, first, input, out)
+    }
+
+    fn unmask_slice(&mut self, keys: &CommKeys, first: u64, agg: &[W], out: &mut Vec<W>) {
+        self.unmask_block(keys, first, agg, out);
+    }
+
+    fn noise_width(&self) -> Option<usize> {
+        Some(std::mem::size_of::<W>())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -435,6 +536,25 @@ impl Scheme for FixedSumScheme {
 
     fn digest_check(&self, result: &f64, lane_sums: &[u64; DIGEST_LANES], _world: usize) -> bool {
         self.codec.decode(lane_sums[0]) == *result
+    }
+
+    fn mask_slice(
+        &mut self,
+        keys: &CommKeys,
+        first: u64,
+        input: &[f64],
+        out: &mut Vec<u64>,
+    ) -> Result<(), HfpError> {
+        self.mask_block(keys, first, input, out)
+    }
+
+    fn unmask_slice(&mut self, keys: &CommKeys, first: u64, agg: &[u64], out: &mut Vec<f64>) {
+        self.unmask_block(keys, first, agg, out);
+    }
+
+    fn noise_width(&self) -> Option<usize> {
+        // Fixed-point lanes ride the u64 IntSum cipher.
+        Some(std::mem::size_of::<u64>())
     }
 }
 
@@ -901,6 +1021,46 @@ mod tests {
         scheme.mask_block(&keys[0], 3, &x[3..], &mut p2).unwrap();
         assert_eq!(&whole[..3], &p1[..]);
         assert_eq!(&whole[3..], &p2[..]);
+    }
+
+    #[test]
+    fn slice_forms_equal_block_forms() {
+        // Both the default chunking implementation (float) and the fused
+        // overrides (int) must mask exactly like mask_block.
+        let keys = CommKeys::generate(2, 0x51ce, Backend::AesSoft);
+
+        let mut fscheme = FloatSumScheme::new(HfpFormat::fp32(2, 2));
+        let fx: Vec<f64> = (0..300).map(|i| f64::from(i) * 0.25 - 30.0).collect();
+        let (mut by_block, mut by_slice) = (Vec::new(), Vec::new());
+        fscheme.mask_block(&keys[0], 3, &fx, &mut by_block).unwrap();
+        fscheme.mask_slice(&keys[0], 3, &fx, &mut by_slice).unwrap();
+        assert_eq!(by_block, by_slice);
+        let (mut un_block, mut un_slice) = (Vec::new(), Vec::new());
+        fscheme.unmask_block(&keys[0], 3, &by_block, &mut un_block);
+        fscheme.unmask_slice(&keys[0], 3, &by_block, &mut un_slice);
+        assert_eq!(un_block, un_slice);
+
+        let mut ischeme = IntSumScheme::<u32>::default();
+        let ix: Vec<u32> = (0..500u32).map(|i| i.wrapping_mul(977)).collect();
+        let (mut by_block, mut by_slice) = (Vec::new(), Vec::new());
+        ischeme.mask_block(&keys[1], 7, &ix, &mut by_block).unwrap();
+        ischeme.mask_slice(&keys[1], 7, &ix, &mut by_slice).unwrap();
+        assert_eq!(by_block, by_slice);
+    }
+
+    #[test]
+    fn noise_width_matches_prefetchability() {
+        assert_eq!(IntSumScheme::<u16>::default().noise_width(), Some(2));
+        assert_eq!(IntXorScheme::<u64>::default().noise_width(), Some(8));
+        assert_eq!(IntProdScheme::<u32>::default().noise_width(), None);
+        assert_eq!(
+            FixedSumScheme::new(FixedCodec::new(20)).noise_width(),
+            Some(8)
+        );
+        assert_eq!(
+            FloatSumScheme::new(HfpFormat::fp32(2, 2)).noise_width(),
+            None
+        );
     }
 
     #[test]

@@ -14,6 +14,30 @@
 //! Cells that previously required a hand-rolled method — e.g. a *verified
 //! pipelined float sum on a switch tree* — are now just an [`EngineCfg`].
 //!
+//! ## Steady-state memory behavior
+//!
+//! Every staging vector the engine needs — wire ciphertexts, decrypted
+//! blocks, digest lanes, HoMAC tags, verified packets, ring segments — is
+//! leased from the per-communicator [`ScratchArena`] and returned after
+//! the call, and the aggregate buffer coming back from the transport is
+//! recycled as the next block's wire buffer. Combined with the callee-
+//! provided output of [`SecureComm::allreduce_with_into`], the integer
+//! hot path performs **zero heap allocation** after warmup.
+//!
+//! ## Keystream prefetch
+//!
+//! Right after the per-call key advance, the engine plans the *next*
+//! epoch's noise streams ([`hear_core::CommKeys::peek_next_epoch`] makes
+//! the target epoch visible without advancing) and hands the plan to the
+//! [`crate::prefetch::Prefetcher`] worker, which generates the PRF blocks
+//! during this call's communication phase. The integer schemes then mask
+//! the next call from cache; any misprediction (different length, scheme
+//! width, or an extra advance) is a plain cache miss and regenerates
+//! inline. Streams are planned only for schemes with a fixed noise lane
+//! width ([`Scheme::noise_width`]); the verified path's digest streams
+//! are deliberately left to inline generation — they are four words per
+//! element at disjoint PRF indices and would crowd the cache.
+//!
 //! ## Verified transport
 //!
 //! Verification must work for wire formats (like [`hear_core::Hfp`]) whose
@@ -30,8 +54,10 @@
 //! caught by the digest). Zero-length inputs and single-rank communicators
 //! short-circuit uniformly before any transport.
 
+use crate::arena::ScratchArena;
+use crate::prefetch::{PrefetchJob, MAX_PREFETCH_BLOCKS, MAX_STREAMS};
 use crate::secure::{ReduceAlgo, SecureComm, VerificationError};
-use hear_core::{CommKeys, Homac, IntSum, Scheme, Scratch, DIGEST_BASE, DIGEST_LANES};
+use hear_core::{CommKeys, Homac, IntSum, Scheme, Scratch, StreamPlan, DIGEST_BASE, DIGEST_LANES};
 use hear_mpi::Request;
 use std::collections::VecDeque;
 
@@ -179,70 +205,110 @@ fn digest_first(offset: usize) -> u64 {
     DIGEST_BASE + offset as u64 * DIGEST_LANES as u64
 }
 
-/// Mask one block and wrap it into verified-transport packets.
-fn seal_block<S: Scheme>(
+/// The verified path's staging set, leased from the [`ScratchArena`] for
+/// one call: wire ciphertexts, the decrypted block, digest lanes and tags
+/// (seal side), aggregate lane/tag splits (open side), and the packet
+/// vector that shuttles to and from the transport.
+struct VerifyScratch<S: Scheme + 'static> {
+    wire: Vec<S::Wire>,
+    dec: Vec<S::Input>,
+    dlanes: Vec<u64>,
+    sigmas: Vec<u64>,
+    d_agg: Vec<u64>,
+    s_agg: Vec<u64>,
+    packets: Vec<Packet<S::Wire>>,
+    dscratch: Scratch<u64>,
+}
+
+impl<S: Scheme + 'static> VerifyScratch<S> {
+    fn lease(arena: &mut ScratchArena) -> Self {
+        VerifyScratch {
+            wire: arena.take_vec(),
+            dec: arena.take_vec(),
+            dlanes: arena.take_vec(),
+            sigmas: arena.take_vec(),
+            d_agg: arena.take_vec(),
+            s_agg: arena.take_vec(),
+            packets: arena.take_vec(),
+            dscratch: Scratch::default(),
+        }
+    }
+
+    fn restore(self, arena: &mut ScratchArena) {
+        arena.put_vec(self.wire);
+        arena.put_vec(self.dec);
+        arena.put_vec(self.dlanes);
+        arena.put_vec(self.sigmas);
+        arena.put_vec(self.d_agg);
+        arena.put_vec(self.s_agg);
+        arena.put_vec(self.packets);
+    }
+}
+
+/// Mask one block and wrap it into verified-transport packets (left in
+/// `vs.packets`).
+fn seal_block<S: Scheme + 'static>(
     scheme: &mut S,
     homac: &Homac,
     keys: &CommKeys,
     offset: usize,
     input: &[S::Input],
-    wire: &mut Vec<S::Wire>,
-    dscratch: &mut Scratch<u64>,
-) -> Result<Vec<Packet<S::Wire>>, EngineError> {
-    scheme.mask_block(keys, offset as u64, input, wire)?;
-    let mut dlanes: Vec<u64> = Vec::with_capacity(input.len() * DIGEST_LANES);
+    vs: &mut VerifyScratch<S>,
+) -> Result<(), EngineError> {
+    scheme.mask_block(keys, offset as u64, input, &mut vs.wire)?;
+    vs.dlanes.clear();
     let mut lanes = [0u64; DIGEST_LANES];
     for x in input {
         scheme.digest(x, &mut lanes);
-        dlanes.extend_from_slice(&lanes);
+        vs.dlanes.extend_from_slice(&lanes);
     }
     let first_d = digest_first(offset);
-    IntSum::encrypt_in_place(keys, first_d, &mut dlanes, dscratch);
-    let sigmas = homac.tag(keys, first_d, &dlanes);
-    Ok(wire
-        .drain(..)
-        .zip(
-            dlanes
-                .chunks_exact(DIGEST_LANES)
-                .zip(sigmas.chunks_exact(DIGEST_LANES)),
-        )
-        .map(|(c, (d, s))| Packet {
-            c,
-            d: d.try_into().expect("chunks_exact yields DIGEST_LANES"),
-            s: s.try_into().expect("chunks_exact yields DIGEST_LANES"),
-        })
-        .collect())
+    IntSum::encrypt_in_place(keys, first_d, &mut vs.dlanes, &mut vs.dscratch);
+    homac.tag_into(keys, first_d, &vs.dlanes, &mut vs.sigmas);
+    vs.packets.clear();
+    vs.packets.extend(
+        vs.wire
+            .drain(..)
+            .zip(
+                vs.dlanes
+                    .chunks_exact(DIGEST_LANES)
+                    .zip(vs.sigmas.chunks_exact(DIGEST_LANES)),
+            )
+            .map(|(c, (d, s))| Packet {
+                c,
+                d: d.try_into().expect("chunks_exact yields DIGEST_LANES"),
+                s: s.try_into().expect("chunks_exact yields DIGEST_LANES"),
+            }),
+    );
+    Ok(())
 }
 
-/// Verify, decrypt and digest-check one aggregated block into `dec`.
-#[allow(clippy::too_many_arguments)]
-fn open_block<S: Scheme>(
+/// Verify, decrypt and digest-check one aggregated block into `vs.dec`.
+fn open_block<S: Scheme + 'static>(
     scheme: &mut S,
     homac: &Homac,
     keys: &CommKeys,
     world: usize,
     offset: usize,
-    agg: Vec<Packet<S::Wire>>,
-    dec: &mut Vec<S::Input>,
-    dscratch: &mut Scratch<u64>,
+    agg: &[Packet<S::Wire>],
+    vs: &mut VerifyScratch<S>,
 ) -> Result<(), EngineError> {
-    let n = agg.len();
-    let mut cs: Vec<S::Wire> = Vec::with_capacity(n);
-    let mut d_agg: Vec<u64> = Vec::with_capacity(n * DIGEST_LANES);
-    let mut s_agg: Vec<u64> = Vec::with_capacity(n * DIGEST_LANES);
+    vs.wire.clear();
+    vs.d_agg.clear();
+    vs.s_agg.clear();
     for p in agg {
-        cs.push(p.c);
-        d_agg.extend_from_slice(&p.d);
-        s_agg.extend_from_slice(&p.s);
+        vs.wire.push(p.c.clone());
+        vs.d_agg.extend_from_slice(&p.d);
+        vs.s_agg.extend_from_slice(&p.s);
     }
     let first_d = digest_first(offset);
-    if !homac.verify(keys, first_d, &d_agg, &s_agg) {
+    if !homac.verify(keys, first_d, &vs.d_agg, &vs.s_agg) {
         return Err(EngineError::Verification(VerificationError));
     }
-    IntSum::decrypt_in_place(keys, first_d, &mut d_agg, dscratch);
-    scheme.unmask_block(keys, offset as u64, &cs, dec);
-    for (i, r) in dec.iter().enumerate() {
-        let lanes: [u64; DIGEST_LANES] = d_agg[i * DIGEST_LANES..(i + 1) * DIGEST_LANES]
+    IntSum::decrypt_in_place(keys, first_d, &mut vs.d_agg, &mut vs.dscratch);
+    scheme.unmask_block(keys, offset as u64, &vs.wire, &mut vs.dec);
+    for (i, r) in vs.dec.iter().enumerate() {
+        let lanes: [u64; DIGEST_LANES] = vs.d_agg[i * DIGEST_LANES..(i + 1) * DIGEST_LANES]
             .try_into()
             .expect("lane slice has DIGEST_LANES words");
         if !scheme.digest_check(r, &lanes, world) {
@@ -263,6 +329,23 @@ impl SecureComm {
         data: &[S::Input],
         cfg: EngineCfg,
     ) -> Result<Vec<S::Input>, EngineError> {
+        let mut out = Vec::new();
+        self.allreduce_with_into(scheme, data, &mut out, cfg)?;
+        Ok(out)
+    }
+
+    /// [`SecureComm::allreduce_with`] writing into a caller-provided
+    /// vector. `out` is cleared and filled with the aggregate; its capacity
+    /// is reused across calls, which makes the integer hot path free of
+    /// heap allocation in steady state (the staging buffers come from the
+    /// arena, the output from the caller).
+    pub fn allreduce_with_into<S: Scheme + 'static>(
+        &mut self,
+        scheme: &mut S,
+        data: &[S::Input],
+        out: &mut Vec<S::Input>,
+        cfg: EngineCfg,
+    ) -> Result<(), EngineError> {
         let block = match cfg.chunk {
             ChunkMode::Sync => data.len().max(1),
             ChunkMode::Blocked(b) | ChunkMode::Pipelined(b) => {
@@ -304,58 +387,101 @@ impl SecureComm {
             None
         };
         self.keys.advance();
+        out.clear();
         if data.is_empty() {
-            return Ok(Vec::new());
+            return Ok(());
         }
+        self.submit_prefetch(scheme.noise_width(), data.len());
         if self.world() == 1 {
             // Nothing crosses the network: mask/unmask locally so every
             // algorithm (even Switch without a switch fabric) degenerates
             // to the identity, and verification has nothing to check.
-            return self.run_local(scheme, data, block);
+            return self.run_local(scheme, data, out);
         }
+        out.extend(data.iter().cloned());
         let algo = cfg.algo.unwrap_or(self.algo);
         match (cfg.chunk, homac) {
-            (ChunkMode::Pipelined(_), None) => self.run_plain_pipelined(scheme, data, block, algo),
-            (ChunkMode::Pipelined(_), Some(h)) => {
-                self.run_verified_pipelined(scheme, data, block, algo, &h)
+            (ChunkMode::Pipelined(_), None) => {
+                self.run_plain_pipelined(scheme, data, out, block, algo)
             }
-            (_, None) => self.run_plain_sync(scheme, data, block, algo),
-            (_, Some(h)) => self.run_verified_sync(scheme, data, block, algo, &h),
+            (ChunkMode::Pipelined(_), Some(h)) => {
+                self.run_verified_pipelined(scheme, data, out, block, algo, &h)
+            }
+            (_, None) => self.run_plain_sync(scheme, data, out, block, algo),
+            (_, Some(h)) => self.run_verified_sync(scheme, data, out, block, algo, &h),
         }
     }
 
-    /// Single-rank path: the aggregate of one contribution is itself.
+    /// Plan the next epoch's noise streams for the prefetch worker. The
+    /// plan predicts that the next call reuses this call's scheme lane
+    /// width and element count — a misprediction is a cache miss, never an
+    /// error. Schemes without a fixed noise width (floats, products) skip
+    /// planning entirely.
+    fn submit_prefetch(&mut self, noise_width: Option<usize>, elems: usize) {
+        let (Some(w), Some(pf)) = (noise_width, self.prefetch.as_mut()) else {
+            return;
+        };
+        let per = (16 / w).max(1) as u64;
+        let nblocks = (elems as u64).div_ceil(per) as usize;
+        let nblocks = nblocks.min(MAX_PREFETCH_BLOCKS);
+        let epoch = self.keys.peek_next_epoch();
+        let (own, next, zero) = self.keys.bases_at(epoch);
+        let mut streams: [Option<StreamPlan>; MAX_STREAMS] = [None; MAX_STREAMS];
+        let mut n = 0usize;
+        for base in [own, next, zero] {
+            // Bases coincide on small rings (e.g. world ≤ 2): plan each
+            // distinct stream once.
+            if streams[..n].iter().flatten().any(|p| p.base == base) {
+                continue;
+            }
+            streams[n] = Some(StreamPlan {
+                base,
+                first_block: 0,
+                nblocks,
+            });
+            n += 1;
+        }
+        pf.submit(PrefetchJob { epoch, streams });
+    }
+
+    /// Single-rank path: the aggregate of one contribution is itself
+    /// (masked and unmasked so encode/decode lossiness still applies).
     fn run_local<S: Scheme>(
         &mut self,
         scheme: &mut S,
         data: &[S::Input],
-        block: usize,
-    ) -> Result<Vec<S::Input>, EngineError> {
-        let mut out: Vec<S::Input> = data.to_vec();
-        let mut wire = Vec::new();
-        let mut dec = Vec::new();
-        let mut offset = 0usize;
-        while offset < data.len() {
-            let end = (offset + block).min(data.len());
-            scheme.mask_block(&self.keys, offset as u64, &data[offset..end], &mut wire)?;
-            scheme.unmask_block(&self.keys, offset as u64, &wire, &mut dec);
-            for (slot, v) in out[offset..end].iter_mut().zip(dec.iter()) {
-                *slot = v.clone();
+        out: &mut Vec<S::Input>,
+    ) -> Result<(), EngineError> {
+        let mut wire: Vec<S::Wire> = self.arena.take_vec();
+        let sealed = scheme.mask_slice(&self.keys, 0, data, &mut wire);
+        let result = match sealed {
+            Ok(()) => {
+                scheme.unmask_slice(&self.keys, 0, &wire, out);
+                Ok(())
             }
-            offset = end;
-        }
-        Ok(out)
+            Err(e) => Err(e.into()),
+        };
+        self.arena.put_vec(wire);
+        result
     }
 
-    /// The algorithm-selected blocking transport.
-    fn transport_sync<T, F>(&self, data: Vec<T>, algo: ReduceAlgo, op: F) -> Vec<T>
+    /// The algorithm-selected blocking transport. `seg` is the ring
+    /// algorithm's hop staging buffer (arena-leased by the caller);
+    /// the other algorithms ignore it.
+    fn transport_sync<T, F>(
+        &self,
+        data: Vec<T>,
+        algo: ReduceAlgo,
+        op: F,
+        seg: &mut Vec<T>,
+    ) -> Vec<T>
     where
         T: Clone + Send + 'static,
         F: Fn(&T, &T) -> T + Send + Sync + Clone + 'static,
     {
         match algo {
             ReduceAlgo::RecursiveDoubling => self.comm.allreduce_owned(data, op),
-            ReduceAlgo::Ring => self.comm.allreduce_ring_owned(data, op),
+            ReduceAlgo::Ring => self.comm.allreduce_ring_owned_with_seg(data, op, seg),
             ReduceAlgo::Switch => self.comm.allreduce_inc_owned(data, op),
         }
     }
@@ -377,43 +503,59 @@ impl SecureComm {
         &mut self,
         scheme: &mut S,
         data: &[S::Input],
+        out: &mut [S::Input],
         block: usize,
         algo: ReduceAlgo,
-    ) -> Result<Vec<S::Input>, EngineError> {
-        let mut out: Vec<S::Input> = data.to_vec();
-        let mut wire = Vec::new();
-        let mut dec = Vec::new();
+    ) -> Result<(), EngineError> {
+        let mut wire: Vec<S::Wire> = self.arena.take_vec();
+        let mut dec: Vec<S::Input> = self.arena.take_vec();
+        let mut seg: Vec<S::Wire> = self.arena.take_vec();
+        let mut failed = None;
         let mut offset = 0usize;
         while offset < data.len() {
             let end = (offset + block).min(data.len());
-            scheme.mask_block(&self.keys, offset as u64, &data[offset..end], &mut wire)?;
-            let agg = self.transport_sync(std::mem::take(&mut wire), algo, S::op);
-            scheme.unmask_block(&self.keys, offset as u64, &agg, &mut dec);
-            for (slot, v) in out[offset..end].iter_mut().zip(dec.iter()) {
-                *slot = v.clone();
+            if let Err(e) =
+                scheme.mask_slice(&self.keys, offset as u64, &data[offset..end], &mut wire)
+            {
+                failed = Some(EngineError::from(e));
+                break;
             }
+            let agg = self.transport_sync(std::mem::take(&mut wire), algo, S::op, &mut seg);
+            scheme.unmask_slice(&self.keys, offset as u64, &agg, &mut dec);
+            out[offset..end].clone_from_slice(&dec);
+            // The aggregate's buffer becomes the next block's wire buffer.
+            wire = agg;
             offset = end;
         }
-        Ok(out)
+        self.arena.put_vec(wire);
+        self.arena.put_vec(dec);
+        self.arena.put_vec(seg);
+        failed.map_or(Ok(()), Err)
     }
 
     fn run_plain_pipelined<S: Scheme + 'static>(
         &mut self,
         scheme: &mut S,
         data: &[S::Input],
+        out: &mut [S::Input],
         block: usize,
         algo: ReduceAlgo,
-    ) -> Result<Vec<S::Input>, EngineError> {
-        let mut out: Vec<S::Input> = data.to_vec();
-        let mut inflight: VecDeque<(usize, Request<Vec<S::Wire>>)> = VecDeque::new();
-        let mut wire = Vec::new();
-        let mut dec = Vec::new();
+    ) -> Result<(), EngineError> {
+        let mut inflight: VecDeque<(usize, Request<Vec<S::Wire>>)> = VecDeque::with_capacity(DEPTH);
+        let mut wire: Vec<S::Wire> = self.arena.take_vec();
+        let mut dec: Vec<S::Input> = self.arena.take_vec();
+        let mut failed = None;
         let mut offset = 0usize;
         while offset < data.len() {
             let end = (offset + block).min(data.len());
             // An encode error aborts the call; already-posted blocks are
             // detached and complete in the background on every rank.
-            scheme.mask_block(&self.keys, offset as u64, &data[offset..end], &mut wire)?;
+            if let Err(e) =
+                scheme.mask_block(&self.keys, offset as u64, &data[offset..end], &mut wire)
+            {
+                failed = Some(EngineError::from(e));
+                break;
+            }
             hear_telemetry::incr(hear_telemetry::Metric::PipelineBlocks);
             hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, 1);
             inflight.push_back((
@@ -428,68 +570,73 @@ impl SecureComm {
                 };
                 hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
                 scheme.unmask_block(&self.keys, o as u64, &agg, &mut dec);
-                for (slot, v) in out[o..o + dec.len()].iter_mut().zip(dec.iter()) {
-                    *slot = v.clone();
-                }
+                out[o..o + dec.len()].clone_from_slice(&dec);
+                wire = agg;
             }
             offset = end;
         }
-        while let Some((o, req)) = inflight.pop_front() {
-            let agg = {
-                let _w = hear_telemetry::span!("pipeline_wait", offset = o);
-                req.wait()
-            };
-            hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
-            scheme.unmask_block(&self.keys, o as u64, &agg, &mut dec);
-            for (slot, v) in out[o..o + dec.len()].iter_mut().zip(dec.iter()) {
-                *slot = v.clone();
+        if failed.is_none() {
+            while let Some((o, req)) = inflight.pop_front() {
+                let agg = {
+                    let _w = hear_telemetry::span!("pipeline_wait", offset = o);
+                    req.wait()
+                };
+                hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
+                scheme.unmask_block(&self.keys, o as u64, &agg, &mut dec);
+                out[o..o + dec.len()].clone_from_slice(&dec);
+                wire = agg;
             }
         }
-        Ok(out)
+        self.arena.put_vec(wire);
+        self.arena.put_vec(dec);
+        failed.map_or(Ok(()), Err)
     }
 
     fn run_verified_sync<S: Scheme + 'static>(
         &mut self,
         scheme: &mut S,
         data: &[S::Input],
+        out: &mut [S::Input],
         block: usize,
         algo: ReduceAlgo,
         homac: &Homac,
-    ) -> Result<Vec<S::Input>, EngineError> {
+    ) -> Result<(), EngineError> {
         let world = self.world();
-        let mut out: Vec<S::Input> = data.to_vec();
-        let mut wire = Vec::new();
-        let mut dec = Vec::new();
-        let mut dscratch = Scratch::<u64>::default();
+        let mut vs = VerifyScratch::<S>::lease(&mut self.arena);
+        let mut seg: Vec<Packet<S::Wire>> = self.arena.take_vec();
+        let mut failed = None;
         let mut offset = 0usize;
         while offset < data.len() {
             let end = (offset + block).min(data.len());
-            let packets = seal_block(
+            if let Err(e) = seal_block(
                 scheme,
                 homac,
                 &self.keys,
                 offset,
                 &data[offset..end],
-                &mut wire,
-                &mut dscratch,
-            )?;
-            let agg = self.transport_sync(packets, algo, packet_op::<S>);
-            open_block(
-                scheme,
-                homac,
-                &self.keys,
-                world,
-                offset,
-                agg,
-                &mut dec,
-                &mut dscratch,
-            )?;
-            for (slot, v) in out[offset..end].iter_mut().zip(dec.iter()) {
-                *slot = v.clone();
+                &mut vs,
+            ) {
+                failed = Some(e);
+                break;
             }
+            let agg = self.transport_sync(
+                std::mem::take(&mut vs.packets),
+                algo,
+                packet_op::<S>,
+                &mut seg,
+            );
+            if let Err(e) = open_block(scheme, homac, &self.keys, world, offset, &agg, &mut vs) {
+                failed = Some(e);
+                break;
+            }
+            out[offset..end].clone_from_slice(&vs.dec);
+            // The aggregate becomes the next block's packet staging.
+            vs.packets = agg;
             offset = end;
         }
-        Ok(out)
+        vs.restore(&mut self.arena);
+        self.arena.put_vec(seg);
+        failed.map_or(Ok(()), Err)
     }
 
     #[allow(clippy::type_complexity)]
@@ -497,31 +644,36 @@ impl SecureComm {
         &mut self,
         scheme: &mut S,
         data: &[S::Input],
+        out: &mut [S::Input],
         block: usize,
         algo: ReduceAlgo,
         homac: &Homac,
-    ) -> Result<Vec<S::Input>, EngineError> {
+    ) -> Result<(), EngineError> {
         let world = self.world();
-        let mut out: Vec<S::Input> = data.to_vec();
-        let mut inflight: VecDeque<(usize, Request<Vec<Packet<S::Wire>>>)> = VecDeque::new();
-        let mut wire = Vec::new();
-        let mut dec = Vec::new();
-        let mut dscratch = Scratch::<u64>::default();
+        let mut inflight: VecDeque<(usize, Request<Vec<Packet<S::Wire>>>)> =
+            VecDeque::with_capacity(DEPTH);
+        let mut vs = VerifyScratch::<S>::lease(&mut self.arena);
+        let mut failed = None;
         let mut offset = 0usize;
         while offset < data.len() {
             let end = (offset + block).min(data.len());
-            let packets = seal_block(
+            if let Err(e) = seal_block(
                 scheme,
                 homac,
                 &self.keys,
                 offset,
                 &data[offset..end],
-                &mut wire,
-                &mut dscratch,
-            )?;
+                &mut vs,
+            ) {
+                failed = Some(e);
+                break;
+            }
             hear_telemetry::incr(hear_telemetry::Metric::PipelineBlocks);
             hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, 1);
-            inflight.push_back((offset, self.transport_nb(packets, algo, packet_op::<S>)));
+            inflight.push_back((
+                offset,
+                self.transport_nb(std::mem::take(&mut vs.packets), algo, packet_op::<S>),
+            ));
             if inflight.len() >= DEPTH {
                 let (o, req) = inflight.pop_front().expect("non-empty");
                 let agg = {
@@ -529,42 +681,31 @@ impl SecureComm {
                     req.wait()
                 };
                 hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
-                open_block(
-                    scheme,
-                    homac,
-                    &self.keys,
-                    world,
-                    o,
-                    agg,
-                    &mut dec,
-                    &mut dscratch,
-                )?;
-                for (slot, v) in out[o..o + dec.len()].iter_mut().zip(dec.iter()) {
-                    *slot = v.clone();
+                if let Err(e) = open_block(scheme, homac, &self.keys, world, o, &agg, &mut vs) {
+                    failed = Some(e);
+                    break;
                 }
+                out[o..o + vs.dec.len()].clone_from_slice(&vs.dec);
+                vs.packets = agg;
             }
             offset = end;
         }
-        while let Some((o, req)) = inflight.pop_front() {
-            let agg = {
-                let _w = hear_telemetry::span!("pipeline_wait", offset = o);
-                req.wait()
-            };
-            hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
-            open_block(
-                scheme,
-                homac,
-                &self.keys,
-                world,
-                o,
-                agg,
-                &mut dec,
-                &mut dscratch,
-            )?;
-            for (slot, v) in out[o..o + dec.len()].iter_mut().zip(dec.iter()) {
-                *slot = v.clone();
+        if failed.is_none() {
+            while let Some((o, req)) = inflight.pop_front() {
+                let agg = {
+                    let _w = hear_telemetry::span!("pipeline_wait", offset = o);
+                    req.wait()
+                };
+                hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
+                if let Err(e) = open_block(scheme, homac, &self.keys, world, o, &agg, &mut vs) {
+                    failed = Some(e);
+                    break;
+                }
+                out[o..o + vs.dec.len()].clone_from_slice(&vs.dec);
+                vs.packets = agg;
             }
         }
-        Ok(out)
+        vs.restore(&mut self.arena);
+        failed.map_or(Ok(()), Err)
     }
 }

@@ -6,22 +6,29 @@
 //! supported datatype/op, with optional HoMAC verification), the single
 //! generic [`engine`] behind every method
 //! ([`SecureComm::allreduce_with`]: scheme × algorithm × chunking ×
-//! verification, all orthogonal), the page-aligned [`pool::MemoryPool`],
-//! pipelined large-message transfers
+//! verification, all orthogonal), the page-aligned [`pool::MemoryPool`]
+//! and its typed companion [`arena::ScratchArena`] (allocation-free
+//! steady-state staging), the [`prefetch::Prefetcher`] worker that
+//! generates the next epoch's keystream during the current epoch's
+//! communication phase, pipelined large-message transfers
 //! ([`SecureComm::allreduce_sum_u32_pipelined`], Fig. 6), and the
 //! critical-path phase instrumentation of Fig. 4 ([`breakdown`]).
 
+pub mod arena;
 pub mod breakdown;
 pub mod dispatch;
 pub mod engine;
 pub mod extensions;
 pub mod pipeline;
 pub mod pool;
+pub mod prefetch;
 pub mod secure;
 
+pub use arena::ScratchArena;
 pub use breakdown::{measure_phases, PhaseBreakdown};
 pub use dispatch::{DispatchError, TypedSlice, TypedVec};
 pub use engine::{ChunkMode, EngineCfg, EngineError};
 pub use extensions::SecureP2p;
 pub use pool::{AlignedBuf, MemoryPool};
+pub use prefetch::{PrefetchJob, Prefetcher};
 pub use secure::{ReduceAlgo, SecureComm, Tagged, VerificationError};

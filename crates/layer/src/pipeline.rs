@@ -118,7 +118,9 @@ mod tests {
         for _attempt in 0..5 {
             let results = Simulator::with_config(2, cfg).run(move |comm| {
                 let data: Vec<u32> = (0..n as u32).collect();
-                let mut sc = secure(comm, 3);
+                // Prefetch off: it would hand the second-measured call a
+                // warm keystream cache and bias the A/B timing.
+                let mut sc = secure(comm, 3).without_prefetch();
                 let t0 = Instant::now();
                 let piped = sc.allreduce_sum_u32_pipelined(&data, 8 * 1024);
                 let t_piped = t0.elapsed();

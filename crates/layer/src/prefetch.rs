@@ -1,0 +1,268 @@
+//! The keystream prefetch worker: generates epoch *i+1*'s noise blocks on
+//! a rank-local thread while epoch *i* is in its communication phase.
+//!
+//! HEAR's critical path (§6) is keystream generation plus one combine
+//! pass; the combine is fused into the mask kernels (`hear-prf`), which
+//! leaves generation. Because key progression is deterministic, the
+//! engine can *plan* the next call's streams the moment it advances the
+//! collective key — [`hear_core::CommKeys::peek_next_epoch`] — and hand
+//! the plan to this worker. The worker fills PRF blocks with its own
+//! clone of the cipher and publishes them to the shared
+//! [`KeystreamCache`]; the integer schemes then serve masking straight
+//! from the cache and fall back to inline generation on any miss.
+//!
+//! Design points:
+//!
+//! * **Single job cell.** The producer/consumer hand-off is a
+//!   `Mutex<Option<Job>>` + condvar; submitting overwrites any not-yet
+//!   started job (only the newest plan matters), so a worker that falls
+//!   behind skips epochs instead of queueing stale work. Nothing here
+//!   allocates on the submit path.
+//! * **Uncounted generation.** The worker uses the PRF's uncounted bulk
+//!   fill. The *consumer* attributes blocks/bytes to telemetry on a cache
+//!   hit, keeping counter totals identical whether a byte was masked from
+//!   the cache or inline, and keeping span lanes rank-attributed.
+//! * **Buffer recycling.** [`KeystreamCache::publish`] returns the evicted
+//!   generation; the worker keeps those `CacheSlot`s as spares, so the
+//!   steady state regenerates in place with zero allocation.
+//! * **Lazy thread.** The thread spawns on the first submit, so communi-
+//!   cators that never allreduce (or have prefetch disabled) cost nothing.
+
+use hear_core::{CacheSlot, KeystreamCache, StreamPlan};
+use hear_prf::PrfCipher;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Most streams one job can plan: own, next and zero noise streams.
+pub const MAX_STREAMS: usize = 3;
+
+/// Per-stream generation cap (1 MiB of blocks): beyond this, prefetching
+/// would evict itself from cache and the inline path is generating at
+/// memory bandwidth anyway.
+pub const MAX_PREFETCH_BLOCKS: usize = 1 << 16;
+
+/// One epoch's worth of planned keystream generation.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefetchJob {
+    /// The epoch (`kc` value) the streams belong to.
+    pub epoch: u64,
+    /// Up to [`MAX_STREAMS`] deduplicated stream plans.
+    pub streams: [Option<StreamPlan>; MAX_STREAMS],
+}
+
+#[derive(Default)]
+struct State {
+    job: Option<PrefetchJob>,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// Owner handle for the worker thread; dropping it joins the thread.
+pub struct Prefetcher {
+    prf: PrfCipher,
+    cache: Arc<KeystreamCache>,
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// A prefetcher publishing into `cache`, generating with (a clone of)
+    /// `prf`. No thread is spawned until the first [`Prefetcher::submit`].
+    pub fn new(prf: PrfCipher, cache: Arc<KeystreamCache>) -> Prefetcher {
+        Prefetcher {
+            prf,
+            cache,
+            shared: Arc::new(Shared::default()),
+            worker: None,
+        }
+    }
+
+    /// Hand the worker a plan for an upcoming epoch, replacing any plan it
+    /// has not started yet. Never blocks on generation.
+    pub fn submit(&mut self, job: PrefetchJob) {
+        if self.worker.is_none() {
+            self.spawn();
+        }
+        let mut st = lock_unpoisoned(&self.shared.state);
+        st.job = Some(job);
+        drop(st);
+        self.shared.cv.notify_one();
+    }
+
+    fn spawn(&mut self) {
+        let prf = self.prf.clone();
+        let cache = Arc::clone(&self.cache);
+        let shared = Arc::clone(&self.shared);
+        self.worker = Some(
+            std::thread::Builder::new()
+                .name("hear-prefetch".into())
+                .spawn(move || worker_loop(&prf, &cache, &shared))
+                .expect("spawn keystream prefetch worker"),
+        );
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        {
+            let mut st = lock_unpoisoned(&self.shared.state);
+            st.shutdown = true;
+        }
+        self.shared.cv.notify_one();
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(prf: &PrfCipher, cache: &KeystreamCache, shared: &Shared) {
+    // Spare slot buffers recycled from evicted cache generations, plus one
+    // reusable container for the slot list itself.
+    let mut spare: Vec<CacheSlot> = Vec::new();
+    let mut container: Vec<CacheSlot> = Vec::new();
+    loop {
+        let job = {
+            let mut st = lock_unpoisoned(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(j) = st.job.take() {
+                    break j;
+                }
+                st = match shared.cv.wait(st) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        let mut slots = std::mem::take(&mut container);
+        for plan in job.streams.into_iter().flatten() {
+            let mut slot = spare.pop().unwrap_or_default();
+            let n = plan.nblocks.min(MAX_PREFETCH_BLOCKS);
+            slot.blocks.resize(n, 0);
+            // Generation happens outside the cache lock and uncounted: the
+            // consumer does the telemetry accounting on each hit.
+            prf.fill_blocks_uncounted(
+                plan.base.wrapping_add(plan.first_block as u128),
+                &mut slot.blocks,
+            );
+            slot.base = plan.base;
+            slot.first_block = plan.first_block;
+            slots.push(slot);
+        }
+        let mut evicted = cache.publish(job.epoch, slots);
+        spare.append(&mut evicted);
+        container = evicted;
+    }
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hear_prf::{Backend, Prf};
+    use std::time::{Duration, Instant};
+
+    fn wait_for_hit(cache: &KeystreamCache, epoch: u64, base: u128, n: usize) -> Option<Vec<u128>> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            if let Some(blocks) = cache.with_blocks(epoch, base, 0, n, <[u128]>::to_vec) {
+                return Some(blocks);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        None
+    }
+
+    #[test]
+    fn worker_generates_exactly_the_planned_blocks() {
+        let prf = PrfCipher::new(Backend::AesSoft, 0xfeed).unwrap();
+        let cache = KeystreamCache::new();
+        let mut pf = Prefetcher::new(prf.clone(), Arc::clone(&cache));
+        let mut streams = [None; MAX_STREAMS];
+        streams[0] = Some(StreamPlan {
+            base: 500,
+            first_block: 0,
+            nblocks: 20,
+        });
+        streams[1] = Some(StreamPlan {
+            base: 900,
+            first_block: 4,
+            nblocks: 6,
+        });
+        pf.submit(PrefetchJob { epoch: 3, streams });
+        let got = wait_for_hit(&cache, 3, 500, 20).expect("stream 0 published");
+        for (i, b) in got.iter().enumerate() {
+            assert_eq!(*b, prf.eval_block(500 + i as u128));
+        }
+        let got = cache
+            .with_blocks(3, 900, 4, 6, <[u128]>::to_vec)
+            .expect("stream 1 published");
+        for (i, b) in got.iter().enumerate() {
+            assert_eq!(*b, prf.eval_block(900 + 4 + i as u128));
+        }
+        // The plan's own range is exact: uncovered blocks miss.
+        assert!(cache.with_blocks(3, 900, 3, 1, |_| ()).is_none());
+    }
+
+    #[test]
+    fn successive_epochs_roll_through_and_recycle() {
+        let prf = PrfCipher::new(Backend::AesSoft, 1).unwrap();
+        let cache = KeystreamCache::new();
+        let mut pf = Prefetcher::new(prf.clone(), Arc::clone(&cache));
+        for epoch in 1..=5u64 {
+            let mut streams = [None; MAX_STREAMS];
+            streams[0] = Some(StreamPlan {
+                base: epoch as u128 * 1000,
+                first_block: 0,
+                nblocks: 8,
+            });
+            pf.submit(PrefetchJob { epoch, streams });
+            assert!(wait_for_hit(&cache, epoch, epoch as u128 * 1000, 8).is_some());
+        }
+        // Only the two newest generations survive.
+        assert!(cache.with_blocks(5, 5000, 0, 8, |_| ()).is_some());
+        assert!(cache.with_blocks(4, 4000, 0, 8, |_| ()).is_some());
+        assert!(cache.with_blocks(3, 3000, 0, 8, |_| ()).is_none());
+    }
+
+    #[test]
+    fn oversized_plans_are_clamped_not_fatal() {
+        let prf = PrfCipher::new(Backend::AesSoft, 2).unwrap();
+        let cache = KeystreamCache::new();
+        let mut pf = Prefetcher::new(prf, Arc::clone(&cache));
+        let mut streams = [None; MAX_STREAMS];
+        streams[0] = Some(StreamPlan {
+            base: 7,
+            first_block: 0,
+            nblocks: MAX_PREFETCH_BLOCKS + 100,
+        });
+        pf.submit(PrefetchJob { epoch: 1, streams });
+        assert!(
+            wait_for_hit(&cache, 1, 7, MAX_PREFETCH_BLOCKS).is_some(),
+            "clamped range is served"
+        );
+        assert!(cache
+            .with_blocks(1, 7, 0, MAX_PREFETCH_BLOCKS + 1, |_| ())
+            .is_none());
+    }
+
+    #[test]
+    fn drop_without_submit_is_a_no_op() {
+        let prf = PrfCipher::new(Backend::AesSoft, 3).unwrap();
+        let pf = Prefetcher::new(prf, KeystreamCache::new());
+        drop(pf); // no thread was ever spawned
+    }
+}

@@ -15,12 +15,15 @@
 //! below keeps it that way.
 #![deny(clippy::too_many_lines)]
 
+use crate::arena::ScratchArena;
 use crate::engine::{EngineCfg, EngineError};
+use crate::prefetch::Prefetcher;
 use hear_core::{
     CommKeys, FixedCodec, FixedSumScheme, FloatProdScheme, FloatSumExpScheme, FloatSumScheme,
-    HfpFormat, Homac, IntProdScheme, IntSumScheme, IntXorScheme, Scratch,
+    HfpFormat, Homac, IntProdScheme, IntSumScheme, IntXorScheme, KeystreamCache, Scratch,
 };
 use hear_mpi::Communicator;
+use std::sync::Arc;
 
 /// Which allreduce algorithm carries the ciphertexts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,6 +68,12 @@ pub struct SecureComm {
     pub(crate) keys: CommKeys,
     pub(crate) homac: Option<Homac>,
     pub(crate) algo: ReduceAlgo,
+    /// Typed staging-buffer recycler threaded through the engine so the
+    /// hot path stops allocating after warmup.
+    pub(crate) arena: ScratchArena,
+    /// Keystream prefetch worker (`None` disables overlap; masking then
+    /// always generates inline).
+    pub(crate) prefetch: Option<Prefetcher>,
     pub(crate) scratch_u32: Scratch<u32>,
     pub(crate) scratch_u64: Scratch<u64>,
     pub(crate) scratch_u16: Scratch<u16>,
@@ -72,18 +81,26 @@ pub struct SecureComm {
 }
 
 impl SecureComm {
-    pub fn new(comm: Communicator, keys: CommKeys) -> Self {
+    pub fn new(comm: Communicator, mut keys: CommKeys) -> Self {
         assert_eq!(
             comm.world(),
             keys.world(),
             "keys generated for a different communicator"
         );
         assert_eq!(comm.rank(), keys.rank(), "keys belong to a different rank");
+        // Prefetch is on by default: the schemes consult the shared cache
+        // before generating noise inline, and the engine plans the next
+        // epoch's streams for the worker each call.
+        let cache = KeystreamCache::new();
+        keys.attach_cache(Arc::clone(&cache));
+        let prefetch = Some(Prefetcher::new(keys.prf().clone(), cache));
         SecureComm {
             comm,
             keys,
             homac: None,
             algo: ReduceAlgo::default(),
+            arena: ScratchArena::new(),
+            prefetch,
             scratch_u32: Scratch::default(),
             scratch_u64: Scratch::default(),
             scratch_u16: Scratch::default(),
@@ -93,6 +110,14 @@ impl SecureComm {
 
     pub fn with_algo(mut self, algo: ReduceAlgo) -> Self {
         self.algo = algo;
+        self
+    }
+
+    /// Disable the keystream prefetch worker (e.g. for A/B benchmarks);
+    /// every mask/unmask then generates its keystream inline through the
+    /// fused kernels.
+    pub fn without_prefetch(mut self) -> Self {
+        self.prefetch = None;
         self
     }
 

@@ -202,6 +202,39 @@ impl Communicator {
         T: Clone + Send + 'static,
         F: Fn(&T, &T) -> T,
     {
+        let mut seg = Vec::new();
+        self.allreduce_ring_owned_tagged_with_seg(tag, data, op, &mut seg)
+    }
+
+    /// Ring allreduce with a caller-provided segment staging buffer: the
+    /// hop-to-hop send segments are staged in `seg`, whose capacity
+    /// survives the call, so an upper layer's buffer arena can absorb the
+    /// per-call scratch of the ring schedule.
+    pub fn allreduce_ring_owned_with_seg<T, F>(
+        &self,
+        data: Vec<T>,
+        op: F,
+        seg: &mut Vec<T>,
+    ) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let tag = self.next_coll_tag();
+        self.allreduce_ring_owned_tagged_with_seg(tag, data, op, seg)
+    }
+
+    pub(crate) fn allreduce_ring_owned_tagged_with_seg<T, F>(
+        &self,
+        tag: u64,
+        data: Vec<T>,
+        op: F,
+        seg: &mut Vec<T>,
+    ) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
         let (world, rank) = (self.world(), self.rank());
         let _s = hear_telemetry::span!("allreduce_ring", elems = data.len(), tag = tag);
         let mut acc: Vec<T> = data;
@@ -223,8 +256,8 @@ impl Communicator {
         let prev = (rank + world - 1) % world;
         // One reusable segment buffer per hop: each received segment's
         // allocation becomes the next hop's send buffer, halving the
-        // per-step allocations without changing the message schedule.
-        let mut seg: Vec<T> = Vec::new();
+        // per-step allocations without changing the message schedule. The
+        // buffer is the caller's, so its capacity outlives the call.
         // Reduce-scatter: after world-1 steps, rank owns the fully reduced
         // chunk (rank+1) mod world.
         for step in 0..world - 1 {
@@ -233,10 +266,10 @@ impl Communicator {
             let (s, e) = bounds[send_chunk];
             seg.clear();
             seg.extend_from_slice(&acc[s..e]);
-            let incoming = self.sendrecv_internal(next, tag, std::mem::take(&mut seg), prev, tag);
+            let incoming = self.sendrecv_internal(next, tag, std::mem::take(seg), prev, tag);
             let (s, e) = bounds[recv_chunk];
             fold_into(&mut acc[s..e], &incoming, &op);
-            seg = incoming;
+            *seg = incoming;
         }
         // Allgather: circulate the reduced chunks.
         for step in 0..world - 1 {
@@ -245,10 +278,10 @@ impl Communicator {
             let (s, e) = bounds[send_chunk];
             seg.clear();
             seg.extend_from_slice(&acc[s..e]);
-            let incoming = self.sendrecv_internal(next, tag, std::mem::take(&mut seg), prev, tag);
+            let incoming = self.sendrecv_internal(next, tag, std::mem::take(seg), prev, tag);
             let (s, e) = bounds[recv_chunk];
             acc[s..e].clone_from_slice(&incoming);
-            seg = incoming;
+            *seg = incoming;
         }
         acc
     }

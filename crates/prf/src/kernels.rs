@@ -1,0 +1,495 @@
+//! Fused mask/unmask kernels: keystream generation and word-wise combine
+//! in one pass over memory.
+//!
+//! The split path the schemes used before this module — `keystream_*` into a
+//! scratch vector, then a second loop combining scratch with the payload —
+//! touches every payload byte twice and every keystream byte three times
+//! (write, read, discard). The fused kernels here generate each 128-bit PRF
+//! block, split it into words, and immediately fold the words into the
+//! payload buffer, so the keystream never exists in memory. On AES-NI the
+//! blocks additionally stay in SSE registers through an 8-wide pipeline
+//! ([`crate::aesni::AesNi128::keystream_tile8`]) and only the swizzled
+//! native-endian words are stored, once, to a stack tile.
+//!
+//! Three combine flavours cover every scheme in `hear-core`:
+//! [`add_keystream_into`] (encrypt for additive schemes, §5.1.1),
+//! [`sub_keystream_into`] (decrypt, and the cancelling `-F_{k_{i+1}}` term of
+//! §5.1.4), and [`xor_keystream_into`] (the Z_2 schemes, §5.2.3).
+//!
+//! The `*_blocks_into` variants combine from **pregenerated** PRF blocks
+//! instead of a cipher — the consumption side of the keystream prefetcher in
+//! `hear-layer`, where iteration *i+1*'s blocks were produced by a worker
+//! thread during iteration *i*'s communication phase.
+//!
+//! ## Keystream convention
+//!
+//! Identical to [`crate::keystream_u32`] and friends: element `j` of a
+//! width-`w` stream is word `j mod per` of block `F(base + j/per)` with
+//! `per = 16/w`, words split big-endian (word 0 most significant). The
+//! property tests at the bottom pin every fused kernel to the split
+//! reference bit-for-bit.
+
+use crate::{block_words_u16, block_words_u32, block_words_u64, block_words_u8};
+use crate::{blocks_metric, Backend, Prf, PrfCipher};
+use hear_telemetry::Metric;
+
+/// Words the fused kernels can mask: the unsigned machine integers whose
+/// width divides the 128-bit PRF block.
+///
+/// The trait captures exactly what [`fused_into`] needs — block splitting,
+/// wrapping ring arithmetic and XOR — so `hear-core`'s `RingWord` can bound
+/// on it without this crate knowing about schemes.
+///
+/// # Safety
+///
+/// Implementors guarantee `Self` is a plain machine integer: no padding,
+/// every bit pattern valid, and `size_of::<Self>()` divides 16. The fused
+/// kernels rely on this to reinterpret an aligned keystream tile as a
+/// `&[Self]` without copying word by word.
+pub unsafe trait KernelWord: Copy + Eq + std::fmt::Debug + Send + Sync + 'static {
+    /// Words per 128-bit PRF block (`16 / size_of::<Self>()`).
+    const PER_BLOCK: usize;
+    /// Word `k` of a PRF block under the big-endian splitting convention.
+    fn extract(block: u128, k: usize) -> Self;
+    /// Wrapping addition in `Z_{2^w}`.
+    fn wrapping_add(self, rhs: Self) -> Self;
+    /// Wrapping subtraction in `Z_{2^w}`.
+    fn wrapping_sub(self, rhs: Self) -> Self;
+    /// Bitwise XOR (the `Z_2^w` group operation).
+    fn bxor(self, rhs: Self) -> Self;
+    /// Reassemble a word from native-endian bytes (the layout
+    /// [`crate::aesni::AesNi128::keystream_tile8`] stores).
+    fn from_ne(bytes: &[u8]) -> Self;
+}
+
+macro_rules! kernel_word {
+    ($t:ty, $splitter:ident) => {
+        // SAFETY: unsigned machine integers — no padding, all bit
+        // patterns valid, widths 1/2/4/8 divide 16.
+        unsafe impl KernelWord for $t {
+            const PER_BLOCK: usize = 16 / std::mem::size_of::<$t>();
+            #[inline(always)]
+            fn extract(block: u128, k: usize) -> $t {
+                $splitter(block)[k]
+            }
+            #[inline(always)]
+            fn wrapping_add(self, rhs: $t) -> $t {
+                <$t>::wrapping_add(self, rhs)
+            }
+            #[inline(always)]
+            fn wrapping_sub(self, rhs: $t) -> $t {
+                <$t>::wrapping_sub(self, rhs)
+            }
+            #[inline(always)]
+            fn bxor(self, rhs: $t) -> $t {
+                self ^ rhs
+            }
+            #[inline(always)]
+            fn from_ne(bytes: &[u8]) -> $t {
+                <$t>::from_ne_bytes(bytes.try_into().expect("width-sized chunk"))
+            }
+        }
+    };
+}
+
+kernel_word!(u8, block_words_u8);
+kernel_word!(u16, block_words_u16);
+kernel_word!(u32, block_words_u32);
+kernel_word!(u64, block_words_u64);
+
+/// Bytes-masked counter for a backend (family `hear_masked_bytes_total`).
+/// Public (but hidden) for the same reason as [`crate::blocks_metric`].
+#[doc(hidden)]
+pub fn masked_metric(backend: Backend) -> Metric {
+    match backend {
+        Backend::AesSoft => Metric::MaskedBytesAesSoft,
+        Backend::AesNi => Metric::MaskedBytesAesNi,
+        Backend::Sha1 => Metric::MaskedBytesSha1,
+        Backend::Sha1Ni => Metric::MaskedBytesSha1Ni,
+    }
+}
+
+/// Stack tile for one 8-block keystream group. 16-byte aligned so the
+/// SSE stores in [`crate::aesni::AesNi128::keystream_tile8`] and the wide
+/// reloads in the combine loop never straddle cache lines.
+#[repr(align(16))]
+struct Tile([u8; 128]);
+
+impl Tile {
+    /// The tile reinterpreted as keystream words. One wide load per word
+    /// instead of a byte-array round trip per word — this is what the
+    /// `unsafe trait` contract on [`KernelWord`] buys.
+    #[inline(always)]
+    fn words<W: KernelWord>(&self) -> &[W] {
+        // SAFETY: `Tile` is 16-byte aligned and 128 bytes long; by the
+        // `KernelWord` contract `W` is a padding-free integer whose size
+        // divides 16, so every bit pattern in the tile is a valid `W`.
+        unsafe {
+            std::slice::from_raw_parts(self.0.as_ptr().cast(), 128 / std::mem::size_of::<W>())
+        }
+    }
+}
+
+/// `buf[i] <- f(buf[i], stream[first + i])` in one pass, where `stream` is
+/// the width-`W` keystream of `prf` at `base`.
+///
+/// Telemetry matches the split path exactly: `KeystreamBytes` counts the
+/// expanded bytes, the per-backend block counter counts each PRF block
+/// once, and additionally `hear_masked_bytes_total` records that the bytes
+/// went through a fused kernel.
+#[inline]
+fn fused_into<W, F>(prf: &PrfCipher, base: u128, first: u64, buf: &mut [W], f: F)
+where
+    W: KernelWord,
+    F: Fn(W, W) -> W + Copy,
+{
+    if buf.is_empty() {
+        return;
+    }
+    hear_telemetry::add(Metric::KeystreamBytes, std::mem::size_of_val(buf) as u64);
+    hear_telemetry::add(
+        masked_metric(prf.backend()),
+        std::mem::size_of_val(buf) as u64,
+    );
+
+    let per = W::PER_BLOCK as u64;
+    let mut j = first;
+    let mut idx = 0usize;
+
+    // Leading partial block: first may land mid-block.
+    if !j.is_multiple_of(per) {
+        let block = prf.eval_block(base.wrapping_add((j / per) as u128));
+        while !j.is_multiple_of(per) && idx < buf.len() {
+            let w = W::extract(block, (j % per) as usize);
+            buf[idx] = f(buf[idx], w);
+            idx += 1;
+            j += 1;
+        }
+    }
+
+    // Bulk: whole blocks.
+    let whole = (buf.len() - idx) / W::PER_BLOCK;
+    if whole > 0 {
+        let first_block = j / per;
+        #[cfg(target_arch = "x86_64")]
+        if let Some(ni) = prf.aesni() {
+            hear_telemetry::add(blocks_metric(prf.backend()), whole as u64);
+            let mut b = 0usize;
+            let mut tile = Tile([0u8; 128]);
+            let wsize = std::mem::size_of::<W>();
+            let lanes = 128 / wsize;
+            while b + 8 <= whole {
+                ni.keystream_tile8(
+                    base.wrapping_add((first_block + b as u64) as u128),
+                    wsize,
+                    &mut tile.0,
+                );
+                // Fixed-length slice + zip: the trip count is a
+                // monomorphization-time constant and there are no bounds
+                // checks left, so the combine vectorizes.
+                for (d, &w) in buf[idx..idx + lanes].iter_mut().zip(tile.words::<W>()) {
+                    *d = f(*d, w);
+                }
+                idx += lanes;
+                b += 8;
+            }
+            // Remainder blocks one at a time (register-form single blocks).
+            while b < whole {
+                let block = ni.encrypt_block(base.wrapping_add((first_block + b as u64) as u128));
+                for k in 0..W::PER_BLOCK {
+                    let w = W::extract(block, k);
+                    buf[idx] = f(buf[idx], w);
+                    idx += 1;
+                }
+                b += 1;
+            }
+            j += whole as u64 * per;
+            finish_trailing(prf, base, &mut j, per, &mut idx, buf, f);
+            return;
+        }
+        // Generic backends: batched counted fill, then combine per block.
+        const BATCH: usize = 256;
+        let mut blocks = [0u128; BATCH];
+        let mut b = 0u64;
+        while (b as usize) < whole {
+            let n = BATCH.min(whole - b as usize);
+            prf.fill_blocks(
+                base.wrapping_add((first_block + b) as u128),
+                &mut blocks[..n],
+            );
+            for block in &blocks[..n] {
+                for k in 0..W::PER_BLOCK {
+                    buf[idx] = f(buf[idx], W::extract(*block, k));
+                    idx += 1;
+                }
+            }
+            b += n as u64;
+        }
+        j += whole as u64 * per;
+    }
+
+    finish_trailing(prf, base, &mut j, per, &mut idx, buf, f);
+}
+
+/// Trailing partial block shared by the AES-NI and generic bulk paths.
+#[inline]
+fn finish_trailing<W, F>(
+    prf: &PrfCipher,
+    base: u128,
+    j: &mut u64,
+    per: u64,
+    idx: &mut usize,
+    buf: &mut [W],
+    f: F,
+) where
+    W: KernelWord,
+    F: Fn(W, W) -> W + Copy,
+{
+    if *idx < buf.len() {
+        let block = prf.eval_block(base.wrapping_add((*j / per) as u128));
+        while *idx < buf.len() {
+            let w = W::extract(block, (*j % per) as usize);
+            buf[*idx] = f(buf[*idx], w);
+            *idx += 1;
+            *j += 1;
+        }
+    }
+}
+
+/// `buf[i] ^= stream[first + i]` — fused XOR mask/unmask (Z_2 schemes).
+pub fn xor_keystream_into<W: KernelWord>(prf: &PrfCipher, base: u128, first: u64, buf: &mut [W]) {
+    fused_into(prf, base, first, buf, |a, b| a.bxor(b));
+}
+
+/// `buf[i] += stream[first + i]` (wrapping) — fused additive mask.
+pub fn add_keystream_into<W: KernelWord>(prf: &PrfCipher, base: u128, first: u64, buf: &mut [W]) {
+    fused_into(prf, base, first, buf, |a, b| a.wrapping_add(b));
+}
+
+/// `buf[i] -= stream[first + i]` (wrapping) — fused additive unmask and the
+/// cancelling term of the §5.1.4 construction.
+pub fn sub_keystream_into<W: KernelWord>(prf: &PrfCipher, base: u128, first: u64, buf: &mut [W]) {
+    fused_into(prf, base, first, buf, |a, b| a.wrapping_sub(b));
+}
+
+/// Combine from pregenerated PRF blocks: `buf[i] <- f(buf[i],
+/// words(blocks)[skip + i])`, where `words(blocks)` is the width-`W` word
+/// stream of `blocks` and `skip` is the offset of `buf[0]` in that stream.
+///
+/// This is the prefetch cache-hit path: the caller proved `blocks` covers
+/// `skip .. skip + buf.len()` and accounts the telemetry itself (the blocks
+/// were generated uncounted on a worker thread).
+#[inline]
+fn blocks_into<W, F>(blocks: &[u128], skip: u64, buf: &mut [W], f: F)
+where
+    W: KernelWord,
+    F: Fn(W, W) -> W + Copy,
+{
+    let per = W::PER_BLOCK as u64;
+    debug_assert!(
+        skip + buf.len() as u64 <= blocks.len() as u64 * per,
+        "blocks do not cover the requested word range"
+    );
+    for (j, x) in (skip..).zip(buf.iter_mut()) {
+        let w = W::extract(blocks[(j / per) as usize], (j % per) as usize);
+        *x = f(*x, w);
+    }
+}
+
+/// XOR-combine from pregenerated blocks (see [`blocks_into`]).
+pub fn xor_blocks_into<W: KernelWord>(blocks: &[u128], skip: u64, buf: &mut [W]) {
+    blocks_into(blocks, skip, buf, |a, b| a.bxor(b));
+}
+
+/// Wrapping-add-combine from pregenerated blocks (see [`blocks_into`]).
+pub fn add_blocks_into<W: KernelWord>(blocks: &[u128], skip: u64, buf: &mut [W]) {
+    blocks_into(blocks, skip, buf, |a, b| a.wrapping_add(b));
+}
+
+/// Wrapping-sub-combine from pregenerated blocks (see [`blocks_into`]).
+pub fn sub_blocks_into<W: KernelWord>(blocks: &[u128], skip: u64, buf: &mut [W]) {
+    blocks_into(blocks, skip, buf, |a, b| a.wrapping_sub(b));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use proptest::TestRng;
+
+    const KEY: u128 = 0x0011_2233_4455_6677_8899_aabb_ccdd_eeff;
+
+    fn backends() -> Vec<PrfCipher> {
+        let mut v = vec![PrfCipher::new(Backend::AesSoft, KEY).unwrap()];
+        if Backend::AesNi.is_available() {
+            v.push(PrfCipher::new(Backend::AesNi, KEY).unwrap());
+        }
+        if Backend::Sha1Ni.is_available() {
+            v.push(PrfCipher::new(Backend::Sha1Ni, KEY).unwrap());
+        }
+        v.push(PrfCipher::new(Backend::Sha1, KEY).unwrap());
+        v
+    }
+
+    /// Split reference: fill a keystream with the documented convention,
+    /// then combine — what the fused kernels must equal bit-for-bit.
+    fn reference<W: KernelWord>(
+        prf: &PrfCipher,
+        base: u128,
+        first: u64,
+        buf: &mut [W],
+        f: impl Fn(W, W) -> W,
+    ) {
+        let per = W::PER_BLOCK as u64;
+        for (i, x) in buf.iter_mut().enumerate() {
+            let j = first + i as u64;
+            let block = prf.eval_block(base.wrapping_add((j / per) as u128));
+            *x = f(*x, W::extract(block, (j % per) as usize));
+        }
+    }
+
+    fn check_all_ops<W: KernelWord>(prf: &PrfCipher, base: u128, first: u64, data: &[W]) {
+        let mut want = data.to_vec();
+        let mut got = data.to_vec();
+        reference(prf, base, first, &mut want, |a, b| a.wrapping_add(b));
+        add_keystream_into(prf, base, first, &mut got);
+        assert_eq!(want, got, "add backend={:?}", prf.backend());
+
+        let mut want = data.to_vec();
+        let mut got = data.to_vec();
+        reference(prf, base, first, &mut want, |a, b| a.wrapping_sub(b));
+        sub_keystream_into(prf, base, first, &mut got);
+        assert_eq!(want, got, "sub backend={:?}", prf.backend());
+
+        let mut want = data.to_vec();
+        let mut got = data.to_vec();
+        reference(prf, base, first, &mut want, |a, b| a.bxor(b));
+        xor_keystream_into(prf, base, first, &mut got);
+        assert_eq!(want, got, "xor backend={:?}", prf.backend());
+    }
+
+    #[test]
+    fn add_then_sub_roundtrips() {
+        for prf in backends() {
+            let data: Vec<u32> = (0..300u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+            let mut buf = data.clone();
+            add_keystream_into(&prf, 42, 7, &mut buf);
+            assert_ne!(buf, data);
+            sub_keystream_into(&prf, 42, 7, &mut buf);
+            assert_eq!(buf, data);
+        }
+    }
+
+    #[test]
+    fn xor_is_an_involution() {
+        for prf in backends() {
+            let data: Vec<u16> = (0..777u32).map(|i| (i * 31) as u16).collect();
+            let mut buf = data.clone();
+            xor_keystream_into(&prf, 9, 3, &mut buf);
+            assert_ne!(buf, data);
+            xor_keystream_into(&prf, 9, 3, &mut buf);
+            assert_eq!(buf, data);
+        }
+    }
+
+    #[test]
+    fn empty_buffers_are_untouched_and_uncounted() {
+        let reg = hear_telemetry::Registry::new_enabled();
+        let prf = PrfCipher::new(Backend::AesSoft, KEY).unwrap();
+        {
+            let _ctx = reg.install(None);
+            let mut buf: [u64; 0] = [];
+            add_keystream_into(&prf, 1, 1, &mut buf);
+        }
+        assert_eq!(reg.counter(Metric::KeystreamBytes), 0);
+        assert_eq!(reg.counter(Metric::MaskedBytesAesSoft), 0);
+    }
+
+    #[test]
+    fn counts_bytes_and_blocks_like_split_path() {
+        let reg = hear_telemetry::Registry::new_enabled();
+        let prf = PrfCipher::new(Backend::AesSoft, KEY).unwrap();
+        {
+            let _ctx = reg.install(None);
+            // 100 u32 words starting at word 2: 1 leading partial block,
+            // 24 whole blocks, 1 trailing partial block = 26 PRF blocks.
+            let mut buf = vec![0u32; 100];
+            add_keystream_into(&prf, 5, 2, &mut buf);
+        }
+        assert_eq!(reg.counter(Metric::KeystreamBytes), 400);
+        assert_eq!(reg.counter(Metric::MaskedBytesAesSoft), 400);
+        assert_eq!(reg.counter(Metric::PrfBlocksAesSoft), 26);
+    }
+
+    #[test]
+    fn blocks_into_matches_keystream_into() {
+        let prf = PrfCipher::new(Backend::AesSoft, KEY).unwrap();
+        let base = 1_000_000u128;
+        let first = 5u64;
+        let data: Vec<u32> = (0..97u32).map(|i| i ^ 0xdead_beef).collect();
+
+        let mut want = data.clone();
+        add_keystream_into(&prf, base, first, &mut want);
+
+        // Pregenerate the covering block range, as the prefetcher would.
+        let per = <u32 as KernelWord>::PER_BLOCK as u64;
+        let first_block = first / per;
+        let last_word = first + data.len() as u64 - 1;
+        let nblocks = (last_word / per - first_block + 1) as usize;
+        let mut blocks = vec![0u128; nblocks];
+        prf.fill_blocks(base.wrapping_add(first_block as u128), &mut blocks);
+
+        let mut got = data.clone();
+        add_blocks_into(&blocks, first - first_block * per, &mut got);
+        assert_eq!(want, got);
+    }
+
+    proptest! {
+        /// Every fused kernel equals the split reference for random widths,
+        /// offsets and lengths, on every available backend.
+        #[test]
+        fn fused_equals_reference(
+            base in any::<u128>(),
+            first in 0u64..10_000,
+            len in 0usize..1000,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = TestRng::new(seed);
+            for prf in backends() {
+                let d8: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+                check_all_ops(&prf, base, first, &d8);
+                let d16: Vec<u16> = (0..len).map(|_| rng.next_u64() as u16).collect();
+                check_all_ops(&prf, base, first, &d16);
+                let d32: Vec<u32> = (0..len).map(|_| rng.next_u64() as u32).collect();
+                check_all_ops(&prf, base, first, &d32);
+                let d64: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+                check_all_ops(&prf, base, first, &d64);
+            }
+        }
+
+        /// The pregenerated-blocks combine equals the cipher-driven combine
+        /// for random coverage windows.
+        #[test]
+        fn blocks_combine_equals_cipher_combine(
+            base in any::<u128>(),
+            first in 0u64..5_000,
+            len in 1usize..500,
+        ) {
+            let prf = PrfCipher::new(Backend::AesSoft, KEY).unwrap();
+            let per = <u16 as KernelWord>::PER_BLOCK as u64;
+            let data: Vec<u16> = (0..len as u32).map(|i| (i * 7) as u16).collect();
+
+            let mut want = data.clone();
+            xor_keystream_into(&prf, base, first, &mut want);
+
+            let first_block = first / per;
+            let last_word = first + len as u64 - 1;
+            let nblocks = (last_word / per - first_block + 1) as usize;
+            let mut blocks = vec![0u128; nblocks];
+            prf.fill_blocks(base.wrapping_add(first_block as u128), &mut blocks);
+            let mut got = data.clone();
+            xor_blocks_into(&blocks, first - first_block * per, &mut got);
+            prop_assert_eq!(want, got);
+        }
+    }
+}

@@ -24,9 +24,17 @@
 pub mod aes;
 #[cfg(target_arch = "x86_64")]
 pub mod aesni;
+pub mod kernels;
 pub mod sha1;
 #[cfg(target_arch = "x86_64")]
 pub mod shani;
+
+#[doc(hidden)]
+pub use kernels::masked_metric;
+pub use kernels::{
+    add_blocks_into, add_keystream_into, sub_blocks_into, sub_keystream_into, xor_blocks_into,
+    xor_keystream_into, KernelWord,
+};
 
 /// A keyed pseudorandom function producing 128-bit blocks.
 ///
@@ -176,10 +184,84 @@ impl PrfCipher {
             PrfImpl::Sha1Ni(s) => s.eval_block(x),
         }
     }
+
+    /// Direct handle to the AES-NI engine when this cipher is backed by
+    /// it — lets the fused kernels take the register-resident tile path.
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    pub(crate) fn aesni(&self) -> Option<&aesni::AesNi128> {
+        match &self.inner {
+            PrfImpl::Ni(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Statically dispatched bulk fill shared by the counted [`Prf`]
+    /// entry point and the uncounted prefetch-worker entry point.
+    fn fill_blocks_impl(&self, base: u128, out: &mut [u128]) {
+        match &self.inner {
+            #[cfg(target_arch = "x86_64")]
+            PrfImpl::Ni(a) => {
+                let mut i = 0u128;
+                let mut chunks = out.chunks_exact_mut(8);
+                for c in &mut chunks {
+                    c.copy_from_slice(&a.encrypt_ctr8(base.wrapping_add(i)));
+                    i += 8;
+                }
+                let rem = chunks.into_remainder();
+                if rem.len() >= 4 {
+                    let (four, rest) = rem.split_at_mut(4);
+                    four.copy_from_slice(&a.encrypt4([
+                        base.wrapping_add(i),
+                        base.wrapping_add(i + 1),
+                        base.wrapping_add(i + 2),
+                        base.wrapping_add(i + 3),
+                    ]));
+                    i += 4;
+                    for o in rest {
+                        *o = a.encrypt_block(base.wrapping_add(i));
+                        i += 1;
+                    }
+                } else {
+                    for o in rem {
+                        *o = a.encrypt_block(base.wrapping_add(i));
+                        i += 1;
+                    }
+                }
+            }
+            _ => {
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = self.eval_uncounted(base.wrapping_add(i as u128));
+                }
+            }
+        }
+    }
+
+    /// PRF evaluation with no telemetry attribution. For the keystream
+    /// prefetch worker only: the worker thread must record nothing (it
+    /// has no rank lane), and the consuming rank accounts for the blocks
+    /// when it takes the cache hit.
+    #[doc(hidden)]
+    #[inline]
+    pub fn eval_block_uncounted(&self, x: u128) -> u128 {
+        self.eval_uncounted(x)
+    }
+
+    /// Bulk fill with no telemetry attribution; see
+    /// [`PrfCipher::eval_block_uncounted`].
+    #[doc(hidden)]
+    pub fn fill_blocks_uncounted(&self, base: u128, out: &mut [u128]) {
+        self.fill_blocks_impl(base, out);
+    }
 }
 
 /// Telemetry counter for blocks evaluated by `backend`.
-fn blocks_metric(backend: Backend) -> hear_telemetry::Metric {
+/// Per-backend PRF block counter (family `hear_prf_blocks_total`). Public
+/// (but hidden) so prefetch consumers can attribute cache-served blocks to
+/// the backend that generated them, keeping counter totals identical to
+/// the inline path.
+#[doc(hidden)]
+pub fn blocks_metric(backend: Backend) -> hear_telemetry::Metric {
     match backend {
         Backend::AesSoft => hear_telemetry::Metric::PrfBlocksAesSoft,
         Backend::AesNi => hear_telemetry::Metric::PrfBlocksAesNi,
@@ -197,32 +279,7 @@ impl Prf for PrfCipher {
 
     fn fill_blocks(&self, base: u128, out: &mut [u128]) {
         hear_telemetry::add(blocks_metric(self.backend), out.len() as u64);
-        match &self.inner {
-            #[cfg(target_arch = "x86_64")]
-            PrfImpl::Ni(a) => {
-                let mut chunks = out.chunks_exact_mut(4);
-                let mut i = 0u128;
-                for c in &mut chunks {
-                    let blocks = [
-                        base.wrapping_add(i),
-                        base.wrapping_add(i + 1),
-                        base.wrapping_add(i + 2),
-                        base.wrapping_add(i + 3),
-                    ];
-                    c.copy_from_slice(&a.encrypt4(blocks));
-                    i += 4;
-                }
-                for o in chunks.into_remainder() {
-                    *o = a.encrypt_block(base.wrapping_add(i));
-                    i += 1;
-                }
-            }
-            _ => {
-                for (i, o) in out.iter_mut().enumerate() {
-                    *o = self.eval_uncounted(base.wrapping_add(i as u128));
-                }
-            }
-        }
+        self.fill_blocks_impl(base, out);
     }
 }
 
@@ -246,21 +303,21 @@ pub fn block_words_u64(block: u128) -> [u64; 2] {
 
 /// Noise word for a single 32-bit element `j` of the stream rooted at `base`.
 #[inline]
-pub fn word_u32(prf: &dyn Prf, base: u128, j: u64) -> u32 {
+pub fn word_u32<P: Prf + ?Sized>(prf: &P, base: u128, j: u64) -> u32 {
     let block = prf.eval_block(base.wrapping_add((j / 4) as u128));
     block_words_u32(block)[(j % 4) as usize]
 }
 
 /// Noise word for a single 64-bit element `j` of the stream rooted at `base`.
 #[inline]
-pub fn word_u64(prf: &dyn Prf, base: u128, j: u64) -> u64 {
+pub fn word_u64<P: Prf + ?Sized>(prf: &P, base: u128, j: u64) -> u64 {
     let block = prf.eval_block(base.wrapping_add((j / 2) as u128));
     block_words_u64(block)[(j % 2) as usize]
 }
 
 /// Fill `out` with the 32-bit keystream rooted at `base`, starting at element
 /// index `first`. `out[i]` equals `word_u32(prf, base, first + i)`.
-pub fn keystream_u32(prf: &dyn Prf, base: u128, first: u64, out: &mut [u32]) {
+pub fn keystream_u32<P: Prf + ?Sized>(prf: &P, base: u128, first: u64, out: &mut [u32]) {
     if out.is_empty() {
         return;
     }
@@ -300,7 +357,7 @@ pub fn keystream_u32(prf: &dyn Prf, base: u128, first: u64, out: &mut [u32]) {
 
 /// Fill `out` with the 64-bit keystream rooted at `base`, starting at element
 /// index `first`. `out[i]` equals `word_u64(prf, base, first + i)`.
-pub fn keystream_u64(prf: &dyn Prf, base: u128, first: u64, out: &mut [u64]) {
+pub fn keystream_u64<P: Prf + ?Sized>(prf: &P, base: u128, first: u64, out: &mut [u64]) {
     if out.is_empty() {
         return;
     }
@@ -509,21 +566,21 @@ pub fn block_words_u8(block: u128) -> [u8; 16] {
 
 /// Noise word for a single 16-bit element `j` of the stream rooted at `base`.
 #[inline]
-pub fn word_u16(prf: &dyn Prf, base: u128, j: u64) -> u16 {
+pub fn word_u16<P: Prf + ?Sized>(prf: &P, base: u128, j: u64) -> u16 {
     let block = prf.eval_block(base.wrapping_add((j / 8) as u128));
     block_words_u16(block)[(j % 8) as usize]
 }
 
 /// Noise word for a single byte element `j` of the stream rooted at `base`.
 #[inline]
-pub fn word_u8(prf: &dyn Prf, base: u128, j: u64) -> u8 {
+pub fn word_u8<P: Prf + ?Sized>(prf: &P, base: u128, j: u64) -> u8 {
     let block = prf.eval_block(base.wrapping_add((j / 16) as u128));
     block_words_u8(block)[(j % 16) as usize]
 }
 
 /// Fill `out` with the 16-bit keystream rooted at `base`, starting at
 /// element index `first`.
-pub fn keystream_u16(prf: &dyn Prf, base: u128, first: u64, out: &mut [u16]) {
+pub fn keystream_u16<P: Prf + ?Sized>(prf: &P, base: u128, first: u64, out: &mut [u16]) {
     hear_telemetry::add(
         hear_telemetry::Metric::KeystreamBytes,
         std::mem::size_of_val(out) as u64,
@@ -535,7 +592,7 @@ pub fn keystream_u16(prf: &dyn Prf, base: u128, first: u64, out: &mut [u16]) {
 
 /// Fill `out` with the byte keystream rooted at `base`, starting at
 /// element index `first`.
-pub fn keystream_u8(prf: &dyn Prf, base: u128, first: u64, out: &mut [u8]) {
+pub fn keystream_u8<P: Prf + ?Sized>(prf: &P, base: u128, first: u64, out: &mut [u8]) {
     hear_telemetry::add(hear_telemetry::Metric::KeystreamBytes, out.len() as u64);
     fill_keystream(prf, base, first, out, 16, |block, k| {
         block_words_u8(block)[k]
@@ -543,8 +600,8 @@ pub fn keystream_u8(prf: &dyn Prf, base: u128, first: u64, out: &mut [u8]) {
 }
 
 /// Generic CTR fill: `out[i] = extract(eval_block(base + (first+i)/per), (first+i)%per)`.
-fn fill_keystream<W: Copy + Default>(
-    prf: &dyn Prf,
+fn fill_keystream<W: Copy + Default, P: Prf + ?Sized>(
+    prf: &P,
     base: u128,
     first: u64,
     out: &mut [W],

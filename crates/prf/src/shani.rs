@@ -11,6 +11,12 @@
 //! Single-block-message compression only (all the PRF needs): the padded
 //! `key ‖ input` block is fixed at 64 bytes, as in [`crate::sha1`].
 //! Correctness is pinned to the verified software implementation by test.
+//!
+//! Unlike [`crate::aesni`], there is no byte-swap round trip to remove
+//! here: SHA-1's message schedule is defined over big-endian words, so
+//! the `to_be_bytes` into the template *is* the message encoding, and
+//! `compress_ni` performs exactly one unavoidable `PSHUFB` per 16 message
+//! bytes when loading the schedule registers.
 
 #![cfg(target_arch = "x86_64")]
 

@@ -48,10 +48,24 @@ pub enum Metric {
     PoolTakeFresh,
     /// Pool `put()` calls (buffers returned to the free list).
     PoolPuts,
+    /// Keystream requests served from the prefetch cache.
+    PrefetchHits,
+    /// Keystream requests that missed the prefetch cache (cold, stale
+    /// epoch, or uncovered range) and fell back to inline generation.
+    PrefetchMisses,
+    /// Payload bytes masked/unmasked through the fused kernels, software
+    /// AES backend.
+    MaskedBytesAesSoft,
+    /// Payload bytes masked/unmasked through the fused kernels, AES-NI.
+    MaskedBytesAesNi,
+    /// Payload bytes masked/unmasked through the fused kernels, SHA-1.
+    MaskedBytesSha1,
+    /// Payload bytes masked/unmasked through the fused kernels, SHA-NI.
+    MaskedBytesSha1Ni,
 }
 
 impl Metric {
-    pub const ALL: [Metric; 17] = [
+    pub const ALL: [Metric; 23] = [
         Metric::PrfBlocksAesSoft,
         Metric::PrfBlocksAesNi,
         Metric::PrfBlocksSha1,
@@ -69,6 +83,12 @@ impl Metric {
         Metric::PoolTakeReuse,
         Metric::PoolTakeFresh,
         Metric::PoolPuts,
+        Metric::PrefetchHits,
+        Metric::PrefetchMisses,
+        Metric::MaskedBytesAesSoft,
+        Metric::MaskedBytesAesNi,
+        Metric::MaskedBytesSha1,
+        Metric::MaskedBytesSha1Ni,
     ];
     pub const COUNT: usize = Self::ALL.len();
 
@@ -89,6 +109,11 @@ impl Metric {
             Metric::HomacVerifyPass | Metric::HomacVerifyFail => "hear_homac_verifications_total",
             Metric::PoolTakeReuse | Metric::PoolTakeFresh => "hear_pool_takes_total",
             Metric::PoolPuts => "hear_pool_puts_total",
+            Metric::PrefetchHits | Metric::PrefetchMisses => "hear_prefetch_total",
+            Metric::MaskedBytesAesSoft
+            | Metric::MaskedBytesAesNi
+            | Metric::MaskedBytesSha1
+            | Metric::MaskedBytesSha1Ni => "hear_masked_bytes_total",
         }
     }
 
@@ -106,6 +131,12 @@ impl Metric {
             Metric::HomacVerifyFail => Some(("result", "fail")),
             Metric::PoolTakeReuse => Some(("source", "reuse")),
             Metric::PoolTakeFresh => Some(("source", "fresh")),
+            Metric::PrefetchHits => Some(("result", "hit")),
+            Metric::PrefetchMisses => Some(("result", "miss")),
+            Metric::MaskedBytesAesSoft => Some(("backend", "aes_soft")),
+            Metric::MaskedBytesAesNi => Some(("backend", "aes_ni")),
+            Metric::MaskedBytesSha1 => Some(("backend", "sha1")),
+            Metric::MaskedBytesSha1Ni => Some(("backend", "sha1_ni")),
             _ => None,
         }
     }

@@ -240,6 +240,14 @@ impl Criterion {
         });
     }
 
+    /// Recorded stats for a benchmark id (the full rendered id, e.g.
+    /// `group/function`). For driver binaries that gate on *relative*
+    /// results instead of serializing them — e.g. the fused-vs-split
+    /// `perf_gate` in `scripts/ci.sh`.
+    pub fn stats(&self, id: &str) -> Option<&BenchStats> {
+        self.results.iter().find(|r| r.id == id).map(|r| &r.stats)
+    }
+
     /// Write every recorded result to `BENCH_<bench_name>.json` in
     /// `HEAR_BENCH_DIR` (default: the current directory). Called by the
     /// function `criterion_group!` generates.

@@ -29,3 +29,13 @@ cargo run --release -q -p hear-bench --bin trace_validate -- \
 # cell through the one generic engine, checked against the plaintext
 # reference. Exits nonzero on any mismatch.
 cargo run --release -q -p hear-bench --bin matrix_smoke
+
+# Crypto-throughput smoke + perf_gate: a fast-budget sweep must emit a
+# parseable BENCH_crypto.json (the per-commit trajectory artifact), and
+# the fused one-pass mask kernels must not be slower than the split
+# fill-then-combine path (generous 1.25x tolerance — CI shares a core).
+HEAR_BENCH_FAST=1 HEAR_BENCH_DIR="$smoke_dir" \
+    cargo run --release -q -p hear-bench --bin crypto_throughput
+test -s "$smoke_dir/BENCH_crypto.json"
+HEAR_BENCH_FAST=1 \
+    cargo run --release -q -p hear-bench --bin crypto_throughput -- --gate
