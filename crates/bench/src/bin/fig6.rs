@@ -67,7 +67,7 @@ fn main() {
     // pipelined at the paper's optimal block.
     let data_sync = data.clone();
     let (t_sync, t_nat_opt) = {
-        let r = Simulator::with_config(2, cfg).run(move |comm| {
+        let r = Simulator::with_config(2, cfg.clone()).run(move |comm| {
             let mut sc = secure(comm);
             let t0 = Instant::now();
             for _ in 0..reps {
@@ -98,7 +98,7 @@ fn main() {
         let block_bytes = 1usize << shift;
         let block_elems = block_bytes / 4;
         let data_b = data.clone();
-        let (t_hear, t_native) = Simulator::with_config(2, cfg).run(move |comm| {
+        let (t_hear, t_native) = Simulator::with_config(2, cfg.clone()).run(move |comm| {
             let mut sc = secure(comm);
             let t0 = Instant::now();
             for _ in 0..reps {

@@ -1,0 +1,204 @@
+//! Fault-plan hooks for this crate's private wire types.
+//!
+//! The fabric's fault injector mutates `Box<dyn Any>` payloads and only
+//! knows the types it has corruptor/cloner hooks for; the built-ins
+//! cover primitive vectors. This module teaches a
+//! [`FaultPlan`] about the verified transport's [`Packet`] payloads, so
+//! chaos suites can corrupt and duplicate §5.5 traffic: a flipped
+//! ciphertext bit is caught by the digest check, a flipped digest lane or
+//! tag by the HoMAC itself.
+
+use crate::engine::Packet;
+use hear_core::Hfp;
+use hear_mpi::FaultPlan;
+use std::any::Any;
+use std::sync::Arc;
+
+/// Arm `plan` with corruptors and cloners for the verified packet
+/// payloads of the integer (`u32` wire) and float (`Hfp` wire) schemes.
+pub fn with_packet_hooks(plan: FaultPlan) -> FaultPlan {
+    plan.with_corruptor(Arc::new(corrupt_u32_packets))
+        .with_cloner(Arc::new(clone_packets::<u32>))
+        .with_corruptor(Arc::new(corrupt_hfp_packets))
+        .with_cloner(Arc::new(clone_packets::<Hfp>))
+}
+
+/// Which packet the fault word singles out.
+fn pick(len: usize, word: u64) -> Option<usize> {
+    if len == 0 {
+        None
+    } else {
+        Some((word as usize) % len)
+    }
+}
+
+fn corrupt_u32_packets(payload: &mut dyn Any, word: u64) -> bool {
+    let Some(v) = payload.downcast_mut::<Vec<Packet<u32>>>() else {
+        return false;
+    };
+    if let Some(i) = pick(v.len(), word) {
+        // The high bits choose the channel so a seed sweep exercises all
+        // three detection paths.
+        match (word >> 61) % 3 {
+            0 => v[i].c ^= 1 << ((word >> 32) & 31),
+            1 => v[i].d[0] ^= 1,
+            _ => v[i].s[0] ^= 1,
+        }
+    }
+    true
+}
+
+fn corrupt_hfp_packets(payload: &mut dyn Any, word: u64) -> bool {
+    let Some(v) = payload.downcast_mut::<Vec<Packet<Hfp>>>() else {
+        return false;
+    };
+    if let Some(i) = pick(v.len(), word) {
+        match (word >> 61) % 3 {
+            // An exponent bit-flip stays inside the `ew`-bit ring and
+            // shifts the decoded value by a power of two — far past any
+            // Table 2 tolerance.
+            0 => v[i].c.exp ^= 1,
+            1 => v[i].d[0] ^= 1,
+            _ => v[i].s[0] ^= 1,
+        }
+    }
+    true
+}
+
+fn clone_packets<W: Clone + Send + 'static>(
+    payload: &(dyn Any + Send),
+) -> Option<Box<dyn Any + Send>> {
+    payload
+        .downcast_ref::<Vec<Packet<W>>>()
+        .map(|v| Box::new(v.clone()) as Box<dyn Any + Send>)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packets_u32(n: usize) -> Vec<Packet<u32>> {
+        (0..n)
+            .map(|i| Packet {
+                c: i as u32,
+                d: [i as u64; hear_core::DIGEST_LANES],
+                s: [!(i as u64); hear_core::DIGEST_LANES],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn corruptor_flips_exactly_one_packet() {
+        let clean = packets_u32(4);
+        let mut dirty = clean.clone();
+        assert!(corrupt_u32_packets(&mut dirty as &mut dyn Any, 0x7));
+        let changed = clean
+            .iter()
+            .zip(&dirty)
+            .filter(|(a, b)| a.c != b.c || a.d != b.d || a.s != b.s)
+            .count();
+        assert_eq!(changed, 1);
+    }
+
+    #[test]
+    fn corruptor_rejects_foreign_payloads() {
+        let mut other = vec![1u32, 2, 3];
+        assert!(!corrupt_u32_packets(&mut other as &mut dyn Any, 0));
+    }
+
+    #[test]
+    fn cloner_deep_copies() {
+        let v = packets_u32(3);
+        let boxed: Box<dyn Any + Send> = Box::new(v.clone());
+        let copy = clone_packets::<u32>(boxed.as_ref()).expect("known type");
+        let copy = copy.downcast::<Vec<Packet<u32>>>().expect("same type");
+        assert_eq!(copy.len(), 3);
+        assert!(v.iter().zip(copy.iter()).all(|(a, b)| a.c == b.c));
+    }
+
+    #[test]
+    fn hooks_attach_to_a_plan() {
+        // Debug output carries the hook counts: 2 custom corruptors and
+        // 2 custom cloners on top of the seeded built-ins.
+        let plan = with_packet_hooks(FaultPlan::seeded(7));
+        let dbg = format!("{plan:?}");
+        assert!(dbg.contains("corruptors"), "{dbg}");
+    }
+
+    #[test]
+    fn single_uplink_corruption_heals_by_resend() {
+        // The §5.5 resend succeeding end-to-end, deterministically. A
+        // one-shot corruptor flips a ciphertext bit in the first packet
+        // vector the injector offers — necessarily a rank→switch uplink,
+        // since the switch can only start multicasting after all uplinks
+        // arrived. The corrupted contribution poisons the aggregate for
+        // every rank symmetrically, so all four fail the digest check on
+        // the same block, all retry on the next attempt tag, and the
+        // clean resend converges: every rank ends Ok and exact.
+        use crate::engine::{EngineCfg, RetryPolicy};
+        use crate::secure::{ReduceAlgo, SecureComm};
+        use hear_core::{CommKeys, Homac, IntSumScheme};
+        use hear_mpi::{SimConfig, Simulator};
+        use hear_prf::Backend;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::Duration;
+
+        const WORLD: usize = 4;
+        let reg = hear_telemetry::Registry::new_enabled();
+        let _g = reg.install(None);
+
+        let hit = Arc::new(AtomicBool::new(false));
+        let one_shot: hear_mpi::Corruptor = Arc::new({
+            let hit = Arc::clone(&hit);
+            move |payload: &mut dyn Any, _word: u64| {
+                let Some(v) = payload.downcast_mut::<Vec<Packet<u32>>>() else {
+                    return false;
+                };
+                if !hit.swap(true, Ordering::SeqCst) {
+                    if let Some(p) = v.first_mut() {
+                        p.c ^= 1;
+                    }
+                }
+                true // later offers are recognised but left intact
+            }
+        });
+        // corrupt_one_in(1) routes EVERY message through the corruptor
+        // chain; the one-shot hook (tried first) makes exactly one flip.
+        let plan =
+            with_packet_hooks(FaultPlan::seeded(11).corrupt_one_in(1)).with_corruptor(one_shot);
+
+        let cfg = SimConfig::default().with_switch(4).with_faults(plan);
+        let results = Simulator::with_config(WORLD, cfg).run(|comm| {
+            let keys = CommKeys::generate(WORLD, 0xBEEF, Backend::best_available())
+                .into_iter()
+                .nth(comm.rank())
+                .unwrap();
+            let homac = Homac::generate(0xBEEF ^ 0x5a5a, Backend::best_available());
+            let mut sc = SecureComm::new(comm.clone(), keys).with_homac(homac);
+            let data: Vec<u32> = (0..16).map(|j| j * 3 + comm.rank() as u32).collect();
+            let ecfg = EngineCfg::blocked(16)
+                .verified()
+                .with_algo(ReduceAlgo::Switch)
+                .with_retry(
+                    RetryPolicy::retries(1).with_attempt_timeout(Duration::from_millis(500)),
+                );
+            let mut s = IntSumScheme::<u32>::default();
+            sc.allreduce_with(&mut s, &data, ecfg)
+        });
+        let expected: Vec<u32> = (0..16)
+            .map(|j| (0..WORLD as u32).map(|r| j * 3 + r).sum())
+            .collect();
+        for (rank, res) in results.iter().enumerate() {
+            let got = res
+                .as_ref()
+                .unwrap_or_else(|e| panic!("rank {rank} failed instead of healing: {e}"));
+            assert_eq!(got, &expected, "rank {rank}");
+        }
+        assert!(hit.load(Ordering::SeqCst), "the corruptor never fired");
+        let retries = reg.counter(hear_telemetry::Metric::RetriesTotal);
+        assert!(
+            retries >= WORLD as u64,
+            "expected every rank to retry once, counted {retries}"
+        );
+    }
+}

@@ -95,6 +95,9 @@ pub enum DispatchError {
     Hfp(HfpError),
     /// HoMAC verification rejected the aggregate.
     Verify(VerificationError),
+    /// The transport failed (timeout, dead peer, downed switch) beyond
+    /// what the engine's retry policy could absorb.
+    Comm(hear_mpi::CommError),
 }
 
 impl std::fmt::Display for DispatchError {
@@ -106,6 +109,7 @@ impl std::fmt::Display for DispatchError {
             }
             DispatchError::Hfp(e) => write!(f, "{e}"),
             DispatchError::Verify(e) => write!(f, "{e}"),
+            DispatchError::Comm(e) => write!(f, "{e}"),
         }
     }
 }
@@ -123,6 +127,7 @@ impl From<EngineError> for DispatchError {
         match e {
             EngineError::Hfp(h) => DispatchError::Hfp(h),
             EngineError::Verification(v) => DispatchError::Verify(v),
+            EngineError::Comm(c) => DispatchError::Comm(c),
         }
     }
 }

@@ -58,8 +58,9 @@ use crate::arena::ScratchArena;
 use crate::prefetch::{PrefetchJob, MAX_PREFETCH_BLOCKS, MAX_STREAMS};
 use crate::secure::{ReduceAlgo, SecureComm, VerificationError};
 use hear_core::{CommKeys, Homac, IntSum, Scheme, Scratch, StreamPlan, DIGEST_BASE, DIGEST_LANES};
-use hear_mpi::Request;
+use hear_mpi::{CommError, Request, ATTEMPT_TAG_STRIDE, COLL_BLOCK_TAG_STRIDE, MAX_TAG_ATTEMPTS};
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 /// How the engine chunks the payload across collectives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,6 +76,67 @@ pub enum ChunkMode {
     Pipelined(usize),
 }
 
+/// How the engine reacts to communication and verification failures.
+///
+/// Defaults reproduce the legacy behavior: one attempt, no deadline, but
+/// graceful INC→host degradation stays on (it only triggers when the
+/// switch tree is actually unreachable, which a healthy run never sees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per block (1 = no retries). Timeouts and
+    /// verification failures consume retries; `SwitchDown` degradation
+    /// does not.
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubled after each one.
+    pub backoff: Duration,
+    /// Deadline applied to each attempt's collective; `None` waits
+    /// forever (legacy blocking semantics).
+    pub attempt_timeout: Option<Duration>,
+    /// Fall back to the host ring when the INC switch tree reports
+    /// `SwitchDown`, instead of failing the call.
+    pub degrade_on_switch_down: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+            attempt_timeout: None,
+            degrade_on_switch_down: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// `retries` extra attempts after the first (so `retries(2)` allows
+    /// three attempts total).
+    pub fn retries(retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1 + retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Initial backoff before the first retry (doubled per retry).
+    pub fn with_backoff(mut self, backoff: Duration) -> RetryPolicy {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Bound each attempt's collective by a deadline.
+    pub fn with_attempt_timeout(mut self, timeout: Duration) -> RetryPolicy {
+        self.attempt_timeout = Some(timeout);
+        self
+    }
+
+    /// Fail the call on `SwitchDown` instead of degrading to the ring.
+    pub fn no_degrade(mut self) -> RetryPolicy {
+        self.degrade_on_switch_down = false;
+        self
+    }
+}
+
 /// Full configuration of one engine call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineCfg {
@@ -84,6 +146,9 @@ pub struct EngineCfg {
     /// Reduction algorithm override; `None` uses the communicator's
     /// [`SecureComm::with_algo`] setting.
     pub algo: Option<ReduceAlgo>,
+    /// Failure handling: bounded retries, per-attempt deadlines, and
+    /// INC→host degradation.
+    pub retry: RetryPolicy,
 }
 
 impl EngineCfg {
@@ -120,6 +185,12 @@ impl EngineCfg {
         self.algo = Some(algo);
         self
     }
+
+    /// Attach a failure-handling policy to this call.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> EngineCfg {
+        self.retry = retry;
+        self
+    }
 }
 
 /// Why an engine call failed.
@@ -127,8 +198,12 @@ impl EngineCfg {
 pub enum EngineError {
     /// Float encoding rejected the input (NaN/Inf/overflow).
     Hfp(hear_core::HfpError),
-    /// HoMAC or digest verification rejected the aggregate.
+    /// HoMAC or digest verification rejected the aggregate (and the
+    /// retry budget, if any, is exhausted).
     Verification(VerificationError),
+    /// The transport failed (timeout, dead peer, downed switch) beyond
+    /// what the [`RetryPolicy`] could absorb.
+    Comm(CommError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -136,6 +211,7 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Hfp(e) => write!(f, "{e}"),
             EngineError::Verification(e) => write!(f, "{e}"),
+            EngineError::Comm(e) => write!(f, "{e}"),
         }
     }
 }
@@ -154,18 +230,120 @@ impl From<VerificationError> for EngineError {
     }
 }
 
+impl From<CommError> for EngineError {
+    fn from(e: CommError) -> Self {
+        EngineError::Comm(e)
+    }
+}
+
 impl EngineError {
-    /// Unwrap into the float-encoding error. Panics on a verification
-    /// error — use only on plain (non-verified) calls, which can never
-    /// fail verification.
+    /// Unwrap into the float-encoding error. Panics on any other error —
+    /// use only on plain (non-verified) calls over a healthy fabric,
+    /// which can fail in no other way.
     pub fn into_hfp(self) -> hear_core::HfpError {
         match self {
             EngineError::Hfp(e) => e,
             EngineError::Verification(_) => {
                 unreachable!("plain engine calls cannot fail verification")
             }
+            EngineError::Comm(e) => {
+                panic!("allreduce transport failed: {e}")
+            }
         }
     }
+}
+
+/// Mutable retry state for one engine call: the call-wide attempt counter
+/// (which drives tag selection so a retry can never match a failed
+/// attempt's stale wires), the remaining retry budget, and the growing
+/// backoff.
+struct RetryCtl {
+    policy: RetryPolicy,
+    /// Attempts consumed call-wide (monotonic across blocks, retries and
+    /// degradations); attempt `a` of block `b` runs on tag
+    /// `base + b·COLL_BLOCK_TAG_STRIDE + a·ATTEMPT_TAG_STRIDE`.
+    attempt: u64,
+    retries_left: u32,
+    backoff: Duration,
+}
+
+/// What the retry controller decided after a block-level failure.
+enum Step {
+    /// Re-run the block on the same algorithm, next attempt tag.
+    Retry,
+    /// Switch the rest of the call to the host ring, next attempt tag.
+    Degrade,
+    /// Surface the error.
+    Fail(EngineError),
+}
+
+impl RetryCtl {
+    fn new(policy: RetryPolicy) -> RetryCtl {
+        RetryCtl {
+            policy,
+            attempt: 0,
+            retries_left: policy.max_attempts.saturating_sub(1),
+            backoff: policy.backoff,
+        }
+    }
+
+    /// Deadline for the attempt about to start.
+    fn deadline(&self) -> Option<Instant> {
+        self.policy.attempt_timeout.map(|t| Instant::now() + t)
+    }
+
+    /// Advance to the next attempt's tag slot; errors when the per-call
+    /// tag space (MAX_TAG_ATTEMPTS slots) is used up.
+    fn bump(&mut self) -> Result<(), ()> {
+        self.attempt += 1;
+        if self.attempt >= MAX_TAG_ATTEMPTS {
+            Err(())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Decide what a block-level failure means under the policy.
+    /// Timeouts and verification failures are retryable (a resend on the
+    /// per-block §5.5 digest failure IS the packet localization: only the
+    /// failing block travels again); `SwitchDown` degrades without
+    /// consuming a retry; everything else fails.
+    fn on_error(&mut self, e: EngineError) -> Step {
+        let retryable = match &e {
+            // Degrade even when the call has already moved off the switch:
+            // a pipelined call posts several blocks on the INC path before
+            // the first failure drains, and those stale posts still come
+            // back as `SwitchDown` after the call fell back to the ring.
+            EngineError::Comm(CommError::SwitchDown { .. })
+                if self.policy.degrade_on_switch_down =>
+            {
+                return if self.bump().is_ok() {
+                    Step::Degrade
+                } else {
+                    Step::Fail(e)
+                };
+            }
+            EngineError::Comm(c) => c.is_retryable(),
+            EngineError::Verification(_) => true,
+            EngineError::Hfp(_) => false,
+        };
+        if !retryable || self.retries_left == 0 || self.bump().is_err() {
+            return Step::Fail(e);
+        }
+        self.retries_left -= 1;
+        hear_telemetry::incr(hear_telemetry::Metric::RetriesTotal);
+        if !self.backoff.is_zero() {
+            std::thread::sleep(self.backoff);
+            self.backoff = self.backoff.saturating_mul(2);
+        }
+        Step::Retry
+    }
+}
+
+/// Wire tag for one attempt of one block.
+#[inline]
+fn attempt_tag(base: u64, block_idx: u64, attempt: u64) -> u64 {
+    base + block_idx * COLL_BLOCK_TAG_STRIDE + attempt * ATTEMPT_TAG_STRIDE
 }
 
 /// What the network reduces in verified mode: the payload ciphertext plus
@@ -173,9 +351,9 @@ impl EngineError {
 /// widened with the digest channel).
 #[derive(Debug, Clone)]
 pub(crate) struct Packet<W> {
-    c: W,
-    d: [u64; DIGEST_LANES],
-    s: [u64; DIGEST_LANES],
+    pub(crate) c: W,
+    pub(crate) d: [u64; DIGEST_LANES],
+    pub(crate) s: [u64; DIGEST_LANES],
 }
 
 /// The combiner for [`Packet`] streams. A non-capturing generic `fn`, so
@@ -399,17 +577,41 @@ impl SecureComm {
             return self.run_local(scheme, data, out);
         }
         out.extend(data.iter().cloned());
-        let algo = cfg.algo.unwrap_or(self.algo);
+        // Tags for the whole epoch are reserved up front so retries and
+        // degraded re-runs stay inside this call's tag block: block `b`,
+        // attempt `a` runs on `base + b·256 + a·8` on every rank.
+        let nblocks = (data.len() as u64).div_ceil(block as u64);
+        let base_tag = self.comm.reserve_coll_tags(nblocks);
+        let mut algo = cfg.algo.unwrap_or(self.algo);
+        if algo == ReduceAlgo::Switch && self.degraded {
+            // A previous epoch lost the switch tree: stay on the host
+            // ring instead of re-probing a dead fabric every call.
+            algo = ReduceAlgo::Ring;
+            hear_telemetry::incr(hear_telemetry::Metric::DegradedEpochs);
+        }
+        let mut ctl = RetryCtl::new(cfg.retry);
         match (cfg.chunk, homac) {
             (ChunkMode::Pipelined(_), None) => {
-                self.run_plain_pipelined(scheme, data, out, block, algo)
+                self.run_plain_pipelined(scheme, data, out, block, &mut algo, base_tag, &mut ctl)
             }
-            (ChunkMode::Pipelined(_), Some(h)) => {
-                self.run_verified_pipelined(scheme, data, out, block, algo, &h)
+            (ChunkMode::Pipelined(_), Some(h)) => self.run_verified_pipelined(
+                scheme, data, out, block, &mut algo, base_tag, &mut ctl, &h,
+            ),
+            (_, None) => {
+                self.run_plain_sync(scheme, data, out, block, &mut algo, base_tag, &mut ctl)
             }
-            (_, None) => self.run_plain_sync(scheme, data, out, block, algo),
-            (_, Some(h)) => self.run_verified_sync(scheme, data, out, block, algo, &h),
+            (_, Some(h)) => {
+                self.run_verified_sync(scheme, data, out, block, &mut algo, base_tag, &mut ctl, &h)
+            }
         }
+    }
+
+    /// Record the INC→host fallback: the rest of this epoch (and every
+    /// later one) runs on the ring, and the degradation is counted once
+    /// per affected epoch.
+    fn note_degraded(&mut self) {
+        self.degraded = true;
+        hear_telemetry::incr(hear_telemetry::Metric::DegradedEpochs);
     }
 
     /// Plan the next epoch's noise streams for the prefetch worker. The
@@ -465,67 +667,131 @@ impl SecureComm {
         result
     }
 
-    /// The algorithm-selected blocking transport. `seg` is the ring
-    /// algorithm's hop staging buffer (arena-leased by the caller);
-    /// the other algorithms ignore it.
-    fn transport_sync<T, F>(
+    /// The algorithm-selected blocking transport on an explicit attempt
+    /// tag and deadline. `seg` is the ring algorithm's hop staging buffer
+    /// (arena-leased by the caller); the other algorithms ignore it.
+    fn try_transport_sync<T, F>(
         &self,
+        tag: u64,
         data: Vec<T>,
         algo: ReduceAlgo,
         op: F,
         seg: &mut Vec<T>,
-    ) -> Vec<T>
+        deadline: Option<Instant>,
+    ) -> Result<Vec<T>, CommError>
     where
         T: Clone + Send + 'static,
         F: Fn(&T, &T) -> T + Send + Sync + Clone + 'static,
     {
         match algo {
-            ReduceAlgo::RecursiveDoubling => self.comm.allreduce_owned(data, op),
-            ReduceAlgo::Ring => self.comm.allreduce_ring_owned_with_seg(data, op, seg),
-            ReduceAlgo::Switch => self.comm.allreduce_inc_owned(data, op),
+            ReduceAlgo::RecursiveDoubling => self
+                .comm
+                .try_allreduce_owned_tagged(tag, data, op, deadline),
+            ReduceAlgo::Ring => self
+                .comm
+                .try_allreduce_ring_owned_tagged_with_seg(tag, data, op, seg, deadline),
+            ReduceAlgo::Switch => self.comm.try_allreduce_inc_tagged(tag, data, op, deadline),
         }
     }
 
-    /// The algorithm-selected nonblocking transport.
-    fn transport_nb<T, F>(&self, data: Vec<T>, algo: ReduceAlgo, op: F) -> Request<Vec<T>>
+    /// The algorithm-selected nonblocking transport on an explicit attempt
+    /// tag and deadline.
+    fn try_transport_nb<T, F>(
+        &self,
+        tag: u64,
+        data: Vec<T>,
+        algo: ReduceAlgo,
+        op: F,
+        deadline: Option<Instant>,
+    ) -> Request<Result<Vec<T>, CommError>>
     where
         T: Clone + Send + 'static,
         F: Fn(&T, &T) -> T + Send + Sync + Clone + 'static,
     {
         match algo {
-            ReduceAlgo::RecursiveDoubling => self.comm.iallreduce(data, op),
-            ReduceAlgo::Ring => self.comm.iallreduce_ring(data, op),
-            ReduceAlgo::Switch => self.comm.iallreduce_inc(data, op),
+            ReduceAlgo::RecursiveDoubling => {
+                self.comm.try_iallreduce_tagged(tag, data, op, deadline)
+            }
+            ReduceAlgo::Ring => self
+                .comm
+                .try_iallreduce_ring_tagged(tag, data, op, deadline),
+            ReduceAlgo::Switch => self.comm.try_iallreduce_inc_tagged(tag, data, op, deadline),
         }
     }
 
+    /// One plain block, synchronously, with the attempt loop: mask →
+    /// transport → unmask, retrying or degrading per the policy.
+    /// Re-masking on a retry reproduces the identical ciphertext (same
+    /// epoch, same offsets), so a resend is never a two-time pad.
+    #[allow(clippy::too_many_arguments)]
+    fn plain_block_sync<S: Scheme + 'static>(
+        &mut self,
+        scheme: &mut S,
+        data: &[S::Input],
+        out: &mut [S::Input],
+        block: usize,
+        offset: usize,
+        block_idx: u64,
+        algo: &mut ReduceAlgo,
+        base_tag: u64,
+        ctl: &mut RetryCtl,
+        wire: &mut Vec<S::Wire>,
+        dec: &mut Vec<S::Input>,
+        seg: &mut Vec<S::Wire>,
+    ) -> Result<(), EngineError> {
+        let end = (offset + block).min(data.len());
+        loop {
+            scheme.mask_slice(&self.keys, offset as u64, &data[offset..end], wire)?;
+            let tag = attempt_tag(base_tag, block_idx, ctl.attempt);
+            let deadline = ctl.deadline();
+            match self.try_transport_sync(tag, std::mem::take(wire), *algo, S::op, seg, deadline) {
+                Ok(agg) => {
+                    scheme.unmask_slice(&self.keys, offset as u64, &agg, dec);
+                    out[offset..end].clone_from_slice(dec);
+                    // The aggregate's buffer becomes the next attempt's or
+                    // block's wire buffer.
+                    *wire = agg;
+                    return Ok(());
+                }
+                Err(e) => match ctl.on_error(EngineError::Comm(e)) {
+                    Step::Retry => {}
+                    Step::Degrade => {
+                        self.note_degraded();
+                        *algo = ReduceAlgo::Ring;
+                    }
+                    Step::Fail(err) => return Err(err),
+                },
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn run_plain_sync<S: Scheme + 'static>(
         &mut self,
         scheme: &mut S,
         data: &[S::Input],
         out: &mut [S::Input],
         block: usize,
-        algo: ReduceAlgo,
+        algo: &mut ReduceAlgo,
+        base_tag: u64,
+        ctl: &mut RetryCtl,
     ) -> Result<(), EngineError> {
         let mut wire: Vec<S::Wire> = self.arena.take_vec();
         let mut dec: Vec<S::Input> = self.arena.take_vec();
         let mut seg: Vec<S::Wire> = self.arena.take_vec();
         let mut failed = None;
         let mut offset = 0usize;
+        let mut block_idx = 0u64;
         while offset < data.len() {
-            let end = (offset + block).min(data.len());
-            if let Err(e) =
-                scheme.mask_slice(&self.keys, offset as u64, &data[offset..end], &mut wire)
-            {
-                failed = Some(EngineError::from(e));
+            if let Err(e) = self.plain_block_sync(
+                scheme, data, out, block, offset, block_idx, algo, base_tag, ctl, &mut wire,
+                &mut dec, &mut seg,
+            ) {
+                failed = Some(e);
                 break;
             }
-            let agg = self.transport_sync(std::mem::take(&mut wire), algo, S::op, &mut seg);
-            scheme.unmask_slice(&self.keys, offset as u64, &agg, &mut dec);
-            out[offset..end].clone_from_slice(&dec);
-            // The aggregate's buffer becomes the next block's wire buffer.
-            wire = agg;
-            offset = end;
+            offset = (offset + block).min(data.len());
+            block_idx += 1;
         }
         self.arena.put_vec(wire);
         self.arena.put_vec(dec);
@@ -533,19 +799,75 @@ impl SecureComm {
         failed.map_or(Ok(()), Err)
     }
 
+    /// Complete one posted plain block: wait on the request, and on
+    /// failure fall back to synchronous per-block recovery (which retries
+    /// and/or degrades per the policy).
+    #[allow(clippy::too_many_arguments)]
+    fn drain_plain_block<S: Scheme + 'static>(
+        &mut self,
+        scheme: &mut S,
+        data: &[S::Input],
+        out: &mut [S::Input],
+        block: usize,
+        offset: usize,
+        block_idx: u64,
+        req: Request<Result<Vec<S::Wire>, CommError>>,
+        algo: &mut ReduceAlgo,
+        base_tag: u64,
+        ctl: &mut RetryCtl,
+        wire: &mut Vec<S::Wire>,
+        dec: &mut Vec<S::Input>,
+        seg: &mut Vec<S::Wire>,
+    ) -> Result<(), EngineError> {
+        let res = {
+            let _w = hear_telemetry::span!("pipeline_wait", offset = offset);
+            req.wait()
+        };
+        hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
+        match res {
+            Ok(agg) => {
+                scheme.unmask_block(&self.keys, offset as u64, &agg, dec);
+                out[offset..offset + dec.len()].clone_from_slice(dec);
+                *wire = agg;
+                Ok(())
+            }
+            Err(e) => {
+                match ctl.on_error(EngineError::Comm(e)) {
+                    Step::Retry => {}
+                    Step::Degrade => {
+                        self.note_degraded();
+                        *algo = ReduceAlgo::Ring;
+                    }
+                    Step::Fail(err) => return Err(err),
+                }
+                self.plain_block_sync(
+                    scheme, data, out, block, offset, block_idx, algo, base_tag, ctl, wire, dec,
+                    seg,
+                )
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn run_plain_pipelined<S: Scheme + 'static>(
         &mut self,
         scheme: &mut S,
         data: &[S::Input],
         out: &mut [S::Input],
         block: usize,
-        algo: ReduceAlgo,
+        algo: &mut ReduceAlgo,
+        base_tag: u64,
+        ctl: &mut RetryCtl,
     ) -> Result<(), EngineError> {
-        let mut inflight: VecDeque<(usize, Request<Vec<S::Wire>>)> = VecDeque::with_capacity(DEPTH);
+        #[allow(clippy::type_complexity)]
+        let mut inflight: VecDeque<(usize, u64, Request<Result<Vec<S::Wire>, CommError>>)> =
+            VecDeque::with_capacity(DEPTH);
         let mut wire: Vec<S::Wire> = self.arena.take_vec();
         let mut dec: Vec<S::Input> = self.arena.take_vec();
+        let mut seg: Vec<S::Wire> = self.arena.take_vec();
         let mut failed = None;
         let mut offset = 0usize;
+        let mut block_idx = 0u64;
         while offset < data.len() {
             let end = (offset + block).min(data.len());
             // An encode error aborts the call; already-posted blocks are
@@ -558,103 +880,207 @@ impl SecureComm {
             }
             hear_telemetry::incr(hear_telemetry::Metric::PipelineBlocks);
             hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, 1);
+            let tag = attempt_tag(base_tag, block_idx, ctl.attempt);
+            let deadline = ctl.deadline();
             inflight.push_back((
                 offset,
-                self.transport_nb(std::mem::take(&mut wire), algo, S::op),
+                block_idx,
+                self.try_transport_nb(tag, std::mem::take(&mut wire), *algo, S::op, deadline),
             ));
             if inflight.len() >= DEPTH {
-                let (o, req) = inflight.pop_front().expect("non-empty");
-                let agg = {
-                    let _w = hear_telemetry::span!("pipeline_wait", offset = o);
-                    req.wait()
-                };
-                hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
-                scheme.unmask_block(&self.keys, o as u64, &agg, &mut dec);
-                out[o..o + dec.len()].clone_from_slice(&dec);
-                wire = agg;
+                let (o, bi, req) = inflight.pop_front().expect("non-empty");
+                if let Err(e) = self.drain_plain_block(
+                    scheme, data, out, block, o, bi, req, algo, base_tag, ctl, &mut wire, &mut dec,
+                    &mut seg,
+                ) {
+                    failed = Some(e);
+                    break;
+                }
             }
             offset = end;
+            block_idx += 1;
         }
         if failed.is_none() {
-            while let Some((o, req)) = inflight.pop_front() {
-                let agg = {
-                    let _w = hear_telemetry::span!("pipeline_wait", offset = o);
-                    req.wait()
-                };
-                hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
-                scheme.unmask_block(&self.keys, o as u64, &agg, &mut dec);
-                out[o..o + dec.len()].clone_from_slice(&dec);
-                wire = agg;
+            while let Some((o, bi, req)) = inflight.pop_front() {
+                if let Err(e) = self.drain_plain_block(
+                    scheme, data, out, block, o, bi, req, algo, base_tag, ctl, &mut wire, &mut dec,
+                    &mut seg,
+                ) {
+                    failed = Some(e);
+                    break;
+                }
             }
         }
         self.arena.put_vec(wire);
         self.arena.put_vec(dec);
+        self.arena.put_vec(seg);
         failed.map_or(Ok(()), Err)
     }
 
+    /// One verified block, synchronously, with the attempt loop: seal →
+    /// transport → open. A verification failure is retryable — the
+    /// per-block §5.5 digest already localized the damage to this block,
+    /// so the resend retransmits exactly the failing packets (re-sealed to
+    /// the identical ciphertext) and nothing else.
+    #[allow(clippy::too_many_arguments)]
+    fn verified_block_sync<S: Scheme + 'static>(
+        &mut self,
+        scheme: &mut S,
+        homac: &Homac,
+        data: &[S::Input],
+        out: &mut [S::Input],
+        block: usize,
+        offset: usize,
+        block_idx: u64,
+        algo: &mut ReduceAlgo,
+        base_tag: u64,
+        ctl: &mut RetryCtl,
+        vs: &mut VerifyScratch<S>,
+        seg: &mut Vec<Packet<S::Wire>>,
+    ) -> Result<(), EngineError> {
+        let world = self.world();
+        let end = (offset + block).min(data.len());
+        loop {
+            seal_block(scheme, homac, &self.keys, offset, &data[offset..end], vs)?;
+            let tag = attempt_tag(base_tag, block_idx, ctl.attempt);
+            let deadline = ctl.deadline();
+            let step = match self.try_transport_sync(
+                tag,
+                std::mem::take(&mut vs.packets),
+                *algo,
+                packet_op::<S>,
+                seg,
+                deadline,
+            ) {
+                Ok(agg) => match open_block(scheme, homac, &self.keys, world, offset, &agg, vs) {
+                    Ok(()) => {
+                        out[offset..end].clone_from_slice(&vs.dec);
+                        // The aggregate becomes the next block's packet
+                        // staging.
+                        vs.packets = agg;
+                        return Ok(());
+                    }
+                    Err(e) => ctl.on_error(e),
+                },
+                Err(e) => ctl.on_error(EngineError::Comm(e)),
+            };
+            match step {
+                Step::Retry => {}
+                Step::Degrade => {
+                    self.note_degraded();
+                    *algo = ReduceAlgo::Ring;
+                }
+                Step::Fail(err) => return Err(err),
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn run_verified_sync<S: Scheme + 'static>(
         &mut self,
         scheme: &mut S,
         data: &[S::Input],
         out: &mut [S::Input],
         block: usize,
-        algo: ReduceAlgo,
+        algo: &mut ReduceAlgo,
+        base_tag: u64,
+        ctl: &mut RetryCtl,
         homac: &Homac,
     ) -> Result<(), EngineError> {
-        let world = self.world();
         let mut vs = VerifyScratch::<S>::lease(&mut self.arena);
         let mut seg: Vec<Packet<S::Wire>> = self.arena.take_vec();
         let mut failed = None;
         let mut offset = 0usize;
+        let mut block_idx = 0u64;
         while offset < data.len() {
-            let end = (offset + block).min(data.len());
-            if let Err(e) = seal_block(
-                scheme,
-                homac,
-                &self.keys,
-                offset,
-                &data[offset..end],
-                &mut vs,
+            if let Err(e) = self.verified_block_sync(
+                scheme, homac, data, out, block, offset, block_idx, algo, base_tag, ctl, &mut vs,
+                &mut seg,
             ) {
                 failed = Some(e);
                 break;
             }
-            let agg = self.transport_sync(
-                std::mem::take(&mut vs.packets),
-                algo,
-                packet_op::<S>,
-                &mut seg,
-            );
-            if let Err(e) = open_block(scheme, homac, &self.keys, world, offset, &agg, &mut vs) {
-                failed = Some(e);
-                break;
-            }
-            out[offset..end].clone_from_slice(&vs.dec);
-            // The aggregate becomes the next block's packet staging.
-            vs.packets = agg;
-            offset = end;
+            offset = (offset + block).min(data.len());
+            block_idx += 1;
         }
         vs.restore(&mut self.arena);
         self.arena.put_vec(seg);
         failed.map_or(Ok(()), Err)
     }
 
-    #[allow(clippy::type_complexity)]
+    /// Complete one posted verified block: wait, open, and on either a
+    /// transport error or a verification failure fall back to synchronous
+    /// per-block recovery.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_verified_block<S: Scheme + 'static>(
+        &mut self,
+        scheme: &mut S,
+        homac: &Homac,
+        data: &[S::Input],
+        out: &mut [S::Input],
+        block: usize,
+        offset: usize,
+        block_idx: u64,
+        req: Request<Result<Vec<Packet<S::Wire>>, CommError>>,
+        algo: &mut ReduceAlgo,
+        base_tag: u64,
+        ctl: &mut RetryCtl,
+        vs: &mut VerifyScratch<S>,
+        seg: &mut Vec<Packet<S::Wire>>,
+    ) -> Result<(), EngineError> {
+        let world = self.world();
+        let res = {
+            let _w = hear_telemetry::span!("pipeline_wait", offset = offset);
+            req.wait()
+        };
+        hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
+        let step = match res {
+            Ok(agg) => match open_block(scheme, homac, &self.keys, world, offset, &agg, vs) {
+                Ok(()) => {
+                    out[offset..offset + vs.dec.len()].clone_from_slice(&vs.dec);
+                    vs.packets = agg;
+                    return Ok(());
+                }
+                Err(e) => ctl.on_error(e),
+            },
+            Err(e) => ctl.on_error(EngineError::Comm(e)),
+        };
+        match step {
+            Step::Retry => {}
+            Step::Degrade => {
+                self.note_degraded();
+                *algo = ReduceAlgo::Ring;
+            }
+            Step::Fail(err) => return Err(err),
+        }
+        self.verified_block_sync(
+            scheme, homac, data, out, block, offset, block_idx, algo, base_tag, ctl, vs, seg,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn run_verified_pipelined<S: Scheme + 'static>(
         &mut self,
         scheme: &mut S,
         data: &[S::Input],
         out: &mut [S::Input],
         block: usize,
-        algo: ReduceAlgo,
+        algo: &mut ReduceAlgo,
+        base_tag: u64,
+        ctl: &mut RetryCtl,
         homac: &Homac,
     ) -> Result<(), EngineError> {
-        let world = self.world();
-        let mut inflight: VecDeque<(usize, Request<Vec<Packet<S::Wire>>>)> =
-            VecDeque::with_capacity(DEPTH);
+        #[allow(clippy::type_complexity)]
+        let mut inflight: VecDeque<(
+            usize,
+            u64,
+            Request<Result<Vec<Packet<S::Wire>>, CommError>>,
+        )> = VecDeque::with_capacity(DEPTH);
         let mut vs = VerifyScratch::<S>::lease(&mut self.arena);
+        let mut seg: Vec<Packet<S::Wire>> = self.arena.take_vec();
         let mut failed = None;
         let mut offset = 0usize;
+        let mut block_idx = 0u64;
         while offset < data.len() {
             let end = (offset + block).min(data.len());
             if let Err(e) = seal_block(
@@ -670,42 +1096,45 @@ impl SecureComm {
             }
             hear_telemetry::incr(hear_telemetry::Metric::PipelineBlocks);
             hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, 1);
+            let tag = attempt_tag(base_tag, block_idx, ctl.attempt);
+            let deadline = ctl.deadline();
             inflight.push_back((
                 offset,
-                self.transport_nb(std::mem::take(&mut vs.packets), algo, packet_op::<S>),
+                block_idx,
+                self.try_transport_nb(
+                    tag,
+                    std::mem::take(&mut vs.packets),
+                    *algo,
+                    packet_op::<S>,
+                    deadline,
+                ),
             ));
             if inflight.len() >= DEPTH {
-                let (o, req) = inflight.pop_front().expect("non-empty");
-                let agg = {
-                    let _w = hear_telemetry::span!("pipeline_wait", offset = o);
-                    req.wait()
-                };
-                hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
-                if let Err(e) = open_block(scheme, homac, &self.keys, world, o, &agg, &mut vs) {
+                let (o, bi, req) = inflight.pop_front().expect("non-empty");
+                if let Err(e) = self.drain_verified_block(
+                    scheme, homac, data, out, block, o, bi, req, algo, base_tag, ctl, &mut vs,
+                    &mut seg,
+                ) {
                     failed = Some(e);
                     break;
                 }
-                out[o..o + vs.dec.len()].clone_from_slice(&vs.dec);
-                vs.packets = agg;
             }
             offset = end;
+            block_idx += 1;
         }
         if failed.is_none() {
-            while let Some((o, req)) = inflight.pop_front() {
-                let agg = {
-                    let _w = hear_telemetry::span!("pipeline_wait", offset = o);
-                    req.wait()
-                };
-                hear_telemetry::gauge_add(hear_telemetry::Gauge::PipelineInFlight, -1);
-                if let Err(e) = open_block(scheme, homac, &self.keys, world, o, &agg, &mut vs) {
+            while let Some((o, bi, req)) = inflight.pop_front() {
+                if let Err(e) = self.drain_verified_block(
+                    scheme, homac, data, out, block, o, bi, req, algo, base_tag, ctl, &mut vs,
+                    &mut seg,
+                ) {
                     failed = Some(e);
                     break;
                 }
-                out[o..o + vs.dec.len()].clone_from_slice(&vs.dec);
-                vs.packets = agg;
             }
         }
         vs.restore(&mut self.arena);
+        self.arena.put_vec(seg);
         failed.map_or(Ok(()), Err)
     }
 }

@@ -16,6 +16,7 @@
 
 pub mod arena;
 pub mod breakdown;
+pub mod chaos;
 pub mod dispatch;
 pub mod engine;
 pub mod extensions;
@@ -27,7 +28,7 @@ pub mod secure;
 pub use arena::ScratchArena;
 pub use breakdown::{measure_phases, PhaseBreakdown};
 pub use dispatch::{DispatchError, TypedSlice, TypedVec};
-pub use engine::{ChunkMode, EngineCfg, EngineError};
+pub use engine::{ChunkMode, EngineCfg, EngineError, RetryPolicy};
 pub use extensions::SecureP2p;
 pub use pool::{AlignedBuf, MemoryPool};
 pub use prefetch::{PrefetchJob, Prefetcher};

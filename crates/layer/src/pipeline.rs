@@ -61,7 +61,6 @@ mod tests {
     use hear_core::CommKeys;
     use hear_mpi::{Communicator, NetConfig, SimConfig, Simulator};
     use hear_prf::Backend;
-    use std::time::Instant;
 
     fn secure(comm: &Communicator, seed: u64) -> SecureComm {
         let keys = CommKeys::generate(comm.world(), seed, Backend::AesSoft)
@@ -102,44 +101,45 @@ mod tests {
     }
 
     #[test]
-    fn pipelining_beats_sync_with_network_delay() {
-        // With a real transit delay, the overlapped pipeline must finish
-        // faster than the strictly synchronous block loop. Correctness
-        // (piped == sync) must hold on every attempt; the timing claim only
-        // has to hold on the best of a few attempts, because on a loaded
-        // shared core scheduling noise can cost the pipeline more than the
-        // few-millisecond overlap it wins back.
+    fn pipelining_overlaps_network_transit() {
+        // This used to race wall clocks (best of five attempts); it now
+        // asserts the mechanism itself, deterministically, via the
+        // fabric's per-thread transit-wait accounting. The blocked-sync
+        // loop absorbs every block's transit delay on the rank thread;
+        // the pipelined loop hands those waits to the request progress
+        // threads and keeps the rank thread transit-free — that handoff
+        // IS the overlap Fig. 6 measures.
+        // Alpha must dominate inter-rank compute skew (debug-build masking
+        // plus scheduler noise on a loaded test machine), or the peer's
+        // message can already be past its delivery time when the sync loop
+        // reaches its recv and no transit sleep is ever charged.
         let cfg = SimConfig::default().with_net(NetConfig {
-            alpha: std::time::Duration::from_micros(300),
+            alpha: std::time::Duration::from_millis(5),
             beta_ns_per_byte: 0.5,
         });
-        let n = 64 * 1024usize; // 256 KiB of u32
-        let mut last = Vec::new();
-        for _attempt in 0..5 {
-            let results = Simulator::with_config(2, cfg).run(move |comm| {
-                let data: Vec<u32> = (0..n as u32).collect();
-                // Prefetch off: it would hand the second-measured call a
-                // warm keystream cache and bias the A/B timing.
-                let mut sc = secure(comm, 3).without_prefetch();
-                let t0 = Instant::now();
-                let piped = sc.allreduce_sum_u32_pipelined(&data, 8 * 1024);
-                let t_piped = t0.elapsed();
-                let t0 = Instant::now();
-                let sync = sc.allreduce_sum_u32_blocked_sync(&data, 8 * 1024);
-                let t_sync = t0.elapsed();
-                assert_eq!(piped, sync);
-                (t_piped, t_sync)
-            });
-            // An improvement on any rank in any attempt passes.
-            if results.iter().any(|(p, s)| p < s) {
-                return;
-            }
-            last = results;
+        let n = 16 * 1024usize;
+        let results = Simulator::with_config(2, cfg).run(move |comm| {
+            let data: Vec<u32> = (0..n as u32).collect();
+            let mut sc = secure(comm, 3).without_prefetch();
+            let w0 = hear_mpi::thread_transit_wait_nanos();
+            let piped = sc.allreduce_sum_u32_pipelined(&data, 4 * 1024);
+            let piped_wait = hear_mpi::thread_transit_wait_nanos() - w0;
+            let w1 = hear_mpi::thread_transit_wait_nanos();
+            let sync = sc.allreduce_sum_u32_blocked_sync(&data, 4 * 1024);
+            let sync_wait = hear_mpi::thread_transit_wait_nanos() - w1;
+            assert_eq!(piped, sync);
+            (piped_wait, sync_wait)
+        });
+        for (rank, (piped_wait, sync_wait)) in results.iter().enumerate() {
+            assert_eq!(
+                *piped_wait, 0,
+                "rank {rank}: pipelined rank thread slept in transit"
+            );
+            assert!(
+                *sync_wait > 0,
+                "rank {rank}: sync loop never saw the transit delay"
+            );
         }
-        panic!(
-            "pipelined never beat sync: {:?} vs {:?}",
-            last[0].0, last[0].1
-        );
     }
 
     #[test]

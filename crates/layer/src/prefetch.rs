@@ -143,6 +143,12 @@ fn worker_loop(prf: &PrfCipher, cache: &KeystreamCache, shared: &Shared) {
         };
         let mut slots = std::mem::take(&mut container);
         for plan in job.streams.into_iter().flatten() {
+            // Re-check shutdown between stream fills: teardown (e.g. the
+            // engine aborting mid-epoch and dropping the communicator)
+            // must never wait for a whole multi-MiB plan to generate.
+            if lock_unpoisoned(&shared.state).shutdown {
+                return;
+            }
             let mut slot = spare.pop().unwrap_or_default();
             let n = plan.nblocks.min(MAX_PREFETCH_BLOCKS);
             slot.blocks.resize(n, 0);
@@ -264,5 +270,30 @@ mod tests {
         let prf = PrfCipher::new(Backend::AesSoft, 3).unwrap();
         let pf = Prefetcher::new(prf, KeystreamCache::new());
         drop(pf); // no thread was ever spawned
+    }
+
+    #[test]
+    fn drop_mid_job_returns_promptly() {
+        // Regression: teardown used to check the shutdown flag only
+        // between jobs, so an engine call aborting mid-epoch joined
+        // against the full plan (three maximal stream fills). With the
+        // in-loop check the worker abandons the job at the next stream
+        // boundary.
+        let prf = PrfCipher::new(Backend::AesSoft, 4).unwrap();
+        let mut pf = Prefetcher::new(prf, KeystreamCache::new());
+        let mut streams = [None; MAX_STREAMS];
+        for (i, s) in streams.iter_mut().enumerate() {
+            *s = Some(StreamPlan {
+                base: (i as u128 + 1) << 64,
+                first_block: 0,
+                nblocks: MAX_PREFETCH_BLOCKS,
+            });
+        }
+        pf.submit(PrefetchJob { epoch: 1, streams });
+        let t0 = Instant::now();
+        drop(pf);
+        // Hang guard, not a benchmark: a stuck join would blow far past
+        // this (and the old code could, on a loaded core).
+        assert!(t0.elapsed() < Duration::from_secs(30), "teardown hung");
     }
 }

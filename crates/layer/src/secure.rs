@@ -78,6 +78,10 @@ pub struct SecureComm {
     pub(crate) scratch_u64: Scratch<u64>,
     pub(crate) scratch_u16: Scratch<u16>,
     pub(crate) scratch_u8: Scratch<u8>,
+    /// Sticky INC→host fallback: set when an epoch lost the switch tree
+    /// (`SwitchDown`) and degraded to the ring; later Switch-algo epochs
+    /// then route straight to the ring instead of re-probing dead fabric.
+    pub(crate) degraded: bool,
 }
 
 impl SecureComm {
@@ -105,7 +109,14 @@ impl SecureComm {
             scratch_u64: Scratch::default(),
             scratch_u16: Scratch::default(),
             scratch_u8: Scratch::default(),
+            degraded: false,
         }
+    }
+
+    /// Whether the communicator has fallen back from in-network compute
+    /// to a host algorithm after losing the switch tree.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     pub fn with_algo(mut self, algo: ReduceAlgo) -> Self {
@@ -333,6 +344,7 @@ impl SecureComm {
         out.map_err(|e| match e {
             EngineError::Verification(v) => v,
             EngineError::Hfp(_) => unreachable!("integer schemes are infallible"),
+            EngineError::Comm(c) => panic!("allreduce transport failed: {c}"),
         })
     }
 }

@@ -131,21 +131,40 @@ impl Communicator {
         T: Clone + Send + 'static,
         F: Fn(&T, &T) -> T,
     {
+        self.try_allreduce_owned_tagged(tag, data, op, None)
+            .unwrap_or_else(|e| panic!("recursive-doubling allreduce (tag {tag:#x}) failed: {e}"))
+    }
+
+    /// Fallible recursive-doubling allreduce: every exchange is bounded by
+    /// `deadline` and a dead partner surfaces as a typed error instead of
+    /// a hang. The error leaves `acc` in an unspecified intermediate
+    /// state; retries must restart from the caller's own input.
+    pub fn try_allreduce_owned_tagged<T, F>(
+        &self,
+        tag: u64,
+        data: Vec<T>,
+        op: F,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Vec<T>, crate::CommError>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
         let (world, rank) = (self.world(), self.rank());
         let _s = hear_telemetry::span!("allreduce", elems = data.len(), tag = tag);
         let mut acc: Vec<T> = data;
         if world == 1 || acc.is_empty() {
-            return acc;
+            return Ok(acc);
         }
         let pof2 = world.next_power_of_two() / if world.is_power_of_two() { 1 } else { 2 };
         let rem = world - pof2;
         // Fold the excess ranks into their even neighbours.
         let newrank: isize = if rank < 2 * rem {
             if rank % 2 == 1 {
-                self.send_internal(rank - 1, tag, acc.clone());
+                self.try_send_internal(rank - 1, tag, acc.clone())?;
                 -1
             } else {
-                let other = self.recv_internal::<T>(rank + 1, tag);
+                let other = self.try_recv_internal::<T>(rank + 1, tag, deadline)?;
                 fold_into(&mut acc, &other, &op);
                 (rank / 2) as isize
             }
@@ -159,7 +178,8 @@ impl Communicator {
             let mut mask = 1;
             while mask < pof2 {
                 let partner = to_real(nr ^ mask);
-                let other = self.sendrecv_internal(partner, tag, acc.clone(), partner, tag);
+                let other =
+                    self.try_sendrecv_internal(partner, tag, acc.clone(), partner, tag, deadline)?;
                 fold_into(&mut acc, &other, &op);
                 mask <<= 1;
             }
@@ -167,12 +187,12 @@ impl Communicator {
         // Unfold: even ranks hand the result back to their odd neighbours.
         if rank < 2 * rem {
             if rank % 2 == 0 {
-                self.send_internal(rank + 1, tag, acc.clone());
+                self.try_send_internal(rank + 1, tag, acc.clone())?;
             } else {
-                acc = self.recv_internal::<T>(rank - 1, tag);
+                acc = self.try_recv_internal::<T>(rank - 1, tag, deadline)?;
             }
         }
-        acc
+        Ok(acc)
     }
 
     /// Ring allreduce: reduce-scatter followed by allgather — the
@@ -235,11 +255,31 @@ impl Communicator {
         T: Clone + Send + 'static,
         F: Fn(&T, &T) -> T,
     {
+        self.try_allreduce_ring_owned_tagged_with_seg(tag, data, op, seg, None)
+            .unwrap_or_else(|e| panic!("ring allreduce (tag {tag:#x}) failed: {e}"))
+    }
+
+    /// Fallible ring allreduce: every hop is bounded by `deadline` and a
+    /// dead neighbour surfaces as a typed error instead of a hang. On
+    /// error `acc` is lost mid-schedule; retries restart from the
+    /// caller's own input.
+    pub fn try_allreduce_ring_owned_tagged_with_seg<T, F>(
+        &self,
+        tag: u64,
+        data: Vec<T>,
+        op: F,
+        seg: &mut Vec<T>,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Vec<T>, crate::CommError>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
         let (world, rank) = (self.world(), self.rank());
         let _s = hear_telemetry::span!("allreduce_ring", elems = data.len(), tag = tag);
         let mut acc: Vec<T> = data;
         if world == 1 || acc.is_empty() {
-            return acc;
+            return Ok(acc);
         }
         let n = acc.len();
         // Chunk boundaries (first `n % world` chunks get one extra element).
@@ -266,7 +306,8 @@ impl Communicator {
             let (s, e) = bounds[send_chunk];
             seg.clear();
             seg.extend_from_slice(&acc[s..e]);
-            let incoming = self.sendrecv_internal(next, tag, std::mem::take(seg), prev, tag);
+            let incoming =
+                self.try_sendrecv_internal(next, tag, std::mem::take(seg), prev, tag, deadline)?;
             let (s, e) = bounds[recv_chunk];
             fold_into(&mut acc[s..e], &incoming, &op);
             *seg = incoming;
@@ -278,12 +319,13 @@ impl Communicator {
             let (s, e) = bounds[send_chunk];
             seg.clear();
             seg.extend_from_slice(&acc[s..e]);
-            let incoming = self.sendrecv_internal(next, tag, std::mem::take(seg), prev, tag);
+            let incoming =
+                self.try_sendrecv_internal(next, tag, std::mem::take(seg), prev, tag, deadline)?;
             let (s, e) = bounds[recv_chunk];
             acc[s..e].clone_from_slice(&incoming);
             *seg = incoming;
         }
-        acc
+        Ok(acc)
     }
 
     /// Ring allgather: every rank contributes `data`, everyone returns the

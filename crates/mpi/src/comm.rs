@@ -1,10 +1,12 @@
 //! The communicator: rank identity, typed point-to-point messaging and the
 //! collective tag discipline.
 
-use crate::fabric::Fabric;
+use crate::error::CommError;
+use crate::fabric::{Envelope, Fabric};
 use crate::inc::SwitchTopology;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Tag space partitioning: user tags live below 2^32; collective-internal
 /// tags carry the collective sequence number above that boundary so
@@ -13,6 +15,20 @@ use std::sync::Arc;
 /// communicators sharing endpoints can never match each other's traffic.
 pub(crate) const COLL_TAG_BASE: u64 = 1 << 32;
 pub(crate) const CONTEXT_SHIFT: u32 = 48;
+
+/// Tag distance between consecutive collective sequence numbers: each
+/// collective owns a block of 256 tags.
+pub const COLL_BLOCK_TAG_STRIDE: u64 = 1 << 8;
+
+/// Tag distance between successive *attempts* of the same logical
+/// collective: a retry re-runs the schedule on fresh tags so stale wires
+/// from the failed attempt can never be matched. Each attempt slot still
+/// leaves `tag + 1` free for the INC multicast leg.
+pub const ATTEMPT_TAG_STRIDE: u64 = 8;
+
+/// Attempts per collective block: `MAX_TAG_ATTEMPTS × ATTEMPT_TAG_STRIDE`
+/// must stay below [`COLL_BLOCK_TAG_STRIDE`].
+pub const MAX_TAG_ATTEMPTS: u64 = COLL_BLOCK_TAG_STRIDE / ATTEMPT_TAG_STRIDE;
 
 /// A handle to one rank of a simulated communicator. Cheap to clone; clones
 /// share the rank's mailbox and collective sequence (a clone is what a
@@ -124,9 +140,17 @@ impl Communicator {
 
     /// Launch the per-collective switch service tasks (one thread per
     /// switch node). Exactly one rank does the spawning so each collective
-    /// gets one service; rank 0 is the deterministic choice.
-    pub(crate) fn spawn_switch_service<T, F>(&self, topo: &Arc<SwitchTopology>, tag: u64, op: F)
-    where
+    /// gets one service; rank 0 is the deterministic choice. The deadline
+    /// bounds each node's waits so a broken tree sheds its service
+    /// threads instead of leaking them; a service that errors out simply
+    /// exits (the ranks below see the failure on their own receives).
+    pub(crate) fn spawn_switch_service<T, F>(
+        &self,
+        topo: &Arc<SwitchTopology>,
+        tag: u64,
+        op: F,
+        deadline: Option<std::time::Instant>,
+    ) where
         T: Clone + Send + 'static,
         F: Fn(&T, &T) -> T + Send + Sync + Clone + 'static,
     {
@@ -142,7 +166,9 @@ impl Communicator {
                 // Switch nodes are infrastructure, not ranks: record into
                 // the spawning rank's registry but under a rankless lane.
                 let _tele = tele.map(|(reg, _)| reg.install(None));
-                crate::inc::switch_node_service::<T, F>(&fabric, &topo, node, tag, &op);
+                let _ = crate::inc::switch_node_service::<T, F>(
+                    &fabric, &topo, node, tag, &op, deadline,
+                );
             });
         }
     }
@@ -159,8 +185,17 @@ impl Communicator {
     /// call collectives in the same program order, so the per-rank counters
     /// stay aligned without any coordination.
     pub(crate) fn next_coll_tag(&self) -> u64 {
-        hear_telemetry::incr(hear_telemetry::Metric::Collectives);
-        COLL_TAG_BASE + (self.coll_seq.fetch_add(1, Ordering::Relaxed) << 8)
+        self.reserve_coll_tags(1)
+    }
+
+    /// Reserve `n` consecutive collective tag blocks in one step and
+    /// return the first. The engine reserves a whole epoch's blocks up
+    /// front so per-block retries (which advance tags *within* a block's
+    /// attempt slots) can never desynchronise the shared sequence across
+    /// ranks that observe different failures.
+    pub fn reserve_coll_tags(&self, n: u64) -> u64 {
+        hear_telemetry::add(hear_telemetry::Metric::Collectives, n);
+        COLL_TAG_BASE + (self.coll_seq.fetch_add(n, Ordering::Relaxed) << 8)
     }
 
     /// Send a typed vector to `dst` with a user tag (must be < 2^32).
@@ -182,19 +217,90 @@ impl Communicator {
         );
     }
 
+    /// Like [`Communicator::send`] but reports a dead destination (or a
+    /// dead caller) as [`CommError::PeerDead`] instead of silently
+    /// dropping the message on the fabric floor.
+    pub fn send_checked<T: Send + 'static>(
+        &self,
+        dst: usize,
+        tag: u64,
+        data: Vec<T>,
+    ) -> Result<(), CommError> {
+        assert!(tag < COLL_TAG_BASE, "user tags must be below 2^32");
+        self.try_send_internal(dst, tag, data)
+    }
+
+    pub(crate) fn try_send_internal<T: Send + 'static>(
+        &self,
+        dst: usize,
+        tag: u64,
+        data: Vec<T>,
+    ) -> Result<(), CommError> {
+        if self.fabric.is_dead(self.endpoint(dst)) {
+            return Err(CommError::PeerDead { peer: dst });
+        }
+        if self.fabric.is_dead(self.endpoint(self.rank)) {
+            return Err(CommError::PeerDead { peer: self.rank });
+        }
+        self.send_internal(dst, tag, data);
+        Ok(())
+    }
+
+    /// Downcast a received envelope, turning a tag collision into a
+    /// diagnosable [`CommError::TypeMismatch`] instead of a panic.
+    fn open_payload<T: Send + 'static>(
+        env: Envelope,
+        src: usize,
+        tag: u64,
+    ) -> Result<Vec<T>, CommError> {
+        env.payload
+            .downcast::<Vec<T>>()
+            .map(|b| *b)
+            .map_err(|_| CommError::TypeMismatch {
+                source: src,
+                tag,
+                expected: std::any::type_name::<Vec<T>>(),
+            })
+    }
+
     /// Blocking typed receive matching `(src, tag)`.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
         assert!(tag < COLL_TAG_BASE, "user tags must be below 2^32");
         self.recv_internal(src, tag)
     }
 
+    /// Deadline-bounded typed receive: returns [`CommError::Timeout`]
+    /// when nothing matching `(src, tag)` arrives within `timeout`, and
+    /// [`CommError::PeerDead`] if `src` dies while we wait.
+    pub fn recv_timeout<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<T>, CommError> {
+        assert!(tag < COLL_TAG_BASE, "user tags must be below 2^32");
+        self.try_recv_internal(src, tag, Some(Instant::now() + timeout))
+    }
+
     pub(crate) fn recv_internal<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        self.try_recv_internal(src, tag, None)
+            .unwrap_or_else(|e| panic!("recv from rank {src} tag {tag:#x} failed: {e}"))
+    }
+
+    pub(crate) fn try_recv_internal<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<T>, CommError> {
         let _s = hear_telemetry::span!("recv", src = src, tag = tag);
-        let env = self.fabric.mailboxes[self.endpoint(self.rank)]
-            .take(self.endpoint(src), self.tag_with_context(tag));
-        *env.payload
-            .downcast::<Vec<T>>()
-            .expect("type mismatch between send and recv")
+        let env = self.fabric.recv_on(
+            self.endpoint(self.rank),
+            self.endpoint(src),
+            self.tag_with_context(tag),
+            deadline,
+        )?;
+        Self::open_payload(env, src, tag)
     }
 
     /// Combined send+recv (deadlock-free pairwise exchange).
@@ -220,6 +326,19 @@ impl Communicator {
     ) -> Vec<T> {
         self.send_internal(dst, send_tag, data);
         self.recv_internal(src, recv_tag)
+    }
+
+    pub(crate) fn try_sendrecv_internal<T: Send + 'static>(
+        &self,
+        dst: usize,
+        send_tag: u64,
+        data: Vec<T>,
+        src: usize,
+        recv_tag: u64,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<T>, CommError> {
+        self.try_send_internal(dst, send_tag, data)?;
+        self.try_recv_internal(src, recv_tag, deadline)
     }
 }
 
@@ -282,6 +401,41 @@ mod tests {
         Simulator::new(1).run(|comm| {
             comm.send(0, 1 << 33, vec![0u8]);
         });
+    }
+
+    #[test]
+    fn tag_collision_is_a_typed_mismatch_not_a_panic() {
+        use std::time::Duration;
+        let results = Simulator::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, vec![1u64]);
+                String::new()
+            } else {
+                comm.recv_timeout::<u32>(0, 5, Duration::from_secs(1))
+                    .expect_err("u64 payload must not downcast to u32")
+                    .to_string()
+            }
+        });
+        assert!(
+            results[1].contains("Vec<u32>") && results[1].contains("source=0"),
+            "{}",
+            results[1]
+        );
+    }
+
+    #[test]
+    fn recv_timeout_expires_with_typed_error() {
+        use crate::error::CommError;
+        use std::time::Duration;
+        let results = Simulator::new(2).run(|comm| {
+            if comm.rank() == 1 {
+                comm.recv_timeout::<u8>(0, 9, Duration::from_millis(20))
+                    .err()
+            } else {
+                None
+            }
+        });
+        assert!(matches!(results[1], Some(CommError::Timeout { .. })));
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! The communication-failure taxonomy.
+//!
+//! Every fallible fabric operation returns a [`CommError`] instead of
+//! blocking forever or panicking: deadline expiry, a peer that died
+//! mid-collective, a tag collision delivering the wrong payload type, or
+//! a switch node of the INC tree going dark. The variants are `Copy` and
+//! carry enough identity (endpoint, tag, wait time) to diagnose a failed
+//! schedule from the error alone.
+
+use std::time::Duration;
+
+/// Why a fabric operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommError {
+    /// No matching message arrived before the deadline. The only
+    /// *retryable* failure: the peer may merely be slow.
+    Timeout {
+        /// Endpoint the receive was matching on.
+        source: usize,
+        /// Full wire tag the receive was matching on.
+        tag: u64,
+        /// How long the receiver actually waited.
+        waited: Duration,
+    },
+    /// The peer endpoint is dead (killed by a fault plan, or its thread
+    /// panicked). `peer` may be the caller's own endpoint when the caller
+    /// itself was killed mid-operation.
+    PeerDead { peer: usize },
+    /// A message matched `(source, tag)` but carried a different payload
+    /// type — a tag collision between two protocols.
+    TypeMismatch {
+        source: usize,
+        tag: u64,
+        /// `std::any::type_name` of what the receiver expected.
+        expected: &'static str,
+    },
+    /// A switch node of the INC aggregation tree is unreachable; the
+    /// engine can fall back to a host-based algorithm.
+    SwitchDown {
+        /// Switch node id within the topology (not the fabric endpoint).
+        node: usize,
+    },
+}
+
+impl CommError {
+    /// True for failures worth retrying with the same transport
+    /// (currently only [`CommError::Timeout`]): dead peers stay dead, a
+    /// type mismatch is a protocol bug, and a downed switch needs a
+    /// different transport, not a retry.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CommError::Timeout { .. })
+    }
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout {
+                source,
+                tag,
+                waited,
+            } => write!(
+                f,
+                "timed out after {waited:?} waiting for (source={source}, tag={tag:#x})"
+            ),
+            CommError::PeerDead { peer } => write!(f, "peer endpoint {peer} is dead"),
+            CommError::TypeMismatch {
+                source,
+                tag,
+                expected,
+            } => write!(
+                f,
+                "payload from (source={source}, tag={tag:#x}) is not the expected {expected}"
+            ),
+            CommError::SwitchDown { node } => {
+                write!(f, "INC switch node {node} is down")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_timeout_is_retryable() {
+        assert!(CommError::Timeout {
+            source: 0,
+            tag: 1,
+            waited: Duration::from_millis(5)
+        }
+        .is_retryable());
+        assert!(!CommError::PeerDead { peer: 2 }.is_retryable());
+        assert!(!CommError::TypeMismatch {
+            source: 0,
+            tag: 1,
+            expected: "alloc::vec::Vec<u32>"
+        }
+        .is_retryable());
+        assert!(!CommError::SwitchDown { node: 0 }.is_retryable());
+    }
+
+    #[test]
+    fn display_carries_identity() {
+        let e = CommError::Timeout {
+            source: 3,
+            tag: 0x100,
+            waited: Duration::from_millis(7),
+        };
+        let s = e.to_string();
+        assert!(s.contains("source=3") && s.contains("0x100"), "{s}");
+        let s = CommError::TypeMismatch {
+            source: 1,
+            tag: 9,
+            expected: "alloc::vec::Vec<u64>",
+        }
+        .to_string();
+        assert!(s.contains("Vec<u64>"), "{s}");
+    }
+}

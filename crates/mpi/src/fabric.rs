@@ -1,5 +1,6 @@
 //! The message fabric: per-rank mailboxes with MPI-style `(source, tag)`
-//! matching and an optional transit-delay model.
+//! matching, an optional transit-delay model, and deterministic fault
+//! injection.
 //!
 //! Senders deposit messages directly into the destination mailbox and
 //! continue (an eager/RDMA-like model); receivers block on a condition
@@ -8,17 +9,56 @@
 //! receiver that arrives early sleeps out the remaining transit time —
 //! that is what gives communication a real cost that pipelining (Fig. 6)
 //! can hide.
+//!
+//! Failure semantics: every receive goes through [`Fabric::recv_on`],
+//! which takes an optional deadline and returns a typed
+//! [`CommError`](crate::CommError) instead of blocking forever. Endpoints
+//! can die — by a [`FaultPlan`] kill trigger or because their thread
+//! panicked — and `recv_on` reports `PeerDead` to anyone waiting on them.
+//! An armed fault plan additionally drops, delays, duplicates, or
+//! corrupts messages inside [`Fabric::send_boxed`], deterministically in
+//! the message identity.
 
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+use crate::error::CommError;
+use crate::fault::{FaultAction, FaultPlan, FaultState};
 
 /// Lock ignoring poisoning: the fabric must stay usable when a sibling
 /// rank's thread panics mid-send (failure-injection tests rely on this,
 /// and it matches the `parking_lot` semantics this module started with).
 fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Upper bound on one condvar park: bounded so a receiver re-checks the
+/// peer's death flag and its deadline even if a wakeup is missed.
+const WAIT_SLICE: Duration = Duration::from_millis(1);
+
+thread_local! {
+    static TRANSIT_WAIT_NANOS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Nanoseconds *this thread* has spent sleeping out modeled transit time
+/// (the α–β delay between a message's deposit and its `available_at`).
+///
+/// Unlike the global `hear_transit_wait_nanos_total` counter this is
+/// per-thread, which is what makes pipelining measurable without wall
+/// clocks: a main thread whose receives are serviced by progress threads
+/// accumulates zero transit wait, while a blocked-sync main thread eats
+/// the full α per block.
+pub fn thread_transit_wait_nanos() -> u64 {
+    TRANSIT_WAIT_NANOS.with(|c| c.get())
+}
+
+fn record_transit_wait(wait: Duration) {
+    let n = wait.as_nanos() as u64;
+    TRANSIT_WAIT_NANOS.with(|c| c.set(c.get() + n));
+    hear_telemetry::add(hear_telemetry::Metric::TransitWaitNanos, n);
 }
 
 /// Transit-cost model: `delay = alpha + beta_ns_per_byte × bytes`.
@@ -62,6 +102,14 @@ pub(crate) struct Envelope {
     pub available_at: Instant,
 }
 
+impl std::fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Envelope")
+            .field("available_at", &self.available_at)
+            .finish_non_exhaustive()
+    }
+}
+
 #[derive(Default)]
 struct MailboxState {
     // (source, tag) → FIFO of envelopes: MPI's non-overtaking rule per
@@ -72,6 +120,13 @@ struct MailboxState {
 impl MailboxState {
     fn pop_match(&mut self, source: usize, tag: u64) -> Option<Envelope> {
         self.queues.get_mut(&(source, tag))?.pop_front()
+    }
+
+    fn push_front(&mut self, source: usize, tag: u64, env: Envelope) {
+        self.queues
+            .entry((source, tag))
+            .or_default()
+            .push_front(env);
     }
 }
 
@@ -92,12 +147,9 @@ impl Mailbox {
     /// Block until a message matching `(source, tag)` is present, then take
     /// it, sleeping out any remaining modeled transit time.
     ///
-    /// Arrival is polled with a bounded spin (yielding the core each miss)
-    /// before parking on the condition variable: `parking_lot` spun
-    /// adaptively before sleeping, and the pipelined allreduce path counts
-    /// on that fast wake for back-to-back block handoffs — parking
-    /// immediately adds a futex round-trip to every block and erases the
-    /// overlap win on small blocks.
+    /// Production receives go through [`Fabric::recv_on`] (deadline- and
+    /// death-aware); this infallible form survives for mailbox unit tests.
+    #[cfg(test)]
     pub fn take(&self, source: usize, tag: u64) -> Envelope {
         let mut early = None;
         for _ in 0..128 {
@@ -107,11 +159,7 @@ impl Mailbox {
             }
             std::thread::yield_now();
         }
-        if early.is_some() {
-            hear_telemetry::incr(hear_telemetry::Metric::MailboxSpinHits);
-        }
         let env = early.unwrap_or_else(|| {
-            hear_telemetry::incr(hear_telemetry::Metric::MailboxParks);
             let mut st = lock_unpoisoned(&self.state);
             loop {
                 if let Some(env) = st.pop_match(source, tag) {
@@ -143,7 +191,8 @@ impl Mailbox {
 }
 
 /// The shared fabric: one mailbox per endpoint (ranks first, then any
-/// in-network switch nodes) and the delay model.
+/// in-network switch nodes), the delay model, per-endpoint death flags,
+/// and an optional fault plan.
 ///
 /// Bandwidth is serialized per directed link: a message starts its transit
 /// only after the previous message on the same `(from, to)` link has fully
@@ -153,15 +202,54 @@ pub(crate) struct Fabric {
     pub mailboxes: Vec<Mailbox>,
     pub net: NetConfig,
     link_busy_until: Mutex<HashMap<(usize, usize), Instant>>,
+    dead: Vec<AtomicBool>,
+    faults: Option<(FaultPlan, FaultState)>,
 }
 
 impl Fabric {
+    #[cfg(test)]
     pub fn new(endpoints: usize, net: NetConfig) -> Self {
+        Fabric::with_faults(endpoints, net, None)
+    }
+
+    pub fn with_faults(endpoints: usize, net: NetConfig, faults: Option<FaultPlan>) -> Self {
+        let dead: Vec<AtomicBool> = (0..endpoints).map(|_| AtomicBool::new(false)).collect();
+        if let Some(plan) = &faults {
+            for ep in plan.dead_on_arrival() {
+                dead[ep].store(true, Ordering::SeqCst);
+            }
+        }
         Fabric {
             mailboxes: (0..endpoints).map(|_| Mailbox::default()).collect(),
             net,
             link_busy_until: Mutex::new(HashMap::new()),
+            dead,
+            faults: faults.map(|p| {
+                let st = FaultState::new(endpoints);
+                (p, st)
+            }),
         }
+    }
+
+    pub fn is_dead(&self, endpoint: usize) -> bool {
+        self.dead[endpoint].load(Ordering::SeqCst)
+    }
+
+    /// Mark `endpoint` dead and wake every parked receiver so waits on it
+    /// resolve to `PeerDead` instead of hanging. Idempotent. Used both by
+    /// fault-plan kill triggers and by the simulator when a rank thread
+    /// panics.
+    pub fn kill(&self, endpoint: usize) {
+        if !self.dead[endpoint].swap(true, Ordering::SeqCst) {
+            for mb in &self.mailboxes {
+                mb.signal.notify_all();
+            }
+        }
+    }
+
+    fn kill_injected(&self, endpoint: usize) {
+        hear_telemetry::incr(hear_telemetry::Metric::FaultKill);
+        self.kill(endpoint);
     }
 
     pub fn send_boxed(
@@ -169,15 +257,70 @@ impl Fabric {
         from: usize,
         to: usize,
         tag: u64,
+        mut payload: Box<dyn Any + Send>,
+        bytes: usize,
+    ) {
+        if self.is_dead(from) {
+            return; // a dead endpoint emits nothing
+        }
+        let Some((plan, state)) = &self.faults else {
+            self.deliver(from, to, tag, payload, bytes, Duration::ZERO);
+            return;
+        };
+        // The send ordinal is the victim's own outbound count, so kill
+        // triggers are independent of cross-thread scheduling. The
+        // triggering send itself still completes ("dies after N sends").
+        let ordinal = state.count_send(from);
+        let kill_after = plan.kill_triggered(from, ordinal);
+        if !self.is_dead(to) {
+            let link_seq = state.next_link_seq(from, to);
+            match plan.action_for(from, to, tag, link_seq) {
+                FaultAction::Deliver => {
+                    self.deliver(from, to, tag, payload, bytes, Duration::ZERO);
+                }
+                FaultAction::Drop => {
+                    hear_telemetry::incr(hear_telemetry::Metric::FaultDrop);
+                }
+                FaultAction::Delay(by) => {
+                    hear_telemetry::incr(hear_telemetry::Metric::FaultDelay);
+                    self.deliver(from, to, tag, payload, bytes, by);
+                }
+                FaultAction::Duplicate => {
+                    if let Some(copy) = plan.clone_payload(payload.as_ref()) {
+                        hear_telemetry::incr(hear_telemetry::Metric::FaultDuplicate);
+                        self.deliver(from, to, tag, copy, bytes, Duration::ZERO);
+                    }
+                    self.deliver(from, to, tag, payload, bytes, Duration::ZERO);
+                }
+                FaultAction::Corrupt => {
+                    let word = plan.corruption_word(from, to, tag, link_seq);
+                    if plan.corrupt_payload(payload.as_mut(), word) {
+                        hear_telemetry::incr(hear_telemetry::Metric::FaultCorrupt);
+                    }
+                    self.deliver(from, to, tag, payload, bytes, Duration::ZERO);
+                }
+            }
+        }
+        if kill_after {
+            self.kill_injected(from);
+        }
+    }
+
+    fn deliver(
+        &self,
+        from: usize,
+        to: usize,
+        tag: u64,
         payload: Box<dyn Any + Send>,
         bytes: usize,
+        extra_delay: Duration,
     ) {
         hear_telemetry::incr(hear_telemetry::Metric::FabricMsgs);
         hear_telemetry::add(hear_telemetry::Metric::FabricBytes, bytes as u64);
         hear_telemetry::observe(hear_telemetry::Hist::FabricMsgBytes, bytes as u64);
         let now = Instant::now();
         let available_at = if self.net.is_instant() {
-            now
+            now + extra_delay
         } else {
             let serialization =
                 Duration::from_nanos((self.net.beta_ns_per_byte * bytes as f64) as u64);
@@ -186,7 +329,7 @@ impl Fabric {
             let start = (*busy).max(now);
             let done = start + serialization;
             *busy = done;
-            done + self.net.alpha
+            done + self.net.alpha + extra_delay
         };
         self.mailboxes[to].deposit(
             from,
@@ -196,6 +339,95 @@ impl Fabric {
                 available_at,
             },
         );
+    }
+
+    /// Receive on endpoint `me` a message matching `(source, tag)`,
+    /// optionally bounded by a deadline.
+    ///
+    /// Check order on every pass: matching message → `source` dead →
+    /// `me` dead → deadline expired. Arrival is polled with a bounded
+    /// spin (yielding the core each miss) before parking, as in the
+    /// original infallible `take`: the pipelined allreduce path counts
+    /// on that fast wake for back-to-back block handoffs. Parks are
+    /// bounded `wait_timeout` slices so a missed wakeup (or a kill
+    /// racing the dead-flag check) delays the verdict by at most
+    /// [`WAIT_SLICE`].
+    ///
+    /// A message still in modeled transit past the deadline is pushed
+    /// back to the *front* of its queue (preserving FIFO) and reported
+    /// as `Timeout` — the message is late, not lost.
+    pub fn recv_on(
+        &self,
+        me: usize,
+        source: usize,
+        tag: u64,
+        deadline: Option<Instant>,
+    ) -> Result<Envelope, CommError> {
+        let started = Instant::now();
+        let mb = &self.mailboxes[me];
+        let mut early = None;
+        for _ in 0..128 {
+            if let Some(env) = lock_unpoisoned(&mb.state).pop_match(source, tag) {
+                early = Some(env);
+                break;
+            }
+            std::thread::yield_now();
+        }
+        if early.is_some() {
+            hear_telemetry::incr(hear_telemetry::Metric::MailboxSpinHits);
+        }
+        let env = match early {
+            Some(env) => env,
+            None => {
+                hear_telemetry::incr(hear_telemetry::Metric::MailboxParks);
+                let mut st = lock_unpoisoned(&mb.state);
+                loop {
+                    if let Some(env) = st.pop_match(source, tag) {
+                        break env;
+                    }
+                    if self.is_dead(source) {
+                        return Err(CommError::PeerDead { peer: source });
+                    }
+                    if self.is_dead(me) {
+                        return Err(CommError::PeerDead { peer: me });
+                    }
+                    let now = Instant::now();
+                    let slice = match deadline {
+                        Some(dl) if now >= dl => {
+                            return Err(CommError::Timeout {
+                                source,
+                                tag,
+                                waited: started.elapsed(),
+                            });
+                        }
+                        Some(dl) => (dl - now).min(WAIT_SLICE),
+                        None => WAIT_SLICE,
+                    };
+                    let (guard, _timeout) = mb
+                        .signal
+                        .wait_timeout(st, slice)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    st = guard;
+                }
+            }
+        };
+        let now = Instant::now();
+        if env.available_at > now {
+            if let Some(dl) = deadline {
+                if env.available_at > dl {
+                    lock_unpoisoned(&mb.state).push_front(source, tag, env);
+                    return Err(CommError::Timeout {
+                        source,
+                        tag,
+                        waited: started.elapsed(),
+                    });
+                }
+            }
+            let wait = env.available_at - now;
+            record_transit_wait(wait);
+            std::thread::sleep(wait);
+        }
+        Ok(env)
     }
 }
 
@@ -306,5 +538,156 @@ mod tests {
         assert_eq!(net.delay_for(500), Duration::from_nanos(2000));
         assert!(NetConfig::instant().is_instant());
         assert!(!NetConfig::aries_per_rank().is_instant());
+    }
+
+    #[test]
+    fn recv_on_times_out_with_typed_error() {
+        let fab = Fabric::new(2, NetConfig::instant());
+        let deadline = Instant::now() + Duration::from_millis(10);
+        let err = fab.recv_on(1, 0, 7, Some(deadline)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CommError::Timeout {
+                    source: 0,
+                    tag: 7,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn recv_on_reports_dead_peer_even_mid_wait() {
+        let fab = std::sync::Arc::new(Fabric::new(2, NetConfig::instant()));
+        let fab2 = fab.clone();
+        let h = std::thread::spawn(move || fab2.recv_on(1, 0, 0, None));
+        std::thread::sleep(Duration::from_millis(10));
+        fab.kill(0);
+        let err = h.join().unwrap().unwrap_err();
+        assert_eq!(err, CommError::PeerDead { peer: 0 });
+    }
+
+    #[test]
+    fn recv_on_delivers_queued_message_from_dead_peer() {
+        // A message already on the wire when the sender dies still arrives.
+        let fab = Fabric::new(2, NetConfig::instant());
+        fab.send_boxed(0, 1, 3, Box::new(5u8), 1);
+        fab.kill(0);
+        let env = fab.recv_on(1, 0, 3, None).unwrap();
+        assert_eq!(*env.payload.downcast::<u8>().unwrap(), 5);
+    }
+
+    #[test]
+    fn in_transit_past_deadline_is_late_not_lost() {
+        let net = NetConfig {
+            alpha: Duration::from_millis(50),
+            beta_ns_per_byte: 0.0,
+        };
+        let fab = Fabric::new(2, net);
+        fab.send_boxed(0, 1, 0, Box::new(9u8), 1);
+        let err = fab
+            .recv_on(1, 0, 0, Some(Instant::now() + Duration::from_millis(5)))
+            .unwrap_err();
+        assert!(matches!(err, CommError::Timeout { .. }));
+        // Without a deadline the same message is delivered intact.
+        let env = fab.recv_on(1, 0, 0, None).unwrap();
+        assert_eq!(*env.payload.downcast::<u8>().unwrap(), 9);
+    }
+
+    #[test]
+    fn transit_wait_is_accounted_per_thread() {
+        let net = NetConfig {
+            alpha: Duration::from_millis(20),
+            beta_ns_per_byte: 0.0,
+        };
+        let fab = std::sync::Arc::new(Fabric::new(2, net));
+        fab.send_boxed(0, 1, 0, Box::new(1u8), 1);
+        let fab2 = fab.clone();
+        let waited_in_thread = std::thread::spawn(move || {
+            let before = thread_transit_wait_nanos();
+            fab2.recv_on(1, 0, 0, None).unwrap();
+            thread_transit_wait_nanos() - before
+        })
+        .join()
+        .unwrap();
+        assert!(
+            waited_in_thread >= 10_000_000,
+            "waited {waited_in_thread}ns"
+        );
+    }
+
+    #[test]
+    fn plan_drop_suppresses_delivery() {
+        let plan = FaultPlan::seeded(1).drop_one_in(1); // drop everything
+        let fab = Fabric::with_faults(2, NetConfig::instant(), Some(plan));
+        fab.send_boxed(0, 1, 0, Box::new(vec![1u32]), 4);
+        let err = fab
+            .recv_on(1, 0, 0, Some(Instant::now() + Duration::from_millis(10)))
+            .unwrap_err();
+        assert!(matches!(err, CommError::Timeout { .. }));
+    }
+
+    #[test]
+    fn plan_duplicate_delivers_twice() {
+        let plan = FaultPlan::seeded(1).duplicate_one_in(1);
+        let fab = Fabric::with_faults(2, NetConfig::instant(), Some(plan));
+        fab.send_boxed(0, 1, 0, Box::new(vec![7u32]), 4);
+        for _ in 0..2 {
+            let env = fab.recv_on(1, 0, 0, None).unwrap();
+            assert_eq!(*env.payload.downcast::<Vec<u32>>().unwrap(), vec![7]);
+        }
+    }
+
+    #[test]
+    fn plan_corrupt_flips_payload() {
+        let plan = FaultPlan::seeded(1).corrupt_one_in(1);
+        let fab = Fabric::with_faults(2, NetConfig::instant(), Some(plan));
+        fab.send_boxed(0, 1, 0, Box::new(vec![0u32; 4]), 16);
+        let env = fab.recv_on(1, 0, 0, None).unwrap();
+        let got = env.payload.downcast::<Vec<u32>>().unwrap();
+        let flipped: u32 = got.iter().map(|w| w.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit flipped: {got:?}");
+    }
+
+    #[test]
+    fn kill_after_n_sends_completes_the_nth() {
+        let plan = FaultPlan::seeded(1).kill_endpoint_after(0, 2);
+        let fab = Fabric::with_faults(2, NetConfig::instant(), Some(plan));
+        fab.send_boxed(0, 1, 0, Box::new(1u8), 1);
+        fab.send_boxed(0, 1, 0, Box::new(2u8), 1); // completes, then kills 0
+        fab.send_boxed(0, 1, 0, Box::new(3u8), 1); // from a corpse: dropped
+        assert_eq!(
+            *fab.recv_on(1, 0, 0, None)
+                .unwrap()
+                .payload
+                .downcast::<u8>()
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            *fab.recv_on(1, 0, 0, None)
+                .unwrap()
+                .payload
+                .downcast::<u8>()
+                .unwrap(),
+            2
+        );
+        assert!(fab.is_dead(0));
+        let err = fab
+            .recv_on(1, 0, 0, Some(Instant::now() + Duration::from_millis(5)))
+            .unwrap_err();
+        assert_eq!(err, CommError::PeerDead { peer: 0 });
+    }
+
+    #[test]
+    fn dead_on_arrival_endpoint_never_speaks() {
+        let plan = FaultPlan::seeded(1).kill_endpoint_after(0, 0);
+        let fab = Fabric::with_faults(2, NetConfig::instant(), Some(plan));
+        assert!(fab.is_dead(0));
+        fab.send_boxed(0, 1, 0, Box::new(1u8), 1);
+        let err = fab.recv_on(1, 0, 0, None).unwrap_err();
+        assert_eq!(err, CommError::PeerDead { peer: 0 });
     }
 }

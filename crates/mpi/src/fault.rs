@@ -1,0 +1,380 @@
+//! Deterministic fault injection for the simulated fabric.
+//!
+//! A [`FaultPlan`] is a seeded description of what can go wrong: messages
+//! dropped, delayed, duplicated, or bit-flipped; endpoints killed after
+//! their N-th outbound send. Every per-message decision is derived from a
+//! [`TestRng`](hear_testkit::TestRng) seeded by the *identity* of the
+//! message — `(plan seed, from, to, tag, per-link sequence number)` — so
+//! the same schedule hits the same faults regardless of how the OS
+//! interleaves rank threads. Kills are keyed on the victim endpoint's own
+//! outbound send count, which is likewise schedule-independent.
+//!
+//! Payloads cross the fabric as `Box<dyn Any + Send>`, which can neither
+//! be cloned nor inspected generically, so mutation ("corrupt") and
+//! duplication each go through registered hooks:
+//!
+//! * a [`Corruptor`] flips bits in place and reports whether it handled
+//!   the concrete payload type;
+//! * a [`Cloner`] returns a boxed deep copy, or `None` if the type is
+//!   foreign to it.
+//!
+//! Hooks for the primitive `Vec<uN>` payloads used by the collectives are
+//! registered automatically; higher layers (e.g. the HoMAC packet types
+//! in `hear-layer`) append their own.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hear_testkit::TestRng;
+
+/// In-place payload mutator. Receives the payload and a per-message
+/// random word; returns `true` if it recognised the concrete type and
+/// applied a corruption.
+pub type Corruptor = Arc<dyn Fn(&mut dyn Any, u64) -> bool + Send + Sync>;
+
+/// Payload deep-copier for the duplicate fault. Returns `None` when the
+/// concrete type is not one it knows how to clone.
+pub type Cloner = Arc<dyn Fn(&(dyn Any + Send)) -> Option<Box<dyn Any + Send>> + Send + Sync>;
+
+/// What the plan decided to do with one message (before kills are
+/// considered). `Deliver` means "no fault sampled".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    Deliver,
+    Drop,
+    Delay(Duration),
+    Duplicate,
+    Corrupt,
+}
+
+/// A seeded, declarative description of injected faults.
+///
+/// All probabilities are expressed as "one in `n`" rates; `0` disables
+/// the fault. The plan is immutable once handed to the fabric — per-run
+/// mutable state (send counters, link sequence numbers) lives in
+/// [`FaultState`].
+#[derive(Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_one_in: u64,
+    delay_one_in: u64,
+    delay_by: Duration,
+    duplicate_one_in: u64,
+    corrupt_one_in: u64,
+    /// `(endpoint, after_sends)`: the endpoint dies once it has completed
+    /// `after_sends` outbound sends (`0` = dead from the start).
+    kills: Vec<(usize, u64)>,
+    corruptors: Vec<Corruptor>,
+    cloners: Vec<Cloner>,
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("seed", &self.seed)
+            .field("drop_one_in", &self.drop_one_in)
+            .field("delay_one_in", &self.delay_one_in)
+            .field("delay_by", &self.delay_by)
+            .field("duplicate_one_in", &self.duplicate_one_in)
+            .field("corrupt_one_in", &self.corrupt_one_in)
+            .field("kills", &self.kills)
+            .field("corruptors", &self.corruptors.len())
+            .field("cloners", &self.cloners.len())
+            .finish()
+    }
+}
+
+impl FaultPlan {
+    /// A plan with the given seed, no faults armed, and the built-in
+    /// primitive-`Vec` corruptors/cloners registered.
+    pub fn seeded(seed: u64) -> Self {
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        };
+        register_primitive_hooks(&mut plan);
+        plan
+    }
+
+    /// Drop one in `n` messages (0 disables).
+    pub fn drop_one_in(mut self, n: u64) -> Self {
+        self.drop_one_in = n;
+        self
+    }
+
+    /// Delay one in `n` messages by `by` on top of the α–β model.
+    pub fn delay_one_in(mut self, n: u64, by: Duration) -> Self {
+        self.delay_one_in = n;
+        self.delay_by = by;
+        self
+    }
+
+    /// Deliver one in `n` messages twice.
+    pub fn duplicate_one_in(mut self, n: u64) -> Self {
+        self.duplicate_one_in = n;
+        self
+    }
+
+    /// Bit-flip one in `n` messages (via the registered corruptors).
+    pub fn corrupt_one_in(mut self, n: u64) -> Self {
+        self.corrupt_one_in = n;
+        self
+    }
+
+    /// Kill `endpoint` after it has completed `after_sends` outbound
+    /// sends. `0` means the endpoint is dead from fabric construction.
+    pub fn kill_endpoint_after(mut self, endpoint: usize, after_sends: u64) -> Self {
+        self.kills.push((endpoint, after_sends));
+        self
+    }
+
+    /// Register an additional payload corruptor (tried before built-ins).
+    pub fn with_corruptor(mut self, c: Corruptor) -> Self {
+        self.corruptors.insert(0, c);
+        self
+    }
+
+    /// Register an additional payload cloner (tried before built-ins).
+    pub fn with_cloner(mut self, c: Cloner) -> Self {
+        self.cloners.insert(0, c);
+        self
+    }
+
+    /// Endpoints scheduled to die immediately (before any send).
+    pub(crate) fn dead_on_arrival(&self) -> impl Iterator<Item = usize> + '_ {
+        self.kills
+            .iter()
+            .filter(|(_, after)| *after == 0)
+            .map(|(ep, _)| *ep)
+    }
+
+    /// If `endpoint` finishing its `sends_done`-th send triggers a kill,
+    /// returns true.
+    pub(crate) fn kill_triggered(&self, endpoint: usize, sends_done: u64) -> bool {
+        self.kills
+            .iter()
+            .any(|&(ep, after)| ep == endpoint && after != 0 && sends_done >= after)
+    }
+
+    /// Sample the fault decision for one message. Pure in the message
+    /// identity: `(seed, from, to, tag, link_seq)` always yields the same
+    /// action. At most one fault fires per message; the categories are
+    /// tried in a fixed order (drop, corrupt, duplicate, delay) so rates
+    /// compose predictably.
+    pub(crate) fn action_for(
+        &self,
+        from: usize,
+        to: usize,
+        tag: u64,
+        link_seq: u64,
+    ) -> FaultAction {
+        if self.drop_one_in == 0
+            && self.delay_one_in == 0
+            && self.duplicate_one_in == 0
+            && self.corrupt_one_in == 0
+        {
+            return FaultAction::Deliver;
+        }
+        let mut rng = TestRng::seed_from_u64(mix_identity(
+            self.seed,
+            from as u64,
+            to as u64,
+            tag,
+            link_seq,
+        ));
+        if self.drop_one_in != 0 && rng.next_u64().is_multiple_of(self.drop_one_in) {
+            return FaultAction::Drop;
+        }
+        if self.corrupt_one_in != 0 && rng.next_u64().is_multiple_of(self.corrupt_one_in) {
+            return FaultAction::Corrupt;
+        }
+        if self.duplicate_one_in != 0 && rng.next_u64().is_multiple_of(self.duplicate_one_in) {
+            return FaultAction::Duplicate;
+        }
+        if self.delay_one_in != 0 && rng.next_u64().is_multiple_of(self.delay_one_in) {
+            return FaultAction::Delay(self.delay_by);
+        }
+        FaultAction::Deliver
+    }
+
+    /// The per-message random word handed to corruptors (independent of
+    /// the action sampling stream).
+    pub(crate) fn corruption_word(&self, from: usize, to: usize, tag: u64, link_seq: u64) -> u64 {
+        let mut rng = TestRng::seed_from_u64(
+            mix_identity(self.seed, from as u64, to as u64, tag, link_seq) ^ 0x9e3779b97f4a7c15,
+        );
+        rng.next_u64()
+    }
+
+    /// Run the payload through the registered corruptors; returns true if
+    /// one of them handled the concrete type.
+    pub(crate) fn corrupt_payload(&self, payload: &mut dyn Any, word: u64) -> bool {
+        self.corruptors.iter().any(|c| c(payload, word))
+    }
+
+    /// Deep-copy the payload via the registered cloners, if any knows the
+    /// concrete type.
+    pub(crate) fn clone_payload(&self, payload: &(dyn Any + Send)) -> Option<Box<dyn Any + Send>> {
+        self.cloners.iter().find_map(|c| c(payload))
+    }
+}
+
+/// Per-run mutable fault bookkeeping, owned by the fabric: outbound send
+/// counters per endpoint (for kill triggers) and a per-directed-link
+/// sequence number (so per-message sampling is independent of thread
+/// scheduling across links).
+pub(crate) struct FaultState {
+    endpoints: usize,
+    sends_by: Vec<AtomicU64>,
+    link_seq: Vec<AtomicU64>,
+}
+
+impl FaultState {
+    pub(crate) fn new(endpoints: usize) -> Self {
+        FaultState {
+            endpoints,
+            sends_by: (0..endpoints).map(|_| AtomicU64::new(0)).collect(),
+            link_seq: (0..endpoints * endpoints)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    /// Count one outbound send by `from`; returns the ordinal (1-based)
+    /// of the send just completed.
+    pub(crate) fn count_send(&self, from: usize) -> u64 {
+        self.sends_by[from].fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Next sequence number on the directed link `from → to` (0-based).
+    pub(crate) fn next_link_seq(&self, from: usize, to: usize) -> u64 {
+        self.link_seq[from * self.endpoints + to].fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// SplitMix64-style avalanche over the five identity words.
+fn mix_identity(seed: u64, from: u64, to: u64, tag: u64, link_seq: u64) -> u64 {
+    let mut h = seed ^ 0x51_7c_c1_b7_27_22_0a_95;
+    for w in [from, to, tag, link_seq] {
+        h ^= w.wrapping_mul(0x9e3779b97f4a7c15);
+        h = h.rotate_left(27).wrapping_mul(0xbf58476d1ce4e5b9);
+    }
+    h ^= h >> 31;
+    h.wrapping_mul(0x94d049bb133111eb)
+}
+
+/// Flip one bit (chosen by `word`) somewhere in a primitive vector, and
+/// clone such vectors for the duplicate fault.
+macro_rules! primitive_hooks {
+    ($plan:expr, $($t:ty),+) => {{
+        $plan.corruptors.push(Arc::new(|payload: &mut dyn Any, word: u64| {
+            $(
+                if let Some(v) = payload.downcast_mut::<Vec<$t>>() {
+                    if v.is_empty() {
+                        return true; // recognised; nothing to flip
+                    }
+                    let idx = (word as usize) % v.len();
+                    let bit = (word >> 32) % (8 * std::mem::size_of::<$t>() as u64);
+                    v[idx] ^= (1 as $t) << bit;
+                    return true;
+                }
+            )+
+            false
+        }));
+        $plan.cloners.push(Arc::new(|payload: &(dyn Any + Send)| {
+            $(
+                if let Some(v) = payload.downcast_ref::<Vec<$t>>() {
+                    return Some(Box::new(v.clone()) as Box<dyn Any + Send>);
+                }
+            )+
+            None
+        }));
+    }};
+}
+
+fn register_primitive_hooks(plan: &mut FaultPlan) {
+    primitive_hooks!(plan, u8, u16, u32, u64, u128);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_are_deterministic_in_message_identity() {
+        let plan = FaultPlan::seeded(7)
+            .drop_one_in(3)
+            .corrupt_one_in(3)
+            .duplicate_one_in(3)
+            .delay_one_in(3, Duration::from_millis(1));
+        for link_seq in 0..64 {
+            let a = plan.action_for(1, 2, 0x100, link_seq);
+            let b = plan.action_for(1, 2, 0x100, link_seq);
+            assert_eq!(a, b);
+        }
+        // Different identities decouple: at one-in-3 rates, 64 messages
+        // must not all get the same action.
+        let distinct: std::collections::HashSet<_> = (0..64)
+            .map(|s| format!("{:?}", plan.action_for(1, 2, 0x100, s)))
+            .collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn unarmed_plan_always_delivers() {
+        let plan = FaultPlan::seeded(1);
+        for s in 0..32 {
+            assert_eq!(plan.action_for(0, 1, 5, s), FaultAction::Deliver);
+        }
+    }
+
+    #[test]
+    fn builtin_corruptor_flips_exactly_one_bit() {
+        let plan = FaultPlan::seeded(0).corrupt_one_in(1);
+        let orig = vec![0u32; 8];
+        let mut v: Box<dyn Any> = Box::new(orig.clone());
+        assert!(plan.corrupt_payload(v.as_mut(), 0xdead_beef_cafe_f00d));
+        let got = v.downcast::<Vec<u32>>().unwrap();
+        let flipped: u32 = got
+            .iter()
+            .zip(&orig)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn builtin_cloner_round_trips() {
+        let plan = FaultPlan::seeded(0).duplicate_one_in(1);
+        let v: Box<dyn Any + Send> = Box::new(vec![1u64, 2, 3]);
+        let copy = plan
+            .clone_payload(v.as_ref())
+            .expect("Vec<u64> is cloneable");
+        assert_eq!(*copy.downcast::<Vec<u64>>().unwrap(), vec![1u64, 2, 3]);
+        let foreign: Box<dyn Any + Send> = Box::new(String::from("nope"));
+        assert!(plan.clone_payload(foreign.as_ref()).is_none());
+    }
+
+    #[test]
+    fn kill_bookkeeping() {
+        let plan = FaultPlan::seeded(0)
+            .kill_endpoint_after(2, 0)
+            .kill_endpoint_after(3, 5);
+        assert_eq!(plan.dead_on_arrival().collect::<Vec<_>>(), vec![2]);
+        assert!(!plan.kill_triggered(3, 4));
+        assert!(plan.kill_triggered(3, 5));
+        assert!(!plan.kill_triggered(2, 9)); // after == 0 handled at construction
+    }
+
+    #[test]
+    fn fault_state_counters() {
+        let st = FaultState::new(4);
+        assert_eq!(st.count_send(1), 1);
+        assert_eq!(st.count_send(1), 2);
+        assert_eq!(st.next_link_seq(1, 2), 0);
+        assert_eq!(st.next_link_seq(1, 2), 1);
+        assert_eq!(st.next_link_seq(2, 1), 0);
+    }
+}

@@ -14,8 +14,10 @@
 //! 2×(P−1)/P volume of a ring.
 
 use crate::comm::Communicator;
+use crate::error::CommError;
 use crate::fabric::Fabric;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Static description of the switch tree built for a communicator.
 #[derive(Debug, Clone)]
@@ -123,14 +125,21 @@ impl SwitchTopology {
 
 /// Run one switch node's aggregation for a single allreduce operation.
 ///
-/// `T` and `op` are all the switch gets: no keys, no plaintext.
+/// `T` and `op` are all the switch gets: no keys, no plaintext. The
+/// service is deadline-aware: if a child or parent goes silent (dropped
+/// message, killed endpoint, or this node itself killed), the service
+/// returns the error and the node thread exits instead of leaking — the
+/// ranks waiting below observe their own `Timeout`/`PeerDead` and map it
+/// to `SwitchDown`.
 pub(crate) fn switch_node_service<T, F>(
     fabric: &Arc<Fabric>,
     topo: &SwitchTopology,
     node: usize,
     tag: u64,
     op: &F,
-) where
+    deadline: Option<Instant>,
+) -> Result<(), CommError>
+where
     T: Clone + Send + 'static,
     F: Fn(&T, &T) -> T,
 {
@@ -145,13 +154,20 @@ pub(crate) fn switch_node_service<T, F>(
             .map(|c| topo.base_endpoint + c)
             .collect()
     };
+    let take = |src: usize, t: u64| -> Result<Vec<T>, CommError> {
+        let env = fabric.recv_on(me, src, t, deadline)?;
+        env.payload
+            .downcast::<Vec<T>>()
+            .map(|b| *b)
+            .map_err(|_| CommError::TypeMismatch {
+                source: src,
+                tag: t,
+                expected: std::any::type_name::<Vec<T>>(),
+            })
+    };
     let mut acc: Option<Vec<T>> = None;
     for &src in &sources {
-        let env = fabric.mailboxes[me].take(src, tag);
-        let v = *env
-            .payload
-            .downcast::<Vec<T>>()
-            .expect("switch payload type");
+        let v = take(src, tag)?;
         acc = Some(match acc {
             None => v,
             Some(mut a) => {
@@ -192,11 +208,7 @@ pub(crate) fn switch_node_service<T, F>(
     }
     // Downward multicast for non-root nodes.
     if node != topo.root() {
-        let env = fabric.mailboxes[me].take(topo.base_endpoint + topo.parent[node], tag + 1);
-        let v = *env
-            .payload
-            .downcast::<Vec<T>>()
-            .expect("switch payload type");
+        let v = take(topo.base_endpoint + topo.parent[node], tag + 1)?;
         if is_leaf {
             for &r in &topo.children[node] {
                 fabric.send_boxed(me, r, tag + 1, Box::new(v.clone()), bytes);
@@ -213,6 +225,7 @@ pub(crate) fn switch_node_service<T, F>(
             }
         }
     }
+    Ok(())
 }
 
 impl Communicator {
@@ -249,20 +262,58 @@ impl Communicator {
         T: Clone + Send + 'static,
         F: Fn(&T, &T) -> T + Send + Sync + Clone + 'static,
     {
+        self.try_allreduce_inc_tagged(tag, data, op, None)
+            .unwrap_or_else(|e| panic!("INC allreduce (tag {tag:#x}) failed: {e}"))
+    }
+
+    /// Fallible switch-tree allreduce. A silent or dead switch surfaces
+    /// as [`CommError::SwitchDown`]: a rank cannot tell a slow switch
+    /// from a dead one, and either way the recovery is the same — fall
+    /// back to a host algorithm — so timeouts waiting on the tree and
+    /// deaths of switch endpoints both map to `SwitchDown`. Failures of
+    /// *rank* endpoints keep their own variants.
+    pub fn try_allreduce_inc_tagged<T, F>(
+        &self,
+        tag: u64,
+        data: Vec<T>,
+        op: F,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<T>, CommError>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T + Send + Sync + Clone + 'static,
+    {
         let topo = self
             .switch_topology()
             .expect("allreduce_inc requires a switch-enabled simulator");
         // Kick the switch service for this collective (one service task per
         // switch node, spawned by the simulator's switch executor).
-        self.spawn_switch_service::<T, F>(&topo, tag, op);
-        let leaf = topo.base_endpoint + topo.leaf_of_rank[self.rank()];
+        self.spawn_switch_service::<T, F>(&topo, tag, op, deadline);
+        let leaf_node = topo.leaf_of_rank[self.rank()];
+        let leaf = topo.base_endpoint + leaf_node;
         let bytes = std::mem::size_of_val(&data[..]);
         self.fabric
             .send_boxed(self.rank(), leaf, tag, Box::new(data), bytes);
-        let env = self.fabric.mailboxes[self.rank()].take(leaf, tag + 1);
-        *env.payload
+        let env = match self.fabric.recv_on(self.rank(), leaf, tag + 1, deadline) {
+            Ok(env) => env,
+            Err(CommError::Timeout { .. }) => {
+                return Err(CommError::SwitchDown { node: leaf_node });
+            }
+            Err(CommError::PeerDead { peer }) if peer >= topo.base_endpoint => {
+                return Err(CommError::SwitchDown {
+                    node: peer - topo.base_endpoint,
+                });
+            }
+            Err(e) => return Err(e),
+        };
+        env.payload
             .downcast::<Vec<T>>()
-            .expect("switch result type")
+            .map(|b| *b)
+            .map_err(|_| CommError::TypeMismatch {
+                source: leaf,
+                tag: tag + 1,
+                expected: std::any::type_name::<Vec<T>>(),
+            })
     }
 }
 

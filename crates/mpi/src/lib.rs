@@ -24,13 +24,17 @@
 
 mod collectives;
 mod comm;
+mod error;
 mod fabric;
+mod fault;
 pub mod inc;
 mod nonblocking;
 mod simulator;
 
-pub use comm::Communicator;
-pub use fabric::NetConfig;
+pub use comm::{Communicator, ATTEMPT_TAG_STRIDE, COLL_BLOCK_TAG_STRIDE, MAX_TAG_ATTEMPTS};
+pub use error::CommError;
+pub use fabric::{thread_transit_wait_nanos, NetConfig};
+pub use fault::{Cloner, Corruptor, FaultPlan};
 pub use inc::SwitchTopology;
 pub use nonblocking::Request;
 pub use simulator::{SimConfig, Simulator};

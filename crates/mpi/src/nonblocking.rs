@@ -12,7 +12,9 @@
 //! long as every rank posts them in the same order — the usual MPI rule.
 
 use crate::comm::Communicator;
+use crate::error::CommError;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Handle to an in-flight collective. Dropping a request without waiting
 /// detaches the progress thread (the operation still completes).
@@ -85,6 +87,76 @@ impl Communicator {
             handle: std::thread::spawn(move || {
                 let _tele = tele.map(|(reg, rank)| reg.install(rank));
                 comm.allreduce_inc_tagged(tag, data, op)
+            }),
+        }
+    }
+
+    /// Fallible nonblocking recursive-doubling allreduce on a caller-
+    /// reserved tag: the progress thread's waits are bounded by `deadline`
+    /// and failures come back typed through `wait()` instead of poisoning
+    /// the join. The engine's retry loop posts these.
+    pub fn try_iallreduce_tagged<T, F>(
+        &self,
+        tag: u64,
+        data: Vec<T>,
+        op: F,
+        deadline: Option<Instant>,
+    ) -> Request<Result<Vec<T>, CommError>>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T + Send + 'static,
+    {
+        let comm = self.clone();
+        let tele = hear_telemetry::spawn_context();
+        Request {
+            handle: std::thread::spawn(move || {
+                let _tele = tele.map(|(reg, rank)| reg.install(rank));
+                comm.try_allreduce_owned_tagged(tag, data, op, deadline)
+            }),
+        }
+    }
+
+    /// Fallible nonblocking ring allreduce on a caller-reserved tag.
+    pub fn try_iallreduce_ring_tagged<T, F>(
+        &self,
+        tag: u64,
+        data: Vec<T>,
+        op: F,
+        deadline: Option<Instant>,
+    ) -> Request<Result<Vec<T>, CommError>>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T + Send + 'static,
+    {
+        let comm = self.clone();
+        let tele = hear_telemetry::spawn_context();
+        Request {
+            handle: std::thread::spawn(move || {
+                let _tele = tele.map(|(reg, rank)| reg.install(rank));
+                let mut seg = Vec::new();
+                comm.try_allreduce_ring_owned_tagged_with_seg(tag, data, op, &mut seg, deadline)
+            }),
+        }
+    }
+
+    /// Fallible nonblocking switch-tree allreduce on a caller-reserved tag.
+    pub fn try_iallreduce_inc_tagged<T, F>(
+        &self,
+        tag: u64,
+        data: Vec<T>,
+        op: F,
+        deadline: Option<Instant>,
+    ) -> Request<Result<Vec<T>, CommError>>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T + Send + Sync + Clone + 'static,
+    {
+        let comm = self.clone();
+        let tele = hear_telemetry::spawn_context();
+        Request {
+            handle: std::thread::spawn(move || {
+                let _tele = tele.map(|(reg, rank)| reg.install(rank));
+                comm.try_allreduce_inc_tagged(tag, data, op, deadline)
             }),
         }
     }

@@ -3,15 +3,18 @@
 
 use crate::comm::Communicator;
 use crate::fabric::{Fabric, NetConfig};
+use crate::fault::FaultPlan;
 use crate::inc::SwitchTopology;
 use std::sync::Arc;
 
 /// Simulator configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     pub net: NetConfig,
     /// Fan-in of the INC switch tree; `None` disables in-network compute.
     pub switch_radix: Option<usize>,
+    /// Deterministic fault-injection plan; `None` runs a healthy fabric.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -19,6 +22,7 @@ impl Default for SimConfig {
         SimConfig {
             net: NetConfig::instant(),
             switch_radix: None,
+            faults: None,
         }
     }
 }
@@ -31,6 +35,11 @@ impl SimConfig {
 
     pub fn with_switch(mut self, radix: usize) -> Self {
         self.switch_radix = Some(radix);
+        self
+    }
+
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
         self
     }
 }
@@ -63,7 +72,11 @@ impl Simulator {
             .switch_radix
             .map(|radix| Arc::new(SwitchTopology::build(self.world, radix, self.world)));
         let endpoints = self.world + topo.as_ref().map_or(0, |t| t.nodes);
-        let fabric = Arc::new(Fabric::new(endpoints, self.config.net));
+        let fabric = Arc::new(Fabric::with_faults(
+            endpoints,
+            self.config.net,
+            self.config.faults.clone(),
+        ));
         let comms: Vec<Communicator> = (0..self.world)
             .map(|rank| {
                 let mut c = Communicator::new(rank, self.world, fabric.clone());
@@ -82,9 +95,20 @@ impl Simulator {
                 .iter()
                 .map(|comm| {
                     let tele = tele.clone();
+                    let fabric = fabric.clone();
                     scope.spawn(move || {
                         let _tele = tele.map(|(reg, _)| reg.install(Some(comm.rank())));
-                        f(comm)
+                        // A panicking rank is marked dead before the panic
+                        // propagates, so sibling ranks' receives resolve to
+                        // `PeerDead` instead of deadlocking on its silence.
+                        let rank = comm.rank();
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm))) {
+                            Ok(r) => r,
+                            Err(payload) => {
+                                fabric.kill(rank);
+                                std::panic::resume_unwind(payload);
+                            }
+                        }
                     })
                 })
                 .collect();
@@ -158,6 +182,50 @@ mod tests {
         }
         // Nothing leaked into a foreign lane: every event is rank-tagged.
         assert!(evs.iter().all(|e| e.rank.is_some()));
+    }
+
+    #[test]
+    fn panicking_rank_mid_send_leaves_siblings_with_typed_errors() {
+        use crate::error::CommError;
+        use std::sync::Mutex;
+        use std::time::Duration;
+        // Siblings report through shared state because the run() join
+        // re-raises rank 0's panic.
+        type Outcome = (usize, Result<Vec<u8>, CommError>);
+        let outcomes: Mutex<Vec<Outcome>> = Mutex::new(Vec::new());
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Simulator::new(3).run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 1, vec![7u8]);
+                    panic!("rank 0 dies mid-protocol");
+                }
+                // Rank 1 first drains the message already on the wire,
+                // then both siblings wait on traffic that will never come.
+                if comm.rank() == 1 {
+                    let queued = comm.recv_timeout::<u8>(0, 1, Duration::from_secs(5));
+                    outcomes.lock().unwrap().push((1, queued));
+                }
+                let silent = comm.recv_timeout::<u8>(0, 2, Duration::from_secs(5));
+                outcomes.lock().unwrap().push((comm.rank(), silent));
+            })
+        }));
+        assert!(run.is_err(), "rank 0's panic must still propagate");
+        let outcomes = outcomes.into_inner().unwrap();
+        assert_eq!(outcomes.len(), 3, "all sibling receives completed");
+        for (rank, res) in &outcomes {
+            match res {
+                Ok(v) => assert_eq!((*rank, v.as_slice()), (1, &[7u8][..])),
+                Err(e) => assert!(
+                    matches!(
+                        e,
+                        CommError::PeerDead { peer: 0 } | CommError::Timeout { .. }
+                    ),
+                    "rank {rank}: unexpected {e}"
+                ),
+            }
+        }
+        // The queued message was delivered; the silent waits got errors.
+        assert_eq!(outcomes.iter().filter(|(_, r)| r.is_ok()).count(), 1);
     }
 
     #[test]

@@ -62,10 +62,27 @@ pub enum Metric {
     MaskedBytesSha1,
     /// Payload bytes masked/unmasked through the fused kernels, SHA-NI.
     MaskedBytesSha1Ni,
+    /// Block-level retries attempted by the engine's `RetryPolicy`.
+    RetriesTotal,
+    /// Messages dropped by the fault-injection plan.
+    FaultDrop,
+    /// Messages delayed by the fault-injection plan.
+    FaultDelay,
+    /// Messages duplicated by the fault-injection plan.
+    FaultDuplicate,
+    /// Messages bit-flipped by the fault-injection plan.
+    FaultCorrupt,
+    /// Endpoints killed by a fault-plan trigger.
+    FaultKill,
+    /// Engine calls that degraded from the INC switch tree to a
+    /// host-based algorithm after `SwitchDown`.
+    DegradedEpochs,
+    /// Nanoseconds spent sleeping out modeled message transit time.
+    TransitWaitNanos,
 }
 
 impl Metric {
-    pub const ALL: [Metric; 23] = [
+    pub const ALL: [Metric; 31] = [
         Metric::PrfBlocksAesSoft,
         Metric::PrfBlocksAesNi,
         Metric::PrfBlocksSha1,
@@ -89,6 +106,14 @@ impl Metric {
         Metric::MaskedBytesAesNi,
         Metric::MaskedBytesSha1,
         Metric::MaskedBytesSha1Ni,
+        Metric::RetriesTotal,
+        Metric::FaultDrop,
+        Metric::FaultDelay,
+        Metric::FaultDuplicate,
+        Metric::FaultCorrupt,
+        Metric::FaultKill,
+        Metric::DegradedEpochs,
+        Metric::TransitWaitNanos,
     ];
     pub const COUNT: usize = Self::ALL.len();
 
@@ -114,6 +139,14 @@ impl Metric {
             | Metric::MaskedBytesAesNi
             | Metric::MaskedBytesSha1
             | Metric::MaskedBytesSha1Ni => "hear_masked_bytes_total",
+            Metric::RetriesTotal => "hear_retries_total",
+            Metric::FaultDrop
+            | Metric::FaultDelay
+            | Metric::FaultDuplicate
+            | Metric::FaultCorrupt
+            | Metric::FaultKill => "hear_faults_injected_total",
+            Metric::DegradedEpochs => "hear_degraded_epochs_total",
+            Metric::TransitWaitNanos => "hear_transit_wait_nanos_total",
         }
     }
 
@@ -137,6 +170,11 @@ impl Metric {
             Metric::MaskedBytesAesNi => Some(("backend", "aes_ni")),
             Metric::MaskedBytesSha1 => Some(("backend", "sha1")),
             Metric::MaskedBytesSha1Ni => Some(("backend", "sha1_ni")),
+            Metric::FaultDrop => Some(("kind", "drop")),
+            Metric::FaultDelay => Some(("kind", "delay")),
+            Metric::FaultDuplicate => Some(("kind", "duplicate")),
+            Metric::FaultCorrupt => Some(("kind", "corrupt")),
+            Metric::FaultKill => Some(("kind", "kill")),
             _ => None,
         }
     }

@@ -30,6 +30,12 @@ cargo run --release -q -p hear-bench --bin trace_validate -- \
 # reference. Exits nonzero on any mismatch.
 cargo run --release -q -p hear-bench --bin matrix_smoke
 
+# Chaos smoke: seeded, offline, deterministic fault-injection scenarios
+# (drop / corrupt / switch-kill) asserting the self-healing contract —
+# correct result or typed error, never a hang (the bin's own watchdog
+# exits 3 on a hung scenario, and `timeout` backstops the watchdog).
+timeout 300 cargo run --release -q -p hear-bench --bin chaos_smoke
+
 # Crypto-throughput smoke + perf_gate: a fast-budget sweep must emit a
 # parseable BENCH_crypto.json (the per-commit trajectory artifact), and
 # the fused one-pass mask kernels must not be slower than the split

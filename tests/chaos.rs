@@ -1,0 +1,274 @@
+//! The chaos matrix: every fault type × transport algorithm × cipher
+//! scheme, with HoMAC verification on, under the deterministic
+//! fault-injection fabric. The invariant is the robustness contract from
+//! the fault model (DESIGN.md §7): every rank either returns the
+//! plaintext-reference aggregate (within the scheme's Table 2 tolerance)
+//! or a *typed* `CommError`/`EngineError` before its deadline budget runs
+//! out — never a hang, never a panic, never a silently wrong result.
+//!
+//! Kill scenarios additionally pin the recovery semantics: a dead switch
+//! tree degrades to the host ring mid-epoch and still produces the right
+//! answer on every rank.
+
+use hear::core::{Backend, CommKeys, FloatSumExpScheme, HfpFormat, Homac, IntSumScheme, Scheme};
+use hear::layer::chaos::with_packet_hooks;
+use hear::layer::{EngineCfg, EngineError, ReduceAlgo, RetryPolicy, SecureComm};
+use hear::mpi::{FaultPlan, SimConfig, Simulator};
+use std::time::Duration;
+
+const WORLD: usize = 4;
+/// Single switch node at radix 4: endpoint = WORLD + node 0.
+const SWITCH_ENDPOINT: usize = WORLD;
+const LEN: usize = 32;
+const BLOCK: usize = 16;
+
+#[derive(Clone, Copy, Debug)]
+enum FaultKind {
+    Drop,
+    Delay,
+    Duplicate,
+    Corrupt,
+    RankKill,
+    SwitchKill,
+}
+
+/// The policy every chaos cell runs under: two attempts per block, short
+/// backoff, and a per-attempt deadline so nothing can block forever.
+fn chaos_policy() -> RetryPolicy {
+    RetryPolicy::retries(1)
+        .with_backoff(Duration::from_millis(2))
+        .with_attempt_timeout(Duration::from_millis(200))
+}
+
+fn plan_for(kind: FaultKind, seed: u64) -> FaultPlan {
+    let plan = FaultPlan::seeded(seed);
+    let plan = match kind {
+        FaultKind::Drop => plan.drop_one_in(6),
+        // Shorter than the attempt timeout: delayed traffic arrives.
+        FaultKind::Delay => plan.delay_one_in(3, Duration::from_millis(5)),
+        FaultKind::Duplicate => plan.duplicate_one_in(4),
+        FaultKind::Corrupt => plan.corrupt_one_in(5),
+        // The last rank dies mid-protocol, after its third send.
+        FaultKind::RankKill => plan.kill_endpoint_after(WORLD - 1, 3),
+        // The switch tree is gone before the first packet.
+        FaultKind::SwitchKill => plan.kill_endpoint_after(SWITCH_ENDPOINT, 0),
+    };
+    // Teach the injector the verified transport's packet payloads.
+    with_packet_hooks(plan)
+}
+
+/// Run one (fault, algo, scheme) cell at world 4 on a switch-enabled
+/// fabric and check the robustness contract on every rank.
+fn run_cell<S, MS, CL>(
+    mk_scheme: MS,
+    inputs: &[Vec<S::Input>],
+    expected: &[S::Input],
+    close: CL,
+    algo: ReduceAlgo,
+    kind: FaultKind,
+    seed: u64,
+) where
+    S: Scheme + 'static,
+    S::Input: std::fmt::Debug + Send + Sync,
+    MS: Fn() -> S + Send + Sync,
+    CL: Fn(&S::Input, &S::Input) -> bool,
+{
+    let cfg = SimConfig::default()
+        .with_switch(WORLD)
+        .with_faults(plan_for(kind, seed));
+    let mk_scheme = &mk_scheme;
+    let results = Simulator::with_config(WORLD, cfg).run(|comm| {
+        let keys = CommKeys::generate(WORLD, seed, Backend::best_available())
+            .into_iter()
+            .nth(comm.rank())
+            .unwrap();
+        let homac = Homac::generate(seed ^ 0x5a5a, Backend::best_available());
+        let mut sc = SecureComm::new(comm.clone(), keys).with_homac(homac);
+        let mut s = mk_scheme();
+        let ecfg = EngineCfg::blocked(BLOCK)
+            .verified()
+            .with_algo(algo)
+            .with_retry(chaos_policy());
+        sc.allreduce_with(&mut s, &inputs[comm.rank()], ecfg)
+    });
+    for (rank, res) in results.iter().enumerate() {
+        match res {
+            Ok(got) => {
+                assert_eq!(
+                    got.len(),
+                    expected.len(),
+                    "{} {kind:?}/{algo:?} rank {rank}: truncated result",
+                    S::NAME
+                );
+                for (j, (g, e)) in got.iter().zip(expected).enumerate() {
+                    assert!(
+                        close(g, e),
+                        "{} {kind:?}/{algo:?} rank {rank} elem {j}: got {g:?}, expected {e:?} \
+                         — a fault leaked a wrong aggregate past verification",
+                        S::NAME
+                    );
+                }
+            }
+            // Typed failure is an accepted outcome — but it must be a
+            // transport or verification error, never a float-encode one
+            // (the inputs are all encodable).
+            Err(e) => assert!(
+                !matches!(e, EngineError::Hfp(_)),
+                "{} {kind:?}/{algo:?} rank {rank}: wrong error class: {e}",
+                S::NAME
+            ),
+        }
+    }
+}
+
+fn int_inputs() -> (Vec<Vec<u32>>, Vec<u32>) {
+    let inputs: Vec<Vec<u32>> = (0..WORLD)
+        .map(|r| {
+            (0..LEN)
+                .map(|j| (j as u32).wrapping_mul(0x9E37_79B9).wrapping_add(r as u32))
+                .collect()
+        })
+        .collect();
+    let expected = (0..LEN)
+        .map(|j| {
+            inputs
+                .iter()
+                .fold(0u32, |acc, row| acc.wrapping_add(row[j]))
+        })
+        .collect();
+    (inputs, expected)
+}
+
+fn float_inputs() -> (Vec<Vec<f64>>, Vec<f64>) {
+    // Small magnitudes: the v2 shared-exponent layout needs δ = 0.
+    let inputs: Vec<Vec<f64>> = (0..WORLD)
+        .map(|r| {
+            (0..LEN)
+                .map(|j| ((r * LEN + j) as f64 * 0.29).sin() * 0.4)
+                .collect()
+        })
+        .collect();
+    let expected = (0..LEN)
+        .map(|j| inputs.iter().map(|row| row[j]).sum())
+        .collect();
+    (inputs, expected)
+}
+
+/// Medium lossiness (Table 2 row of float sum v2), as in the matrix suite.
+fn float_close(g: &f64, e: &f64) -> bool {
+    (g - e).abs() / e.abs().max(1.0) < 1e-3
+}
+
+const ALGOS: [ReduceAlgo; 3] = [
+    ReduceAlgo::RecursiveDoubling,
+    ReduceAlgo::Ring,
+    ReduceAlgo::Switch,
+];
+
+fn sweep_kind(kind: FaultKind, kind_idx: u64) {
+    let (int_in, int_exp) = int_inputs();
+    let (flt_in, flt_exp) = float_inputs();
+    for (a, algo) in ALGOS.into_iter().enumerate() {
+        let seed = 0xC0A5 + kind_idx * 100 + a as u64 * 10;
+        run_cell(
+            IntSumScheme::<u32>::default,
+            &int_in,
+            &int_exp,
+            |g: &u32, e: &u32| g == e,
+            algo,
+            kind,
+            seed,
+        );
+        run_cell(
+            || FloatSumExpScheme::new(HfpFormat::fp64(0, 0)),
+            &flt_in,
+            &flt_exp,
+            float_close,
+            algo,
+            kind,
+            seed + 1,
+        );
+    }
+}
+
+#[test]
+fn chaos_drop() {
+    sweep_kind(FaultKind::Drop, 0);
+}
+
+#[test]
+fn chaos_delay() {
+    sweep_kind(FaultKind::Delay, 1);
+}
+
+#[test]
+fn chaos_duplicate() {
+    sweep_kind(FaultKind::Duplicate, 2);
+}
+
+#[test]
+fn chaos_corrupt() {
+    sweep_kind(FaultKind::Corrupt, 3);
+}
+
+#[test]
+fn chaos_rank_kill() {
+    sweep_kind(FaultKind::RankKill, 4);
+}
+
+#[test]
+fn chaos_switch_kill() {
+    sweep_kind(FaultKind::SwitchKill, 5);
+}
+
+/// The graceful-degradation pin: with the switch tree dead on arrival,
+/// an INC epoch must complete *correctly* on every rank via the host-ring
+/// fallback (not merely error out), the degradation must be counted, and
+/// the communicator must stay sticky-degraded for later epochs.
+#[test]
+fn switch_kill_degrades_to_host_ring_and_completes() {
+    use hear::telemetry::{Metric, Registry};
+    let (int_in, int_exp) = int_inputs();
+    let int_in = &int_in;
+    for chunk in [EngineCfg::blocked(BLOCK), EngineCfg::pipelined(BLOCK)] {
+        // Private registry so concurrent tests can't pollute the counts.
+        let reg = Registry::new_enabled();
+        let _g = reg.install(None);
+        let cfg = SimConfig::default()
+            .with_switch(WORLD)
+            .with_faults(plan_for(FaultKind::SwitchKill, 0xDEAD));
+        let results = Simulator::with_config(WORLD, cfg).run(|comm| {
+            let keys = CommKeys::generate(WORLD, 0xDEAD, Backend::best_available())
+                .into_iter()
+                .nth(comm.rank())
+                .unwrap();
+            let homac = Homac::generate(0xDEAD ^ 0x5a5a, Backend::best_available());
+            let mut sc = SecureComm::new(comm.clone(), keys).with_homac(homac);
+            let mut s = IntSumScheme::<u32>::default();
+            let ecfg = chunk
+                .verified()
+                .with_algo(ReduceAlgo::Switch)
+                .with_retry(chaos_policy());
+            let first = sc.allreduce_with(&mut s, &int_in[comm.rank()], ecfg);
+            // The fallback is sticky: the next epoch must not re-probe the
+            // dead switch (it routes to the ring at entry).
+            let second = sc.allreduce_with(&mut s, &int_in[comm.rank()], ecfg);
+            (first, second, sc.is_degraded())
+        });
+        for (rank, (first, second, degraded)) in results.iter().enumerate() {
+            let first = first.as_ref().unwrap_or_else(|e| {
+                panic!("rank {rank} failed instead of degrading ({chunk:?}): {e}")
+            });
+            let second = second.as_ref().unwrap();
+            assert_eq!(first, &int_exp, "rank {rank} fallback result ({chunk:?})");
+            assert_eq!(second, &int_exp, "rank {rank} sticky epoch ({chunk:?})");
+            assert!(degraded, "rank {rank} did not record the fallback");
+        }
+        // Each rank degrades once mid-epoch and once more at sticky entry.
+        let degraded_epochs = reg.counter(Metric::DegradedEpochs);
+        assert!(
+            degraded_epochs >= WORLD as u64,
+            "degraded epochs counted {degraded_epochs}, expected at least {WORLD}"
+        );
+    }
+}
