@@ -1,0 +1,232 @@
+//! Socket-transport smoke run: a real multi-process TCP world as a CI
+//! gate. Four single-rank OS processes rendezvous over loopback
+//! (ephemeral ports, no fixed addresses — concurrent CI jobs cannot
+//! collide), run pipelined *verified* allreduce epochs, and then the
+//! parent injects the one fault no in-process harness can fake: it
+//! SIGKILLs a rank mid-epoch and requires every survivor to observe a
+//! *typed* transport error — never a hang, never a wrong aggregate.
+//!
+//! Exit codes (parent), chosen so CI logs distinguish the failure class
+//! at a glance:
+//!
+//! | code | meaning                                                    |
+//! |------|------------------------------------------------------------|
+//! | 0    | both scenarios passed                                      |
+//! | 1    | infrastructure: spawn/rendezvous/unexpected child status   |
+//! | 2    | wrong answer (or wrong error class) on some rank           |
+//! | 3    | hang: the launcher watchdog had to kill the tree           |
+//! | 4    | fault not observed: survivors finished despite the kill    |
+//!
+//! The children are this same binary (`HEAR_RANK` set by the launcher
+//! selects the rank body); `HEAR_SOCKET_SMOKE_MODE` selects the scenario.
+
+use hear::core::{Backend, CommKeys, Homac, IntSumScheme};
+use hear::layer::{EngineCfg, EngineError, ReduceAlgo, RetryPolicy, SecureComm};
+use hear::mpi::{launch, Launcher};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const WORLD: usize = 4;
+const LEN: usize = 64;
+const BLOCK: usize = 16;
+const SEED: u64 = 0x50CE;
+/// Epochs in the clean scenario.
+const CLEAN_EPOCHS: usize = 5;
+/// Kill scenario: epochs × pause ≈ 800 ms of epoch loop on every rank.
+const KILL_EPOCHS: usize = 40;
+const KILL_EPOCH_PAUSE: Duration = Duration::from_millis(20);
+/// When the parent pulls the trigger on rank 3 (mid-loop, ~150 ms in).
+const KILL_AT: Duration = Duration::from_millis(150);
+/// Whole-tree watchdog; a hang at rendezvous or mid-epoch exits 3.
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+const MODE_ENV: &str = "HEAR_SOCKET_SMOKE_MODE";
+
+fn inputs_for(rank: usize, world: usize) -> (Vec<u32>, Vec<u32>) {
+    let input = (0..LEN)
+        .map(|j| {
+            (j as u32)
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(rank as u32)
+        })
+        .collect();
+    let expected = (0..LEN)
+        .map(|j| {
+            (0..world).fold(0u32, |acc, r| {
+                acc.wrapping_add((j as u32).wrapping_mul(0x9E37_79B9).wrapping_add(r as u32))
+            })
+        })
+        .collect();
+    (input, expected)
+}
+
+/// The engine config under test: pipelined chunking, HoMAC verification,
+/// ring algorithm, and a retry deadline derived from the *measured*
+/// socket RTT so the budget is honest on loaded CI machines.
+fn epoch_cfg(comm: &hear::mpi::Communicator) -> EngineCfg {
+    let attempt = (comm.transport_rtt() * 1000).max(Duration::from_millis(200));
+    EngineCfg::pipelined(BLOCK)
+        .verified()
+        .with_algo(ReduceAlgo::Ring)
+        .with_retry(
+            RetryPolicy::retries(1)
+                .with_backoff(Duration::from_millis(2))
+                .with_attempt_timeout(attempt),
+        )
+}
+
+fn child_secure_comm(rank: usize) -> Result<(hear::mpi::Communicator, SecureComm), String> {
+    let comm = launch::child_comm()
+        .ok_or("launcher env missing")?
+        .map_err(|e| format!("rendezvous failed: {e}"))?;
+    let world = comm.world();
+    let keys = CommKeys::generate(world, SEED, Backend::best_available())
+        .into_iter()
+        .nth(rank)
+        .ok_or("rank out of key range")?;
+    let homac = Homac::generate(SEED ^ 0x5a5a, Backend::best_available());
+    let sc = SecureComm::new(comm.clone(), keys).with_homac(homac);
+    Ok((comm, sc))
+}
+
+/// Clean scenario rank body: epochs must all verify and agree.
+fn child_clean(rank: usize) -> ExitCode {
+    let (comm, mut sc) = match child_secure_comm(rank) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("[socket_smoke rank {rank}] infra: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let (input, expected) = inputs_for(rank, comm.world());
+    let mut s = IntSumScheme::<u32>::default();
+    for epoch in 0..CLEAN_EPOCHS {
+        match sc.allreduce_with(&mut s, &input, epoch_cfg(&comm)) {
+            Ok(got) if got == expected => {}
+            Ok(_) => {
+                eprintln!("[socket_smoke rank {rank}] epoch {epoch}: wrong aggregate");
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!("[socket_smoke rank {rank}] epoch {epoch}: unexpected error {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Synchronize before teardown: no rank drops its sockets while a
+    // peer is still mid-epoch.
+    comm.barrier();
+    ExitCode::SUCCESS
+}
+
+/// Kill scenario rank body: loop epochs until the injected death shows
+/// up. Dying (rank 3) is handled by SIGKILL; survivors must see a typed
+/// `CommError` — completing all epochs means the fault was *absorbed
+/// silently*, which is its own failure (exit 4).
+fn child_kill(rank: usize) -> ExitCode {
+    let (comm, mut sc) = match child_secure_comm(rank) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("[socket_smoke rank {rank}] infra: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let (input, expected) = inputs_for(rank, comm.world());
+    let mut s = IntSumScheme::<u32>::default();
+    for epoch in 0..KILL_EPOCHS {
+        match sc.allreduce_with(&mut s, &input, epoch_cfg(&comm)) {
+            Ok(got) if got == expected => std::thread::sleep(KILL_EPOCH_PAUSE),
+            Ok(_) => {
+                eprintln!("[socket_smoke rank {rank}] epoch {epoch}: wrong aggregate");
+                return ExitCode::from(2);
+            }
+            // The typed failure we are here to see.
+            Err(EngineError::Comm(e)) => {
+                eprintln!("[socket_smoke rank {rank}] epoch {epoch}: observed typed fault: {e}");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("[socket_smoke rank {rank}] epoch {epoch}: wrong error class: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    eprintln!("[socket_smoke rank {rank}] completed all epochs despite the kill");
+    ExitCode::from(4)
+}
+
+fn spawn_world(mode: &str) -> std::io::Result<hear::mpi::launch::Tree> {
+    Launcher::new(WORLD)
+        .watchdog(WATCHDOG)
+        .env(MODE_ENV, mode)
+        .spawn()
+}
+
+/// Map one finished tree onto the parent exit-code taxonomy.
+/// `killed_rank` is exempt from the all-zero requirement (its SIGKILL
+/// shows up as `None`).
+fn grade(outcome: &hear::mpi::launch::Outcome, killed_rank: Option<usize>) -> Option<u8> {
+    if outcome.watchdog_fired {
+        return Some(3);
+    }
+    for (rank, code) in outcome.codes.iter().enumerate() {
+        if Some(rank) == killed_rank {
+            continue;
+        }
+        match code {
+            Some(0) => {}
+            Some(2) => return Some(2),
+            Some(4) => return Some(4),
+            _ => return Some(1),
+        }
+    }
+    None
+}
+
+fn parent() -> ExitCode {
+    // Scenario 1: clean pipelined verified epochs across 4 processes.
+    let outcome = match spawn_world("clean") {
+        Ok(tree) => tree.wait(),
+        Err(e) => {
+            eprintln!("[socket_smoke] spawn failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if let Some(code) = grade(&outcome, None) {
+        eprintln!("[socket_smoke] clean scenario failed: {:?}", outcome.codes);
+        return ExitCode::from(code);
+    }
+    println!("[socket_smoke] clean: {WORLD} processes, {CLEAN_EPOCHS} verified epochs OK");
+
+    // Scenario 2: SIGKILL rank 3 mid-epoch; survivors must fail *typed*.
+    let mut tree = match spawn_world("kill") {
+        Ok(tree) => tree,
+        Err(e) => {
+            eprintln!("[socket_smoke] spawn failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    std::thread::sleep(KILL_AT);
+    tree.kill_rank(WORLD - 1);
+    let outcome = tree.wait();
+    if let Some(code) = grade(&outcome, Some(WORLD - 1)) {
+        eprintln!("[socket_smoke] kill scenario failed: {:?}", outcome.codes);
+        return ExitCode::from(code);
+    }
+    println!("[socket_smoke] kill: survivors saw typed PeerDead/Timeout OK");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    match launch::child_rank() {
+        Some(rank) => match std::env::var(MODE_ENV).as_deref() {
+            Ok("clean") => child_clean(rank),
+            Ok("kill") => child_kill(rank),
+            other => {
+                eprintln!("[socket_smoke rank {rank}] bad {MODE_ENV}: {other:?}");
+                ExitCode::from(1)
+            }
+        },
+        None => parent(),
+    }
+}

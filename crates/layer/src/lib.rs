@@ -24,6 +24,7 @@ pub mod pipeline;
 pub mod pool;
 pub mod prefetch;
 pub mod secure;
+pub mod wire;
 
 pub use arena::ScratchArena;
 pub use breakdown::{measure_phases, PhaseBreakdown};

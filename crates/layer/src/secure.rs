@@ -95,6 +95,10 @@ impl SecureComm {
         // Prefetch is on by default: the schemes consult the shared cache
         // before generating noise inline, and the engine plans the next
         // epoch's streams for the worker each call.
+        // Make this communicator transport-portable: the TCP backend can
+        // only ship types its codec registry knows, and the engine's
+        // packet payloads are private to this crate.
+        crate::wire::register_wire_codecs();
         let cache = KeystreamCache::new();
         keys.attach_cache(Arc::clone(&cache));
         let prefetch = Some(Prefetcher::new(keys.prf().clone(), cache));

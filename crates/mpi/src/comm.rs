@@ -2,8 +2,8 @@
 //! collective tag discipline.
 
 use crate::error::CommError;
-use crate::fabric::{Envelope, Fabric};
 use crate::inc::SwitchTopology;
+use crate::transport::{Envelope, Transport};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -36,7 +36,7 @@ pub const MAX_TAG_ATTEMPTS: u64 = COLL_BLOCK_TAG_STRIDE / ATTEMPT_TAG_STRIDE;
 pub struct Communicator {
     rank: usize,
     world: usize,
-    pub(crate) fabric: Arc<Fabric>,
+    pub(crate) transport: Arc<dyn Transport>,
     pub(crate) coll_seq: Arc<AtomicU64>,
     switch: Option<Arc<SwitchTopology>>,
     /// Communicator context id, mixed into every tag (MPI's context_id).
@@ -51,7 +51,7 @@ impl Clone for Communicator {
         Communicator {
             rank: self.rank,
             world: self.world,
-            fabric: self.fabric.clone(),
+            transport: self.transport.clone(),
             coll_seq: self.coll_seq.clone(),
             switch: self.switch.clone(),
             context: self.context,
@@ -61,11 +61,11 @@ impl Clone for Communicator {
 }
 
 impl Communicator {
-    pub(crate) fn new(rank: usize, world: usize, fabric: Arc<Fabric>) -> Self {
+    pub(crate) fn new(rank: usize, world: usize, transport: Arc<dyn Transport>) -> Self {
         Communicator {
             rank,
             world,
-            fabric,
+            transport,
             coll_seq: Arc::new(AtomicU64::new(0)),
             switch: None,
             context: 0,
@@ -121,7 +121,7 @@ impl Communicator {
         Communicator {
             rank: new_rank,
             world: members.len(),
-            fabric: self.fabric.clone(),
+            transport: self.transport.clone(),
             coll_seq: Arc::new(AtomicU64::new(0)),
             switch: None,
             context: ctx.max(1), // 0 is reserved for the world communicator
@@ -158,7 +158,7 @@ impl Communicator {
             return;
         }
         for node in 0..topo.nodes {
-            let fabric = self.fabric.clone();
+            let transport = self.transport.clone();
             let topo = topo.clone();
             let op = op.clone();
             let tele = hear_telemetry::spawn_context();
@@ -167,7 +167,7 @@ impl Communicator {
                 // the spawning rank's registry but under a rankless lane.
                 let _tele = tele.map(|(reg, _)| reg.install(None));
                 let _ = crate::inc::switch_node_service::<T, F>(
-                    &fabric, &topo, node, tag, &op, deadline,
+                    &transport, &topo, node, tag, &op, deadline,
                 );
             });
         }
@@ -179,6 +179,20 @@ impl Communicator {
 
     pub fn world(&self) -> usize {
         self.world
+    }
+
+    /// The transport's estimate of one small-message round trip: modeled
+    /// for the in-memory fabric, measured during connection establishment
+    /// for TCP. Deadline budgets (engine retries, the chaos suite) should
+    /// scale from this instead of assuming in-process delivery latency.
+    pub fn transport_rtt(&self) -> Duration {
+        self.transport.rtt_estimate()
+    }
+
+    /// Short name of the transport backend carrying this communicator's
+    /// traffic (`"mem"` or `"tcp"`).
+    pub fn transport_name(&self) -> &'static str {
+        self.transport.name()
     }
 
     /// Allocate the tag block for the next collective operation. All ranks
@@ -208,7 +222,7 @@ impl Communicator {
         assert!(dst < self.world, "destination out of range");
         let bytes = std::mem::size_of::<T>() * data.len();
         let _s = hear_telemetry::span!("send", bytes = bytes, dst = dst, tag = tag);
-        self.fabric.send_boxed(
+        self.transport.send_boxed(
             self.endpoint(self.rank),
             self.endpoint(dst),
             self.tag_with_context(tag),
@@ -236,10 +250,10 @@ impl Communicator {
         tag: u64,
         data: Vec<T>,
     ) -> Result<(), CommError> {
-        if self.fabric.is_dead(self.endpoint(dst)) {
+        if self.transport.is_dead(self.endpoint(dst)) {
             return Err(CommError::PeerDead { peer: dst });
         }
-        if self.fabric.is_dead(self.endpoint(self.rank)) {
+        if self.transport.is_dead(self.endpoint(self.rank)) {
             return Err(CommError::PeerDead { peer: self.rank });
         }
         self.send_internal(dst, tag, data);
@@ -294,7 +308,7 @@ impl Communicator {
         deadline: Option<Instant>,
     ) -> Result<Vec<T>, CommError> {
         let _s = hear_telemetry::span!("recv", src = src, tag = tag);
-        let env = self.fabric.recv_on(
+        let env = self.transport.recv_on(
             self.endpoint(self.rank),
             self.endpoint(src),
             self.tag_with_context(tag),

@@ -1,6 +1,6 @@
-//! The message fabric: per-rank mailboxes with MPI-style `(source, tag)`
-//! matching, an optional transit-delay model, and deterministic fault
-//! injection.
+//! The in-memory message fabric: per-rank mailboxes with MPI-style
+//! `(source, tag)` matching, an optional transit-delay model, and
+//! deterministic fault injection.
 //!
 //! Senders deposit messages directly into the destination mailbox and
 //! continue (an eager/RDMA-like model); receivers block on a condition
@@ -18,6 +18,11 @@
 //! An armed fault plan additionally drops, delays, duplicates, or
 //! corrupts messages inside [`Fabric::send_boxed`], deterministically in
 //! the message identity.
+//!
+//! The mailbox matcher ([`Mailbox`], [`recv_on_mailboxes`]) and the link
+//! serialization clock ([`LinkClock`]) are shared with the
+//! [`tcp`](crate::tcp) backend, which replaces only the wire underneath
+//! them with real kernel sockets.
 
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
@@ -26,12 +31,13 @@ use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::error::CommError;
-use crate::fault::{FaultAction, FaultPlan, FaultState};
+use crate::fault::{filter_send, FaultPlan, FaultState, SendDecision};
+use crate::transport::{Envelope, Transport};
 
 /// Lock ignoring poisoning: the fabric must stay usable when a sibling
 /// rank's thread panics mid-send (failure-injection tests rely on this,
 /// and it matches the `parking_lot` semantics this module started with).
-fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -97,16 +103,42 @@ impl NetConfig {
     }
 }
 
-pub(crate) struct Envelope {
-    pub payload: Box<dyn Any + Send>,
-    pub available_at: Instant,
+/// Per-directed-link serialization clock for the α–β model: a message
+/// starts its transit only after the previous message on the same
+/// `(from, to)` link has fully left the wire, so concurrent sends share
+/// the link's finite rate instead of overlapping for free. (Latency α
+/// still pipelines across links.)
+pub(crate) struct LinkClock {
+    net: NetConfig,
+    busy_until: Mutex<HashMap<(usize, usize), Instant>>,
 }
 
-impl std::fmt::Debug for Envelope {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Envelope")
-            .field("available_at", &self.available_at)
-            .finish_non_exhaustive()
+impl LinkClock {
+    pub fn new(net: NetConfig) -> Self {
+        LinkClock {
+            net,
+            busy_until: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn net(&self) -> &NetConfig {
+        &self.net
+    }
+
+    /// When a `bytes`-sized message sent now on `from → to` becomes
+    /// consumable, including any injected extra delay.
+    pub fn available_at(&self, from: usize, to: usize, bytes: usize, extra: Duration) -> Instant {
+        let now = Instant::now();
+        if self.net.is_instant() {
+            return now + extra;
+        }
+        let serialization = Duration::from_nanos((self.net.beta_ns_per_byte * bytes as f64) as u64);
+        let mut links = lock_unpoisoned(&self.busy_until);
+        let busy = links.entry((from, to)).or_insert(now);
+        let start = (*busy).max(now);
+        let done = start + serialization;
+        *busy = done;
+        done + self.net.alpha + extra
     }
 }
 
@@ -141,6 +173,12 @@ impl Mailbox {
     pub fn deposit(&self, source: usize, tag: u64, env: Envelope) {
         let mut st = lock_unpoisoned(&self.state);
         st.queues.entry((source, tag)).or_default().push_back(env);
+        self.signal.notify_all();
+    }
+
+    /// Wake every parked receiver (used when an endpoint dies, so waits
+    /// re-check death flags instead of sleeping out their slice).
+    pub fn wake(&self) {
         self.signal.notify_all();
     }
 
@@ -190,18 +228,109 @@ impl Mailbox {
     }
 }
 
-/// The shared fabric: one mailbox per endpoint (ranks first, then any
-/// in-network switch nodes), the delay model, per-endpoint death flags,
-/// and an optional fault plan.
+/// The backend-independent receive loop over a mailbox array: bounded
+/// spin, then bounded condvar parks, with the check order every pass being
+/// matching message → `source` dead → `me` dead → deadline expired.
 ///
-/// Bandwidth is serialized per directed link: a message starts its transit
-/// only after the previous message on the same `(from, to)` link has fully
-/// left the wire, so concurrent sends share the link's finite rate instead
-/// of overlapping for free. (Latency α still pipelines across links.)
+/// Arrival is polled with a bounded spin (yielding the core each miss)
+/// before parking: the pipelined allreduce path counts on that fast wake
+/// for back-to-back block handoffs. Parks are bounded `wait_timeout`
+/// slices so a missed wakeup (or a kill racing the dead-flag check)
+/// delays the verdict by at most [`WAIT_SLICE`].
+///
+/// A message still in modeled transit past the deadline is pushed back to
+/// the *front* of its queue (preserving FIFO) and reported as `Timeout` —
+/// the message is late, not lost.
+pub(crate) fn recv_on_mailboxes(
+    mailboxes: &[Mailbox],
+    is_dead: &dyn Fn(usize) -> bool,
+    me: usize,
+    source: usize,
+    tag: u64,
+    deadline: Option<Instant>,
+) -> Result<Envelope, CommError> {
+    let started = Instant::now();
+    let mb = &mailboxes[me];
+    let mut early = None;
+    for _ in 0..128 {
+        if let Some(env) = lock_unpoisoned(&mb.state).pop_match(source, tag) {
+            early = Some(env);
+            break;
+        }
+        std::thread::yield_now();
+    }
+    if early.is_some() {
+        hear_telemetry::incr(hear_telemetry::Metric::MailboxSpinHits);
+    }
+    let env = match early {
+        Some(env) => env,
+        None => {
+            hear_telemetry::incr(hear_telemetry::Metric::MailboxParks);
+            let mut st = lock_unpoisoned(&mb.state);
+            loop {
+                if let Some(env) = st.pop_match(source, tag) {
+                    break env;
+                }
+                if is_dead(source) {
+                    return Err(CommError::PeerDead { peer: source });
+                }
+                if is_dead(me) {
+                    return Err(CommError::PeerDead { peer: me });
+                }
+                let now = Instant::now();
+                let slice = match deadline {
+                    Some(dl) if now >= dl => {
+                        return Err(CommError::Timeout {
+                            source,
+                            tag,
+                            waited: started.elapsed(),
+                        });
+                    }
+                    Some(dl) => (dl - now).min(WAIT_SLICE),
+                    None => WAIT_SLICE,
+                };
+                let (guard, _timeout) = mb
+                    .signal
+                    .wait_timeout(st, slice)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+            }
+        }
+    };
+    let now = Instant::now();
+    if env.available_at > now {
+        if let Some(dl) = deadline {
+            if env.available_at > dl {
+                lock_unpoisoned(&mb.state).push_front(source, tag, env);
+                return Err(CommError::Timeout {
+                    source,
+                    tag,
+                    waited: started.elapsed(),
+                });
+            }
+        }
+        let wait = env.available_at - now;
+        record_transit_wait(wait);
+        std::thread::sleep(wait);
+    }
+    Ok(env)
+}
+
+/// Count one delivered message in the global telemetry registry (shared
+/// by every transport backend so dashboards do not care which wire moved
+/// the bytes).
+pub(crate) fn count_delivery(bytes: usize) {
+    hear_telemetry::incr(hear_telemetry::Metric::FabricMsgs);
+    hear_telemetry::add(hear_telemetry::Metric::FabricBytes, bytes as u64);
+    hear_telemetry::observe(hear_telemetry::Hist::FabricMsgBytes, bytes as u64);
+}
+
+/// The shared in-memory fabric: one mailbox per endpoint (ranks first,
+/// then any in-network switch nodes), the delay model, per-endpoint death
+/// flags, and an optional fault plan.
 pub(crate) struct Fabric {
     pub mailboxes: Vec<Mailbox>,
-    pub net: NetConfig,
-    link_busy_until: Mutex<HashMap<(usize, usize), Instant>>,
+    clock: LinkClock,
     dead: Vec<AtomicBool>,
     faults: Option<(FaultPlan, FaultState)>,
 }
@@ -221,8 +350,7 @@ impl Fabric {
         }
         Fabric {
             mailboxes: (0..endpoints).map(|_| Mailbox::default()).collect(),
-            net,
-            link_busy_until: Mutex::new(HashMap::new()),
+            clock: LinkClock::new(net),
             dead,
             faults: faults.map(|p| {
                 let st = FaultState::new(endpoints);
@@ -242,7 +370,7 @@ impl Fabric {
     pub fn kill(&self, endpoint: usize) {
         if !self.dead[endpoint].swap(true, Ordering::SeqCst) {
             for mb in &self.mailboxes {
-                mb.signal.notify_all();
+                mb.wake();
             }
         }
     }
@@ -263,43 +391,19 @@ impl Fabric {
         if self.is_dead(from) {
             return; // a dead endpoint emits nothing
         }
-        let Some((plan, state)) = &self.faults else {
-            self.deliver(from, to, tag, payload, bytes, Duration::ZERO);
-            return;
-        };
-        // The send ordinal is the victim's own outbound count, so kill
-        // triggers are independent of cross-thread scheduling. The
-        // triggering send itself still completes ("dies after N sends").
-        let ordinal = state.count_send(from);
-        let kill_after = plan.kill_triggered(from, ordinal);
-        if !self.is_dead(to) {
-            let link_seq = state.next_link_seq(from, to);
-            match plan.action_for(from, to, tag, link_seq) {
-                FaultAction::Deliver => {
-                    self.deliver(from, to, tag, payload, bytes, Duration::ZERO);
-                }
-                FaultAction::Drop => {
-                    hear_telemetry::incr(hear_telemetry::Metric::FaultDrop);
-                }
-                FaultAction::Delay(by) => {
-                    hear_telemetry::incr(hear_telemetry::Metric::FaultDelay);
-                    self.deliver(from, to, tag, payload, bytes, by);
-                }
-                FaultAction::Duplicate => {
-                    if let Some(copy) = plan.clone_payload(payload.as_ref()) {
-                        hear_telemetry::incr(hear_telemetry::Metric::FaultDuplicate);
-                        self.deliver(from, to, tag, copy, bytes, Duration::ZERO);
-                    }
-                    self.deliver(from, to, tag, payload, bytes, Duration::ZERO);
-                }
-                FaultAction::Corrupt => {
-                    let word = plan.corruption_word(from, to, tag, link_seq);
-                    if plan.corrupt_payload(payload.as_mut(), word) {
-                        hear_telemetry::incr(hear_telemetry::Metric::FaultCorrupt);
-                    }
-                    self.deliver(from, to, tag, payload, bytes, Duration::ZERO);
-                }
+        let (decision, kill_after) = filter_send(
+            self.faults.as_ref(),
+            self.is_dead(to),
+            from,
+            to,
+            tag,
+            &mut payload,
+        );
+        if let SendDecision::Deliver { dup, extra_delay } = decision {
+            if let Some(copy) = dup {
+                self.deliver(from, to, tag, copy, bytes, Duration::ZERO);
             }
+            self.deliver(from, to, tag, payload, bytes, extra_delay);
         }
         if kill_after {
             self.kill_injected(from);
@@ -315,22 +419,8 @@ impl Fabric {
         bytes: usize,
         extra_delay: Duration,
     ) {
-        hear_telemetry::incr(hear_telemetry::Metric::FabricMsgs);
-        hear_telemetry::add(hear_telemetry::Metric::FabricBytes, bytes as u64);
-        hear_telemetry::observe(hear_telemetry::Hist::FabricMsgBytes, bytes as u64);
-        let now = Instant::now();
-        let available_at = if self.net.is_instant() {
-            now + extra_delay
-        } else {
-            let serialization =
-                Duration::from_nanos((self.net.beta_ns_per_byte * bytes as f64) as u64);
-            let mut links = lock_unpoisoned(&self.link_busy_until);
-            let busy = links.entry((from, to)).or_insert(now);
-            let start = (*busy).max(now);
-            let done = start + serialization;
-            *busy = done;
-            done + self.net.alpha + extra_delay
-        };
+        count_delivery(bytes);
+        let available_at = self.clock.available_at(from, to, bytes, extra_delay);
         self.mailboxes[to].deposit(
             from,
             tag,
@@ -342,20 +432,8 @@ impl Fabric {
     }
 
     /// Receive on endpoint `me` a message matching `(source, tag)`,
-    /// optionally bounded by a deadline.
-    ///
-    /// Check order on every pass: matching message → `source` dead →
-    /// `me` dead → deadline expired. Arrival is polled with a bounded
-    /// spin (yielding the core each miss) before parking, as in the
-    /// original infallible `take`: the pipelined allreduce path counts
-    /// on that fast wake for back-to-back block handoffs. Parks are
-    /// bounded `wait_timeout` slices so a missed wakeup (or a kill
-    /// racing the dead-flag check) delays the verdict by at most
-    /// [`WAIT_SLICE`].
-    ///
-    /// A message still in modeled transit past the deadline is pushed
-    /// back to the *front* of its queue (preserving FIFO) and reported
-    /// as `Timeout` — the message is late, not lost.
+    /// optionally bounded by a deadline. See [`recv_on_mailboxes`] for
+    /// the matching and failure semantics.
     pub fn recv_on(
         &self,
         me: usize,
@@ -363,71 +441,59 @@ impl Fabric {
         tag: u64,
         deadline: Option<Instant>,
     ) -> Result<Envelope, CommError> {
-        let started = Instant::now();
-        let mb = &self.mailboxes[me];
-        let mut early = None;
-        for _ in 0..128 {
-            if let Some(env) = lock_unpoisoned(&mb.state).pop_match(source, tag) {
-                early = Some(env);
-                break;
-            }
-            std::thread::yield_now();
-        }
-        if early.is_some() {
-            hear_telemetry::incr(hear_telemetry::Metric::MailboxSpinHits);
-        }
-        let env = match early {
-            Some(env) => env,
-            None => {
-                hear_telemetry::incr(hear_telemetry::Metric::MailboxParks);
-                let mut st = lock_unpoisoned(&mb.state);
-                loop {
-                    if let Some(env) = st.pop_match(source, tag) {
-                        break env;
-                    }
-                    if self.is_dead(source) {
-                        return Err(CommError::PeerDead { peer: source });
-                    }
-                    if self.is_dead(me) {
-                        return Err(CommError::PeerDead { peer: me });
-                    }
-                    let now = Instant::now();
-                    let slice = match deadline {
-                        Some(dl) if now >= dl => {
-                            return Err(CommError::Timeout {
-                                source,
-                                tag,
-                                waited: started.elapsed(),
-                            });
-                        }
-                        Some(dl) => (dl - now).min(WAIT_SLICE),
-                        None => WAIT_SLICE,
-                    };
-                    let (guard, _timeout) = mb
-                        .signal
-                        .wait_timeout(st, slice)
-                        .unwrap_or_else(PoisonError::into_inner);
-                    st = guard;
-                }
-            }
-        };
-        let now = Instant::now();
-        if env.available_at > now {
-            if let Some(dl) = deadline {
-                if env.available_at > dl {
-                    lock_unpoisoned(&mb.state).push_front(source, tag, env);
-                    return Err(CommError::Timeout {
-                        source,
-                        tag,
-                        waited: started.elapsed(),
-                    });
-                }
-            }
-            let wait = env.available_at - now;
-            record_transit_wait(wait);
-            std::thread::sleep(wait);
-        }
-        Ok(env)
+        recv_on_mailboxes(
+            &self.mailboxes,
+            &|ep| self.is_dead(ep),
+            me,
+            source,
+            tag,
+            deadline,
+        )
+    }
+}
+
+impl Transport for Fabric {
+    fn endpoints(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    fn send_boxed(
+        &self,
+        from: usize,
+        to: usize,
+        tag: u64,
+        payload: Box<dyn Any + Send>,
+        bytes: usize,
+    ) {
+        Fabric::send_boxed(self, from, to, tag, payload, bytes);
+    }
+
+    fn recv_on(
+        &self,
+        me: usize,
+        source: usize,
+        tag: u64,
+        deadline: Option<Instant>,
+    ) -> Result<Envelope, CommError> {
+        Fabric::recv_on(self, me, source, tag, deadline)
+    }
+
+    fn is_dead(&self, endpoint: usize) -> bool {
+        Fabric::is_dead(self, endpoint)
+    }
+
+    fn kill(&self, endpoint: usize) {
+        Fabric::kill(self, endpoint);
+    }
+
+    fn rtt_estimate(&self) -> Duration {
+        // A round trip through two mailboxes is two condvar wakes plus
+        // twice the modeled α; the floor covers scheduler wake latency.
+        (self.clock.net().alpha * 2).max(Duration::from_micros(50))
+    }
+
+    fn name(&self) -> &'static str {
+        "mem"
     }
 }
 
@@ -689,5 +755,26 @@ mod tests {
         fab.send_boxed(0, 1, 0, Box::new(1u8), 1);
         let err = fab.recv_on(1, 0, 0, None).unwrap_err();
         assert_eq!(err, CommError::PeerDead { peer: 0 });
+    }
+
+    #[test]
+    fn fabric_transport_rtt_floor() {
+        let fab = Fabric::new(2, NetConfig::instant());
+        let t: &dyn Transport = &fab;
+        assert!(t.rtt_estimate() >= Duration::from_micros(50));
+        assert_eq!(t.name(), "mem");
+        assert_eq!(t.endpoints(), 2);
+        let slow = Fabric::new(
+            2,
+            NetConfig {
+                alpha: Duration::from_millis(10),
+                beta_ns_per_byte: 0.0,
+            },
+        );
+        assert_eq!(
+            Transport::rtt_estimate(&slow),
+            Duration::from_millis(20),
+            "modeled α dominates the floor"
+        );
     }
 }

@@ -254,6 +254,93 @@ impl FaultState {
     }
 }
 
+/// The transport-independent verdict of [`filter_send`] for one message:
+/// deliver (with an optional duplicate copy and extra injected delay), or
+/// drop it. The payload passed in may have been corrupted in place.
+pub(crate) enum SendDecision {
+    Deliver {
+        dup: Option<Box<dyn Any + Send>>,
+        extra_delay: Duration,
+    },
+    Drop,
+}
+
+/// Apply an (optional) armed fault plan to one outbound message. This is
+/// the single fault-decision point shared by every transport backend: the
+/// in-memory fabric applies it just before mailbox deposit, the TCP
+/// backend just before wire encoding (while the payload is still typed, so
+/// the corruptor/cloner hooks work unchanged over sockets).
+///
+/// Returns the decision plus whether this send triggers the sender's
+/// kill. When `to` is already dead the message is dropped without
+/// counting a fault (a corpse receives nothing), but the sender's send
+/// ordinal still advances — kill triggers stay schedule-independent.
+pub(crate) fn filter_send(
+    faults: Option<&(FaultPlan, FaultState)>,
+    to_is_dead: bool,
+    from: usize,
+    to: usize,
+    tag: u64,
+    payload: &mut Box<dyn Any + Send>,
+) -> (SendDecision, bool) {
+    let Some((plan, state)) = faults else {
+        return (
+            SendDecision::Deliver {
+                dup: None,
+                extra_delay: Duration::ZERO,
+            },
+            false,
+        );
+    };
+    // The send ordinal is the victim's own outbound count, so kill
+    // triggers are independent of cross-thread scheduling. The
+    // triggering send itself still completes ("dies after N sends").
+    let ordinal = state.count_send(from);
+    let kill_after = plan.kill_triggered(from, ordinal);
+    if to_is_dead {
+        return (SendDecision::Drop, kill_after);
+    }
+    let link_seq = state.next_link_seq(from, to);
+    let decision = match plan.action_for(from, to, tag, link_seq) {
+        FaultAction::Deliver => SendDecision::Deliver {
+            dup: None,
+            extra_delay: Duration::ZERO,
+        },
+        FaultAction::Drop => {
+            hear_telemetry::incr(hear_telemetry::Metric::FaultDrop);
+            SendDecision::Drop
+        }
+        FaultAction::Delay(by) => {
+            hear_telemetry::incr(hear_telemetry::Metric::FaultDelay);
+            SendDecision::Deliver {
+                dup: None,
+                extra_delay: by,
+            }
+        }
+        FaultAction::Duplicate => {
+            let dup = plan.clone_payload(payload.as_ref());
+            if dup.is_some() {
+                hear_telemetry::incr(hear_telemetry::Metric::FaultDuplicate);
+            }
+            SendDecision::Deliver {
+                dup,
+                extra_delay: Duration::ZERO,
+            }
+        }
+        FaultAction::Corrupt => {
+            let word = plan.corruption_word(from, to, tag, link_seq);
+            if plan.corrupt_payload(payload.as_mut(), word) {
+                hear_telemetry::incr(hear_telemetry::Metric::FaultCorrupt);
+            }
+            SendDecision::Deliver {
+                dup: None,
+                extra_delay: Duration::ZERO,
+            }
+        }
+    };
+    (decision, kill_after)
+}
+
 /// SplitMix64-style avalanche over the five identity words.
 fn mix_identity(seed: u64, from: u64, to: u64, tag: u64, link_seq: u64) -> u64 {
     let mut h = seed ^ 0x51_7c_c1_b7_27_22_0a_95;

@@ -15,7 +15,7 @@
 
 use crate::comm::Communicator;
 use crate::error::CommError;
-use crate::fabric::Fabric;
+use crate::transport::Transport;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -132,7 +132,7 @@ impl SwitchTopology {
 /// ranks waiting below observe their own `Timeout`/`PeerDead` and map it
 /// to `SwitchDown`.
 pub(crate) fn switch_node_service<T, F>(
-    fabric: &Arc<Fabric>,
+    fabric: &Arc<dyn Transport>,
     topo: &SwitchTopology,
     node: usize,
     tag: u64,
@@ -292,9 +292,9 @@ impl Communicator {
         let leaf_node = topo.leaf_of_rank[self.rank()];
         let leaf = topo.base_endpoint + leaf_node;
         let bytes = std::mem::size_of_val(&data[..]);
-        self.fabric
+        self.transport
             .send_boxed(self.rank(), leaf, tag, Box::new(data), bytes);
-        let env = match self.fabric.recv_on(self.rank(), leaf, tag + 1, deadline) {
+        let env = match self.transport.recv_on(self.rank(), leaf, tag + 1, deadline) {
             Ok(env) => env,
             Err(CommError::Timeout { .. }) => {
                 return Err(CommError::SwitchDown { node: leaf_node });

@@ -28,13 +28,19 @@ mod error;
 mod fabric;
 mod fault;
 pub mod inc;
+pub mod launch;
 mod nonblocking;
 mod simulator;
+pub mod tcp;
+mod transport;
 
 pub use comm::{Communicator, ATTEMPT_TAG_STRIDE, COLL_BLOCK_TAG_STRIDE, MAX_TAG_ATTEMPTS};
 pub use error::CommError;
 pub use fabric::{thread_transit_wait_nanos, NetConfig};
 pub use fault::{Cloner, Corruptor, FaultPlan};
 pub use inc::SwitchTopology;
+pub use launch::Launcher;
 pub use nonblocking::Request;
-pub use simulator::{SimConfig, Simulator};
+pub use simulator::{SimConfig, Simulator, TransportKind};
+pub use tcp::TcpTransport;
+pub use transport::{Envelope, Transport};

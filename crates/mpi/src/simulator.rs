@@ -5,7 +5,38 @@ use crate::comm::Communicator;
 use crate::fabric::{Fabric, NetConfig};
 use crate::fault::FaultPlan;
 use crate::inc::SwitchTopology;
+use crate::transport::Transport;
 use std::sync::Arc;
+
+/// Which message-passing backend a [`Simulator`] wires under the ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Resolve from the `HEAR_TRANSPORT` environment variable at `run()`
+    /// time (`"tcp"` selects the socket backend; anything else — or the
+    /// variable being unset — selects the in-memory fabric). This is what
+    /// lets the whole test and bench suite switch backends with one env
+    /// var and zero per-test edits.
+    #[default]
+    FromEnv,
+    /// The in-memory mailbox fabric (single process, zero copies).
+    Memory,
+    /// A real-socket loopback mesh: every endpoint pair is connected by a
+    /// kernel TCP socket and every message is framed onto the wire, while
+    /// all endpoints still live in this process.
+    Tcp,
+}
+
+impl TransportKind {
+    pub(crate) fn resolve(self) -> TransportKind {
+        match self {
+            TransportKind::FromEnv => match std::env::var("HEAR_TRANSPORT").as_deref() {
+                Ok("tcp") => TransportKind::Tcp,
+                _ => TransportKind::Memory,
+            },
+            other => other,
+        }
+    }
+}
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -15,6 +46,8 @@ pub struct SimConfig {
     pub switch_radix: Option<usize>,
     /// Deterministic fault-injection plan; `None` runs a healthy fabric.
     pub faults: Option<FaultPlan>,
+    /// Backend selection; defaults to honouring `HEAR_TRANSPORT`.
+    pub transport: TransportKind,
 }
 
 impl Default for SimConfig {
@@ -23,6 +56,7 @@ impl Default for SimConfig {
             net: NetConfig::instant(),
             switch_radix: None,
             faults: None,
+            transport: TransportKind::FromEnv,
         }
     }
 }
@@ -40,6 +74,11 @@ impl SimConfig {
 
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
         self
     }
 }
@@ -72,14 +111,24 @@ impl Simulator {
             .switch_radix
             .map(|radix| Arc::new(SwitchTopology::build(self.world, radix, self.world)));
         let endpoints = self.world + topo.as_ref().map_or(0, |t| t.nodes);
-        let fabric = Arc::new(Fabric::with_faults(
-            endpoints,
-            self.config.net,
-            self.config.faults.clone(),
-        ));
+        let transport: Arc<dyn Transport> = match self.config.transport.resolve() {
+            TransportKind::Tcp => Arc::new(
+                crate::tcp::TcpTransport::mesh(
+                    endpoints,
+                    self.config.net,
+                    self.config.faults.clone(),
+                )
+                .expect("loopback TCP mesh construction failed"),
+            ),
+            _ => Arc::new(Fabric::with_faults(
+                endpoints,
+                self.config.net,
+                self.config.faults.clone(),
+            )),
+        };
         let comms: Vec<Communicator> = (0..self.world)
             .map(|rank| {
-                let mut c = Communicator::new(rank, self.world, fabric.clone());
+                let mut c = Communicator::new(rank, self.world, transport.clone());
                 c.set_switch(topo.clone());
                 c
             })
@@ -95,7 +144,7 @@ impl Simulator {
                 .iter()
                 .map(|comm| {
                     let tele = tele.clone();
-                    let fabric = fabric.clone();
+                    let transport = transport.clone();
                     scope.spawn(move || {
                         let _tele = tele.map(|(reg, _)| reg.install(Some(comm.rank())));
                         // A panicking rank is marked dead before the panic
@@ -105,7 +154,7 @@ impl Simulator {
                         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm))) {
                             Ok(r) => r,
                             Err(payload) => {
-                                fabric.kill(rank);
+                                transport.kill(rank);
                                 std::panic::resume_unwind(payload);
                             }
                         }

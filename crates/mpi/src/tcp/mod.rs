@@ -1,0 +1,1064 @@
+//! The TCP transport: real kernel sockets under the same mailbox matcher.
+//!
+//! Two deployment shapes, one [`Transport`] implementation:
+//!
+//! * **Loopback mesh** ([`TcpTransport::mesh`]): every endpoint lives in
+//!   this process (exactly like the in-memory fabric), but each unordered
+//!   endpoint pair is joined by a genuine `127.0.0.1` socket pair and every
+//!   non-self message is framed, written to the kernel, and reassembled by
+//!   a progress thread on the other side. This is what
+//!   `HEAR_TRANSPORT=tcp` selects under the [`Simulator`](crate::Simulator):
+//!   the whole existing test matrix runs with real syscalls, real frame
+//!   torn-reads, and real socket buffering in the path.
+//! * **Multi-process** ([`TcpTransport::connect`]): one OS process per
+//!   rank. Every rank binds an ephemeral data listener; rank 0 additionally
+//!   binds a rendezvous listener (fixed port via `HEAR_PORT_BASE`, or an
+//!   ephemeral port published through `HEAR_RENDEZVOUS_FILE`). Non-zero
+//!   ranks dial rank 0, introduce themselves with a `Hello{rank, port}`
+//!   frame, and receive the full rank→port `Table`; the pairwise mesh is
+//!   then completed with rank *i* dialing every rank *j < i* (the
+//!   rendezvous connections double as the data connections to rank 0).
+//!
+//! After the mesh exists, a ring RTT probe (`Ping`/`Pong` to the next
+//! rank) measures the real round trip so deadline budgets derived from
+//! [`Transport::rtt_estimate`] stay meaningful over sockets. A single
+//! progress thread then owns the read side of every connection:
+//! nonblocking reads feed per-connection [`FrameDecoder`]s, decoded
+//! messages are deposited into the same [`Mailbox`] array the in-memory
+//! fabric uses (so `recv_on` semantics — FIFO per `(source, tag)`, typed
+//! deadlines, death flags — are shared code, not reimplemented).
+//!
+//! Failure mapping: EOF / read error / corrupt frame header on a
+//! connection marks the attributed peer dead and wakes every waiter, so
+//! blocked receives resolve to `CommError::PeerDead`; a payload that
+//! cannot be decoded poisons only its own message (the matching receive
+//! gets `CommError::TypeMismatch`). Deadline expiry stays `Timeout`, same
+//! as the in-memory fabric. Fault plans are applied *before* encoding,
+//! while the payload is still typed, so the chaos suite's corrupt /
+//! duplicate / drop / delay / kill injections work unchanged over sockets.
+
+pub mod wire;
+
+use std::any::Any;
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::CommError;
+use crate::fabric::{
+    count_delivery, lock_unpoisoned, recv_on_mailboxes, LinkClock, Mailbox, NetConfig,
+};
+use crate::fault::{filter_send, FaultPlan, FaultState, SendDecision};
+use crate::transport::{Envelope, Transport};
+use wire::{encode_frame, Frame, FrameDecoder, FrameHeader, FrameKind};
+
+/// Default ceiling on connection establishment (bind + rendezvous + mesh
+/// + RTT probe), overridable with `HEAR_TCP_SETUP_TIMEOUT_MS`.
+const DEFAULT_SETUP_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Floor for the measured RTT: below this, condvar wake latency dominates
+/// and a tighter deadline budget would only produce false timeouts.
+const RTT_FLOOR: Duration = Duration::from_micros(50);
+
+/// Ping/pong iterations of the setup RTT probe.
+const RTT_PROBES: u32 = 4;
+
+fn setup_timeout() -> Duration {
+    std::env::var("HEAR_TCP_SETUP_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(DEFAULT_SETUP_TIMEOUT)
+}
+
+/// How rank 0's rendezvous listener is found by the other ranks.
+#[derive(Debug, Clone)]
+pub enum Rendezvous {
+    /// Rank 0 binds exactly this port; everyone else dials it directly.
+    Port(u16),
+    /// Rank 0 binds an ephemeral port and publishes it through this file
+    /// (written atomically via rename); everyone else polls the file.
+    /// This is the hygienic default: no fixed port, so concurrent
+    /// launchers on one host never collide.
+    File(PathBuf),
+}
+
+impl Rendezvous {
+    /// `HEAR_PORT_BASE` (explicit port) or `HEAR_RENDEZVOUS_FILE`.
+    pub fn from_env() -> Option<Rendezvous> {
+        if let Ok(p) = std::env::var("HEAR_PORT_BASE") {
+            return p.parse::<u16>().ok().map(Rendezvous::Port);
+        }
+        std::env::var("HEAR_RENDEZVOUS_FILE")
+            .ok()
+            .map(|p| Rendezvous::File(PathBuf::from(p)))
+    }
+}
+
+/// Which endpoints this process hosts, and how frames route out.
+enum Topology {
+    /// All endpoints in-process; `writers[from * total + to]` is the
+    /// from-side of the socket pair joining the two.
+    Mesh {
+        writers: Vec<Option<Mutex<TcpStream>>>,
+    },
+    /// One process per rank; `writers[peer]` is the connection to `peer`.
+    Proc {
+        me: usize,
+        writers: Vec<Option<Mutex<TcpStream>>>,
+    },
+}
+
+/// An inbound payload still in wire form. Frames are deposited encoded
+/// and decoded at `recv_on` time, so codec registration only has to
+/// happen before the *receiver* asks — not before the sender's bytes hit
+/// this process (multi-process setup races otherwise).
+struct RawPayload {
+    wire_id: u32,
+    bytes: Vec<u8>,
+}
+
+struct Inner {
+    total: usize,
+    topo: Topology,
+    mailboxes: Vec<Mailbox>,
+    dead: Vec<AtomicBool>,
+    clock: LinkClock,
+    faults: Option<(FaultPlan, FaultState)>,
+    rtt: Duration,
+    shutdown: AtomicBool,
+}
+
+/// One connection's read side, owned by the progress thread.
+struct ReadConn {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    /// The endpoint whose outbound frames appear here; EOF or a corrupt
+    /// stream implicates this endpoint.
+    peer: usize,
+    alive: bool,
+}
+
+/// See the [module docs](self) for the protocol; see [`Transport`] for
+/// the contract this satisfies.
+pub struct TcpTransport {
+    inner: Arc<Inner>,
+    progress: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Inner {
+    fn mark_dead(&self, endpoint: usize) {
+        if endpoint < self.total && !self.dead[endpoint].swap(true, Ordering::SeqCst) {
+            for mb in &self.mailboxes {
+                mb.wake();
+            }
+        }
+    }
+
+    fn is_dead(&self, endpoint: usize) -> bool {
+        endpoint < self.total && self.dead[endpoint].load(Ordering::SeqCst)
+    }
+
+    fn writer_for(&self, from: usize, to: usize) -> Option<&Mutex<TcpStream>> {
+        match &self.topo {
+            Topology::Mesh { writers } => writers.get(from * self.total + to)?.as_ref(),
+            Topology::Proc { writers, .. } => writers.get(to)?.as_ref(),
+        }
+    }
+
+    /// Whether a message `from → to` is deposited straight into the local
+    /// mailbox (no socket): self-sends in mesh mode, the local rank in
+    /// multi-process mode.
+    fn deposits_locally(&self, from: usize, to: usize) -> bool {
+        match &self.topo {
+            Topology::Mesh { .. } => from == to,
+            Topology::Proc { me, .. } => to == *me,
+        }
+    }
+
+    fn deposit(
+        &self,
+        from: usize,
+        to: usize,
+        tag: u64,
+        payload: Box<dyn Any + Send>,
+        bytes: usize,
+        extra: Duration,
+    ) {
+        count_delivery(bytes);
+        let available_at = self.clock.available_at(from, to, bytes, extra);
+        self.mailboxes[to].deposit(
+            from,
+            tag,
+            Envelope {
+                payload,
+                available_at,
+            },
+        );
+    }
+
+    /// Frame a typed message and push it down the right socket; a write
+    /// failure means the connection is gone, so the peer is marked dead.
+    fn ship(
+        &self,
+        from: usize,
+        to: usize,
+        tag: u64,
+        payload: Box<dyn Any + Send>,
+        bytes: usize,
+        extra: Duration,
+    ) {
+        if to >= self.total {
+            debug_assert!(
+                false,
+                "send to endpoint {to} outside this transport ({})",
+                self.total
+            );
+            return;
+        }
+        if self.deposits_locally(from, to) {
+            self.deposit(from, to, tag, payload, bytes, extra);
+            return;
+        }
+        let (type_id, body) = wire::encode_payload(payload.as_ref());
+        let header = FrameHeader {
+            kind: FrameKind::Msg,
+            type_id,
+            from: from as u32,
+            to: to as u32,
+            tag,
+            delay_ns: u64::try_from(extra.as_nanos())
+                .unwrap_or(u64::MAX)
+                .min(u32::MAX as u64) as u32,
+            len: 0,
+        };
+        self.write_frame(from, to, &encode_frame(header, &body));
+    }
+
+    fn write_frame(&self, from: usize, to: usize, bytes: &[u8]) {
+        let Some(w) = self.writer_for(from, to) else {
+            return;
+        };
+        let mut s = lock_unpoisoned(w);
+        if s.write_all(bytes).and_then(|_| s.flush()).is_err() {
+            drop(s);
+            self.mark_dead(to);
+        }
+    }
+
+    /// Progress-thread handler for one reassembled frame.
+    fn handle_frame(&self, frame: Frame) {
+        let from = frame.header.from as usize;
+        let to = frame.header.to as usize;
+        match frame.header.kind {
+            FrameKind::Msg => {
+                if to >= self.total {
+                    return;
+                }
+                // Deposit the *encoded* bytes and decode lazily at
+                // `recv_on`: a peer's first frames can arrive before this
+                // process has registered its payload codecs (codec
+                // registration rides application setup, e.g.
+                // `SecureComm::new`), and by the time a receiver asks for
+                // the message, its codecs are necessarily in place.
+                let len = frame.payload.len();
+                let raw = RawPayload {
+                    wire_id: frame.header.type_id,
+                    bytes: frame.payload,
+                };
+                let extra = Duration::from_nanos(frame.header.delay_ns as u64);
+                self.deposit(from, to, frame.header.tag, Box::new(raw), len, extra);
+            }
+            FrameKind::Ping => {
+                // A live-phase probe: answer from the pinged endpoint.
+                self.write_frame(
+                    to,
+                    from,
+                    &encode_frame(FrameHeader::control(FrameKind::Pong, to), &[]),
+                );
+            }
+            // Setup-phase kinds arriving late are stale; FIFO per
+            // connection means this cannot happen for a well-behaved peer.
+            FrameKind::Hello | FrameKind::Table | FrameKind::Pong => {}
+        }
+    }
+}
+
+/// The progress engine: nonblocking reads over every connection, frame
+/// reassembly, and mailbox deposit. One thread per transport.
+fn progress_loop(inner: Arc<Inner>, mut conns: Vec<ReadConn>) {
+    let mut buf = vec![0u8; 64 << 10];
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut idle = true;
+        for c in conns.iter_mut().filter(|c| c.alive) {
+            loop {
+                match c.stream.read(&mut buf) {
+                    Ok(0) => {
+                        c.alive = false;
+                        if !inner.shutdown.load(Ordering::SeqCst) {
+                            inner.mark_dead(c.peer);
+                        }
+                        break;
+                    }
+                    Ok(n) => {
+                        idle = false;
+                        c.dec.push(&buf[..n]);
+                        loop {
+                            match c.dec.next_frame() {
+                                Ok(Some(frame)) => inner.handle_frame(frame),
+                                Ok(None) => break,
+                                Err(_) => {
+                                    // Corrupt stream: unrecoverable desync.
+                                    c.alive = false;
+                                    inner.mark_dead(c.peer);
+                                    break;
+                                }
+                            }
+                        }
+                        if !c.alive || n < buf.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        c.alive = false;
+                        if !inner.shutdown.load(Ordering::SeqCst) {
+                            inner.mark_dead(c.peer);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        if idle {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+}
+
+/// A connected loopback socket pair.
+fn socket_pair() -> std::io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+    let addr = listener.local_addr()?;
+    let client = TcpStream::connect(addr)?;
+    let (server, _) = listener.accept()?;
+    client.set_nodelay(true)?;
+    server.set_nodelay(true)?;
+    Ok((client, server))
+}
+
+/// Blocking frame read with an absolute deadline (setup phase only; the
+/// live phase is nonblocking inside the progress thread).
+fn read_frame_deadline(
+    stream: &mut TcpStream,
+    dec: &mut FrameDecoder,
+    deadline: Instant,
+) -> std::io::Result<Frame> {
+    let mut buf = [0u8; 4096];
+    loop {
+        match dec.next_frame() {
+            Ok(Some(frame)) => return Ok(frame),
+            Ok(None) => {}
+            Err(e) => return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "setup deadline expired waiting for a frame",
+            ));
+        }
+        stream.set_read_timeout(Some((deadline - now).min(Duration::from_millis(100))))?;
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed during setup",
+                ))
+            }
+            Ok(n) => dec.push(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn expect_kind(frame: &Frame, kind: FrameKind) -> std::io::Result<()> {
+    if frame.header.kind == kind {
+        Ok(())
+    } else {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "expected {kind:?} frame during setup, got {:?}",
+                frame.header.kind
+            ),
+        ))
+    }
+}
+
+fn accept_deadline(listener: &TcpListener, deadline: Instant) -> std::io::Result<TcpStream> {
+    listener.set_nonblocking(true)?;
+    loop {
+        match listener.accept() {
+            Ok((s, _)) => {
+                s.set_nonblocking(false)?;
+                s.set_nodelay(true)?;
+                return Ok(s);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "setup deadline expired waiting for a connection",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn connect_retry(port: u16, deadline: Instant) -> std::io::Result<TcpStream> {
+    let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, port));
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!("setup deadline expired dialing 127.0.0.1:{port}"),
+            ));
+        }
+        match TcpStream::connect_timeout(&addr, (deadline - now).min(Duration::from_millis(250))) {
+            Ok(s) => {
+                s.set_nodelay(true)?;
+                return Ok(s);
+            }
+            // The peer's listener may simply not exist yet.
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Atomically publish rank 0's rendezvous port: write-to-temp + rename,
+/// so pollers never observe a half-written file.
+fn publish_port(path: &Path, port: u16) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, format!("{port}\n"))?;
+    std::fs::rename(&tmp, path)
+}
+
+fn poll_port_file(path: &Path, deadline: Instant) -> std::io::Result<u16> {
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(port) = text.trim().parse::<u16>() {
+                return Ok(port);
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!("rendezvous file {} never appeared", path.display()),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+impl TcpTransport {
+    /// Build an in-process loopback mesh over `endpoints` endpoints: one
+    /// real socket pair per unordered endpoint pair, every non-self
+    /// message crossing the kernel. Modeled α–β delay (`net`) and fault
+    /// injection compose on top exactly as in the in-memory fabric.
+    pub fn mesh(
+        endpoints: usize,
+        net: NetConfig,
+        faults: Option<FaultPlan>,
+    ) -> std::io::Result<TcpTransport> {
+        let total = endpoints;
+        let mut writers: Vec<Option<Mutex<TcpStream>>> = (0..total * total).map(|_| None).collect();
+        let mut readers: Vec<ReadConn> = Vec::with_capacity(total.saturating_sub(1) * total);
+        for a in 0..total {
+            for b in a + 1..total {
+                let (sa, sb) = socket_pair()?;
+                // Frames written into `sa` (by endpoint a) surface on `sb`
+                // and vice versa; each end is read-cloned for the progress
+                // thread and write-owned by its endpoint.
+                readers.push(ReadConn {
+                    stream: sa.try_clone()?,
+                    dec: FrameDecoder::new(),
+                    peer: b,
+                    alive: true,
+                });
+                readers.push(ReadConn {
+                    stream: sb.try_clone()?,
+                    dec: FrameDecoder::new(),
+                    peer: a,
+                    alive: true,
+                });
+                writers[a * total + b] = Some(Mutex::new(sa));
+                writers[b * total + a] = Some(Mutex::new(sb));
+            }
+        }
+
+        // RTT probe over the (0, 1) pair before anything goes nonblocking.
+        let mut rtt = RTT_FLOOR;
+        if total >= 2 {
+            let deadline = Instant::now() + setup_timeout();
+            let ping01 = encode_frame(FrameHeader::control(FrameKind::Ping, 0), &[]);
+            let pong10 = encode_frame(FrameHeader::control(FrameKind::Pong, 1), &[]);
+            let t0 = Instant::now();
+            for _ in 0..RTT_PROBES {
+                lock_unpoisoned(writers[1].as_ref().expect("pair (0,1) exists"))
+                    .write_all(&ping01)?;
+                // readers[1] is the b-side clone of pair (0, 1): endpoint
+                // 0's frames surface here.
+                let r1 = &mut readers[1];
+                let f = read_frame_deadline(&mut r1.stream, &mut r1.dec, deadline)?;
+                expect_kind(&f, FrameKind::Ping)?;
+                lock_unpoisoned(writers[total].as_ref().expect("pair (1,0) exists"))
+                    .write_all(&pong10)?;
+                let r0 = &mut readers[0];
+                let f = read_frame_deadline(&mut r0.stream, &mut r0.dec, deadline)?;
+                expect_kind(&f, FrameKind::Pong)?;
+            }
+            rtt = (t0.elapsed() / RTT_PROBES).max(RTT_FLOOR);
+        }
+
+        // Mirror `Fabric::with_faults`: endpoints scheduled to die before
+        // their first send are dead from the start, not merely on first use.
+        let dead: Vec<AtomicBool> = (0..total).map(|_| AtomicBool::new(false)).collect();
+        if let Some(plan) = &faults {
+            for ep in plan.dead_on_arrival() {
+                dead[ep].store(true, Ordering::SeqCst);
+            }
+        }
+
+        Self::finish(
+            Inner {
+                total,
+                topo: Topology::Mesh { writers },
+                mailboxes: (0..total).map(|_| Mailbox::default()).collect(),
+                dead,
+                clock: LinkClock::new(net),
+                faults: faults.map(|p| {
+                    let st = FaultState::new(total);
+                    (p, st)
+                }),
+                rtt: rtt.max(net.alpha * 2),
+                shutdown: AtomicBool::new(false),
+            },
+            readers,
+        )
+    }
+
+    /// Join a multi-process world as `rank` of `world`: full-mesh
+    /// connection establishment through the rendezvous rank (see the
+    /// [module docs](self)), a ring RTT probe, then the progress engine.
+    ///
+    /// The returned transport serves exactly the `world` rank endpoints;
+    /// in-network switch endpoints are a single-process (mesh/fabric)
+    /// feature.
+    pub fn connect(
+        rank: usize,
+        world: usize,
+        rendezvous: Rendezvous,
+        net: NetConfig,
+    ) -> std::io::Result<TcpTransport> {
+        assert!(rank < world, "rank {rank} outside world {world}");
+        let deadline = Instant::now() + setup_timeout();
+        let mut conns: Vec<Option<(TcpStream, FrameDecoder)>> = (0..world).map(|_| None).collect();
+
+        if world > 1 {
+            if rank == 0 {
+                let listener = match &rendezvous {
+                    Rendezvous::Port(p) => TcpListener::bind((Ipv4Addr::LOCALHOST, *p))?,
+                    Rendezvous::File(path) => {
+                        let l = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+                        publish_port(path, l.local_addr()?.port())?;
+                        l
+                    }
+                };
+                let mut ports = vec![0u16; world];
+                for _ in 1..world {
+                    let mut s = accept_deadline(&listener, deadline)?;
+                    let mut dec = FrameDecoder::new();
+                    let hello = read_frame_deadline(&mut s, &mut dec, deadline)?;
+                    expect_kind(&hello, FrameKind::Hello)?;
+                    let peer = hello.header.from as usize;
+                    if peer == 0
+                        || peer >= world
+                        || conns[peer].is_some()
+                        || hello.payload.len() != 2
+                    {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("bad hello from alleged rank {peer}"),
+                        ));
+                    }
+                    ports[peer] = u16::from_le_bytes([hello.payload[0], hello.payload[1]]);
+                    conns[peer] = Some((s, dec));
+                }
+                let table: Vec<u8> = ports.iter().flat_map(|p| p.to_le_bytes()).collect();
+                let frame = encode_frame(FrameHeader::control(FrameKind::Table, 0), &table);
+                for (s, _) in conns.iter_mut().flatten() {
+                    s.write_all(&frame)?;
+                }
+            } else {
+                // Every rank binds its data listener *before* talking to
+                // rank 0, so any port published in the table is live.
+                let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+                let my_port = listener.local_addr()?.port();
+                let rdv_port = match &rendezvous {
+                    Rendezvous::Port(p) => *p,
+                    Rendezvous::File(path) => poll_port_file(path, deadline)?,
+                };
+                let mut s = connect_retry(rdv_port, deadline)?;
+                s.write_all(&encode_frame(
+                    FrameHeader::control(FrameKind::Hello, rank),
+                    &my_port.to_le_bytes(),
+                ))?;
+                let mut dec = FrameDecoder::new();
+                let table = read_frame_deadline(&mut s, &mut dec, deadline)?;
+                expect_kind(&table, FrameKind::Table)?;
+                let ports: Vec<u16> = table
+                    .payload
+                    .chunks_exact(2)
+                    .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                    .collect();
+                if ports.len() != world {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "rendezvous table has the wrong arity",
+                    ));
+                }
+                conns[0] = Some((s, dec));
+                // Mesh among non-zero ranks: dial every lower rank, accept
+                // from every higher one.
+                for (j, port) in ports.iter().enumerate().take(rank).skip(1) {
+                    let mut s = connect_retry(*port, deadline)?;
+                    s.write_all(&encode_frame(
+                        FrameHeader::control(FrameKind::Hello, rank),
+                        &[],
+                    ))?;
+                    conns[j] = Some((s, FrameDecoder::new()));
+                }
+                for _ in rank + 1..world {
+                    let mut s = accept_deadline(&listener, deadline)?;
+                    let mut dec = FrameDecoder::new();
+                    let hello = read_frame_deadline(&mut s, &mut dec, deadline)?;
+                    expect_kind(&hello, FrameKind::Hello)?;
+                    let peer = hello.header.from as usize;
+                    if peer <= rank || peer >= world || conns[peer].is_some() {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("bad mesh hello from alleged rank {peer}"),
+                        ));
+                    }
+                    conns[peer] = Some((s, dec));
+                }
+            }
+        }
+
+        // Ring RTT probe: ping the next rank, serve the previous one.
+        // First writes are unconditional, so the ring cannot deadlock; per
+        // connection FIFO guarantees the probe frames drain before any
+        // data frame the progress thread should see.
+        let mut rtt = RTT_FLOOR;
+        if world > 1 {
+            let next = (rank + 1) % world;
+            let prev = (rank + world - 1) % world;
+            let t0 = Instant::now();
+            for _ in 0..RTT_PROBES {
+                {
+                    let (s, _) = conns[next].as_mut().expect("ring neighbour connected");
+                    s.write_all(&encode_frame(
+                        FrameHeader::control(FrameKind::Ping, rank),
+                        &[],
+                    ))?;
+                }
+                {
+                    let (s, dec) = conns[prev].as_mut().expect("ring neighbour connected");
+                    let f = read_frame_deadline(s, dec, deadline)?;
+                    expect_kind(&f, FrameKind::Ping)?;
+                    s.write_all(&encode_frame(
+                        FrameHeader::control(FrameKind::Pong, rank),
+                        &[],
+                    ))?;
+                }
+                {
+                    let (s, dec) = conns[next].as_mut().expect("ring neighbour connected");
+                    let f = read_frame_deadline(s, dec, deadline)?;
+                    expect_kind(&f, FrameKind::Pong)?;
+                }
+            }
+            rtt = (t0.elapsed() / RTT_PROBES).max(RTT_FLOOR);
+        }
+
+        let mut writers: Vec<Option<Mutex<TcpStream>>> = (0..world).map(|_| None).collect();
+        let mut readers: Vec<ReadConn> = Vec::with_capacity(world.saturating_sub(1));
+        for (peer, slot) in conns.into_iter().enumerate() {
+            if let Some((s, dec)) = slot {
+                s.set_read_timeout(None)?;
+                readers.push(ReadConn {
+                    stream: s.try_clone()?,
+                    dec,
+                    peer,
+                    alive: true,
+                });
+                writers[peer] = Some(Mutex::new(s));
+            }
+        }
+
+        Self::finish(
+            Inner {
+                total: world,
+                topo: Topology::Proc { me: rank, writers },
+                mailboxes: (0..world).map(|_| Mailbox::default()).collect(),
+                dead: (0..world).map(|_| AtomicBool::new(false)).collect(),
+                clock: LinkClock::new(net),
+                faults: None,
+                rtt: rtt.max(net.alpha * 2),
+                shutdown: AtomicBool::new(false),
+            },
+            readers,
+        )
+    }
+
+    /// [`TcpTransport::connect`] configured entirely from the environment
+    /// the [`Launcher`](crate::Launcher) sets: `HEAR_RANK`, `HEAR_WORLD`,
+    /// and `HEAR_PORT_BASE` / `HEAR_RENDEZVOUS_FILE`. Returns the
+    /// transport plus `(rank, world)`. `None` when the environment says
+    /// this is not a launched child.
+    pub fn connect_from_env() -> Option<std::io::Result<(TcpTransport, usize, usize)>> {
+        let rank = std::env::var("HEAR_RANK").ok()?.parse::<usize>().ok()?;
+        let world = std::env::var("HEAR_WORLD").ok()?.parse::<usize>().ok()?;
+        let rendezvous = Rendezvous::from_env()?;
+        Some(
+            TcpTransport::connect(rank, world, rendezvous, NetConfig::instant())
+                .map(|t| (t, rank, world)),
+        )
+    }
+
+    fn finish(inner: Inner, mut readers: Vec<ReadConn>) -> std::io::Result<TcpTransport> {
+        for c in &mut readers {
+            c.stream.set_nonblocking(true)?;
+        }
+        let inner = Arc::new(inner);
+        let handle = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("hear-tcp-progress".into())
+                .spawn(move || progress_loop(inner, readers))?
+        };
+        Ok(TcpTransport {
+            inner,
+            progress: Mutex::new(Some(handle)),
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn endpoints(&self) -> usize {
+        self.inner.total
+    }
+
+    fn send_boxed(
+        &self,
+        from: usize,
+        to: usize,
+        tag: u64,
+        mut payload: Box<dyn Any + Send>,
+        bytes: usize,
+    ) {
+        let inner = &*self.inner;
+        if inner.is_dead(from) {
+            return; // a dead endpoint emits nothing
+        }
+        let (decision, kill_after) = filter_send(
+            inner.faults.as_ref(),
+            inner.is_dead(to),
+            from,
+            to,
+            tag,
+            &mut payload,
+        );
+        if let SendDecision::Deliver { dup, extra_delay } = decision {
+            if let Some(copy) = dup {
+                inner.ship(from, to, tag, copy, bytes, Duration::ZERO);
+            }
+            inner.ship(from, to, tag, payload, bytes, extra_delay);
+        }
+        if kill_after {
+            hear_telemetry::incr(hear_telemetry::Metric::FaultKill);
+            self.kill(from);
+        }
+    }
+
+    fn recv_on(
+        &self,
+        me: usize,
+        source: usize,
+        tag: u64,
+        deadline: Option<Instant>,
+    ) -> Result<Envelope, CommError> {
+        let inner = &*self.inner;
+        let mut env = recv_on_mailboxes(
+            &inner.mailboxes,
+            &|ep| inner.is_dead(ep),
+            me,
+            source,
+            tag,
+            deadline,
+        )?;
+        // Socket-borne messages arrive encoded (see `handle_frame`);
+        // local deposits (self-sends, mesh-mode short circuits) are
+        // already typed and pass through untouched.
+        if env.payload.is::<RawPayload>() {
+            let raw = env
+                .payload
+                .downcast::<RawPayload>()
+                .expect("checked RawPayload");
+            env.payload = wire::decode_payload(raw.wire_id, &raw.bytes);
+        }
+        Ok(env)
+    }
+
+    fn is_dead(&self, endpoint: usize) -> bool {
+        self.inner.is_dead(endpoint)
+    }
+
+    fn kill(&self, endpoint: usize) {
+        self.inner.mark_dead(endpoint);
+        // In multi-process mode, killing the *local* rank must be visible
+        // to the other processes: shutting the sockets gives every peer an
+        // EOF, which their progress threads map to a dead endpoint.
+        if let Topology::Proc { me, writers } = &self.inner.topo {
+            if endpoint == *me {
+                for w in writers.iter().flatten() {
+                    let _ = lock_unpoisoned(w).shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
+    }
+
+    fn rtt_estimate(&self) -> Duration {
+        self.inner.rtt
+    }
+
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let shutdown_all = |writers: &[Option<Mutex<TcpStream>>]| {
+            for w in writers.iter().flatten() {
+                let _ = lock_unpoisoned(w).shutdown(std::net::Shutdown::Both);
+            }
+        };
+        match &self.inner.topo {
+            Topology::Mesh { writers } => shutdown_all(writers),
+            Topology::Proc { writers, .. } => shutdown_all(writers),
+        }
+        if let Some(h) = lock_unpoisoned(&self.progress).take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh(n: usize) -> TcpTransport {
+        TcpTransport::mesh(n, NetConfig::instant(), None).expect("loopback mesh")
+    }
+
+    #[test]
+    fn mesh_message_crosses_a_real_socket() {
+        let t = mesh(2);
+        t.send_boxed(0, 1, 7, Box::new(vec![1u64, 2, 3]), 24);
+        let env = t
+            .recv_on(1, 0, 7, Some(Instant::now() + Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(*env.payload.downcast::<Vec<u64>>().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mesh_self_send_short_circuits() {
+        let t = mesh(2);
+        t.send_boxed(0, 0, 9, Box::new(vec![5u32]), 4);
+        let env = t
+            .recv_on(0, 0, 9, Some(Instant::now() + Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(*env.payload.downcast::<Vec<u32>>().unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn mesh_fifo_survives_framing() {
+        let t = mesh(2);
+        for i in 0..50u32 {
+            t.send_boxed(0, 1, 3, Box::new(vec![i]), 4);
+        }
+        for i in 0..50u32 {
+            let env = t
+                .recv_on(1, 0, 3, Some(Instant::now() + Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(*env.payload.downcast::<Vec<u32>>().unwrap(), vec![i]);
+        }
+    }
+
+    #[test]
+    fn mesh_kill_resolves_waiters_to_peer_dead() {
+        let t = Arc::new(mesh(2));
+        let t2 = t.clone();
+        let h = std::thread::spawn(move || t2.recv_on(1, 0, 0, None));
+        std::thread::sleep(Duration::from_millis(20));
+        t.kill(0);
+        assert_eq!(
+            h.join().unwrap().unwrap_err(),
+            CommError::PeerDead { peer: 0 }
+        );
+        // And a corpse emits nothing: the send is suppressed and the
+        // receive short-circuits on the death flag.
+        t.send_boxed(0, 1, 1, Box::new(vec![1u8]), 1);
+        let err = t
+            .recv_on(1, 0, 1, Some(Instant::now() + Duration::from_millis(30)))
+            .unwrap_err();
+        assert_eq!(err, CommError::PeerDead { peer: 0 });
+    }
+
+    #[test]
+    fn mesh_timeout_is_typed() {
+        let t = mesh(2);
+        let err = t
+            .recv_on(1, 0, 42, Some(Instant::now() + Duration::from_millis(10)))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CommError::Timeout {
+                    source: 0,
+                    tag: 42,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn mesh_measures_a_positive_rtt() {
+        let t = mesh(3);
+        assert!(t.rtt_estimate() >= RTT_FLOOR);
+        assert!(
+            t.rtt_estimate() < Duration::from_secs(1),
+            "loopback rtt {:?}",
+            t.rtt_estimate()
+        );
+        assert_eq!(t.name(), "tcp");
+        assert_eq!(t.endpoints(), 3);
+    }
+
+    #[test]
+    fn mesh_faults_drop_and_duplicate_over_sockets() {
+        // Drop everything: nothing arrives.
+        let t = TcpTransport::mesh(
+            2,
+            NetConfig::instant(),
+            Some(FaultPlan::seeded(1).drop_one_in(1)),
+        )
+        .unwrap();
+        t.send_boxed(0, 1, 0, Box::new(vec![1u32]), 4);
+        assert!(matches!(
+            t.recv_on(1, 0, 0, Some(Instant::now() + Duration::from_millis(40))),
+            Err(CommError::Timeout { .. })
+        ));
+
+        // Duplicate everything: two copies arrive through the socket.
+        let t = TcpTransport::mesh(
+            2,
+            NetConfig::instant(),
+            Some(FaultPlan::seeded(1).duplicate_one_in(1)),
+        )
+        .unwrap();
+        t.send_boxed(0, 1, 0, Box::new(vec![7u32]), 4);
+        for _ in 0..2 {
+            let env = t
+                .recv_on(1, 0, 0, Some(Instant::now() + Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(*env.payload.downcast::<Vec<u32>>().unwrap(), vec![7]);
+        }
+    }
+
+    #[test]
+    fn mesh_fault_corrupt_flips_bits_before_encoding() {
+        let t = TcpTransport::mesh(
+            2,
+            NetConfig::instant(),
+            Some(FaultPlan::seeded(1).corrupt_one_in(1)),
+        )
+        .unwrap();
+        t.send_boxed(0, 1, 0, Box::new(vec![0u32; 4]), 16);
+        let env = t
+            .recv_on(1, 0, 0, Some(Instant::now() + Duration::from_secs(5)))
+            .unwrap();
+        let got = env.payload.downcast::<Vec<u32>>().unwrap();
+        let flipped: u32 = got.iter().map(|w| w.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit flipped: {got:?}");
+    }
+
+    #[test]
+    fn mesh_injected_delay_rides_the_header() {
+        let t = TcpTransport::mesh(
+            2,
+            NetConfig::instant(),
+            Some(FaultPlan::seeded(1).delay_one_in(1, Duration::from_millis(60))),
+        )
+        .unwrap();
+        t.send_boxed(0, 1, 0, Box::new(vec![9u8]), 1);
+        // The delayed message times out a tight deadline ("late, not
+        // lost")...
+        let err = t
+            .recv_on(1, 0, 0, Some(Instant::now() + Duration::from_millis(10)))
+            .unwrap_err();
+        assert!(matches!(err, CommError::Timeout { .. }));
+        // ...and is delivered intact to a patient receiver.
+        let env = t
+            .recv_on(1, 0, 0, Some(Instant::now() + Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(*env.payload.downcast::<Vec<u8>>().unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn mesh_alpha_beta_model_applies_over_sockets() {
+        let net = NetConfig {
+            alpha: Duration::from_millis(30),
+            beta_ns_per_byte: 0.0,
+        };
+        let t = TcpTransport::mesh(2, net, None).unwrap();
+        let t0 = Instant::now();
+        t.send_boxed(0, 1, 0, Box::new(vec![1u8]), 1);
+        t.recv_on(1, 0, 0, None).unwrap();
+        assert!(
+            t0.elapsed() >= Duration::from_millis(28),
+            "elapsed {:?}",
+            t0.elapsed()
+        );
+    }
+}

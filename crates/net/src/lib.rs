@@ -8,9 +8,11 @@
 
 pub mod machine;
 pub mod model;
+pub mod probe;
 
 pub use machine::{CryptoRates, Machine};
 pub use model::{
     best_algorithm, crossover_bytes, latency_with_noise, network_efficiency, rd_allreduce_time,
     ring_allreduce_time, throughput_per_node, Algo, Allocation, LatencyPoint,
 };
+pub use probe::{measure_loopback, measure_loopback_default, LinkEstimate};

@@ -16,6 +16,11 @@ export CARGO_NET_OFFLINE="${CARGO_NET_OFFLINE:-true}"
 cargo build --release "$@"
 cargo test -q "$@"
 
+# The same matrix and chaos suites again, with the transport swapped for
+# the loopback TCP socket mesh by the one environment switch — the suites
+# themselves are unchanged.
+HEAR_TRANSPORT=tcp cargo test -q -p hear --test matrix --test chaos
+
 # Traced smoke run: quickstart under HEAR_TRACE=1 must emit all three
 # telemetry formats, and they must pass the in-repo schema validator.
 smoke_dir="$(mktemp -d)"
@@ -35,6 +40,13 @@ cargo run --release -q -p hear-bench --bin matrix_smoke
 # correct result or typed error, never a hang (the bin's own watchdog
 # exits 3 on a hung scenario, and `timeout` backstops the watchdog).
 timeout 300 cargo run --release -q -p hear-bench --bin chaos_smoke
+
+# Socket smoke: a real multi-process TCP world (rank-per-process,
+# ephemeral-port rendezvous) running pipelined verified epochs, then a
+# SIGKILL of one rank mid-epoch — survivors must fail *typed*, never
+# hang. Distinct exit codes per failure class (1 infra / 2 wrong answer /
+# 3 hang / 4 fault silently absorbed); `timeout` backstops the watchdog.
+timeout 300 cargo run --release -q -p hear-bench --bin socket_smoke
 
 # Crypto-throughput smoke + perf_gate: a fast-budget sweep must emit a
 # parseable BENCH_crypto.json (the per-commit trajectory artifact), and

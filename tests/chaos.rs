@@ -34,10 +34,18 @@ enum FaultKind {
 
 /// The policy every chaos cell runs under: two attempts per block, short
 /// backoff, and a per-attempt deadline so nothing can block forever.
-fn chaos_policy() -> RetryPolicy {
+///
+/// The deadline budget is derived from the *transport's* measured round
+/// trip rather than hardcoded for in-process latency, so the same suite
+/// passes unchanged over the in-memory fabric and TCP loopback
+/// (`HEAR_TRANSPORT=tcp`): 1000 round trips comfortably covers a chaos
+/// cell's worst schedule, floored at the historical 200 ms so the
+/// in-memory runs keep their exact pre-transport-abstraction budget.
+fn chaos_policy(comm: &hear_mpi::Communicator) -> RetryPolicy {
+    let attempt = (comm.transport_rtt() * 1000).max(Duration::from_millis(200));
     RetryPolicy::retries(1)
         .with_backoff(Duration::from_millis(2))
-        .with_attempt_timeout(Duration::from_millis(200))
+        .with_attempt_timeout(attempt)
 }
 
 fn plan_for(kind: FaultKind, seed: u64) -> FaultPlan {
@@ -88,7 +96,7 @@ fn run_cell<S, MS, CL>(
         let ecfg = EngineCfg::blocked(BLOCK)
             .verified()
             .with_algo(algo)
-            .with_retry(chaos_policy());
+            .with_retry(chaos_policy(comm));
         sc.allreduce_with(&mut s, &inputs[comm.rank()], ecfg)
     });
     for (rank, res) in results.iter().enumerate() {
@@ -248,7 +256,7 @@ fn switch_kill_degrades_to_host_ring_and_completes() {
             let ecfg = chunk
                 .verified()
                 .with_algo(ReduceAlgo::Switch)
-                .with_retry(chaos_policy());
+                .with_retry(chaos_policy(comm));
             let first = sc.allreduce_with(&mut s, &int_in[comm.rank()], ecfg);
             // The fallback is sticky: the next epoch must not re-probe the
             // dead switch (it routes to the ring at entry).
