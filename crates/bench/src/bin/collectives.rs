@@ -1,0 +1,140 @@
+//! Factored-collective throughput: reduce-scatter, allgather, alltoall,
+//! the fused allreduce they compose into, and the ZeRO-style sharded SGD
+//! step built on top — measured wall-clock over the in-memory world, not
+//! modeled. Emits `BENCH_collectives.json` (the per-commit collective
+//! trajectory for `scripts/ci.sh`). `HEAR_BENCH_FAST` clamps the payload
+//! and sample budget for CI; `HEAR_BENCH_DIR` redirects the artifact.
+//!
+//! Each sample times `iters` back-to-back collective calls inside one
+//! simulated world and reports the slowest rank — collective wall time,
+//! with thread spawn and key generation excluded.
+
+use criterion::{Criterion, Throughput};
+use hear::core::{Backend, CommKeys, Homac, IntSumScheme};
+use hear::dnn::sharded::ShardedSgd;
+use hear::layer::{EngineCfg, SecureComm};
+use hear::mpi::Simulator;
+use std::time::{Duration, Instant};
+
+const WORLD: usize = 4;
+const SEED: u64 = 0xBE7C;
+
+fn elems() -> usize {
+    if std::env::var("HEAR_BENCH_FAST").is_ok_and(|v| v != "0") {
+        4 * 1024
+    } else {
+        64 * 1024
+    }
+}
+
+fn secure(comm: &hear::mpi::Communicator) -> SecureComm {
+    let keys = CommKeys::generate(WORLD, SEED, Backend::best_available())
+        .into_iter()
+        .nth(comm.rank())
+        .unwrap();
+    let homac = Homac::generate(SEED ^ 0x99, Backend::best_available());
+    SecureComm::new(comm.clone(), keys).with_homac(homac)
+}
+
+/// Time `iters` calls of `op` in one world; the sample is the slowest
+/// rank's elapsed time (the collective completes when the last rank does).
+fn world_time<F>(iters: u64, op: F) -> Duration
+where
+    F: Fn(&mut SecureComm, &mut IntSumScheme<u32>, &[u32], &mut Vec<u32>) + Send + Sync,
+{
+    let n = elems();
+    let op = &op;
+    let times = Simulator::new(WORLD).run(move |comm| {
+        let mut sc = secure(comm);
+        let mut s = IntSumScheme::<u32>::default();
+        let data: Vec<u32> = (0..n as u32)
+            .map(|j| j.wrapping_mul(0x9E37_79B9).wrapping_add(comm.rank() as u32))
+            .collect();
+        let mut out = Vec::new();
+        op(&mut sc, &mut s, &data, &mut out); // size the arenas
+        let t = Instant::now();
+        for _ in 0..iters {
+            op(&mut sc, &mut s, &data, &mut out);
+        }
+        t.elapsed()
+    });
+    times.into_iter().max().unwrap_or_default()
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let bytes = (elems() * std::mem::size_of::<u32>()) as u64;
+    for verified in [false, true] {
+        let cfg = if verified {
+            EngineCfg::sync().verified()
+        } else {
+            EngineCfg::sync()
+        };
+        let suffix = if verified { "verified" } else { "plain" };
+        let mut g = c.benchmark_group(format!("collectives_{WORLD}r/{suffix}"));
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_function("allreduce", |b| {
+            b.iter_custom(|iters| {
+                world_time(iters, |sc, s, data, out| {
+                    sc.allreduce_with_into(s, data, out, cfg).unwrap();
+                })
+            })
+        });
+        g.bench_function("reduce_scatter", |b| {
+            b.iter_custom(|iters| {
+                world_time(iters, |sc, s, data, out| {
+                    sc.reduce_scatter_with_into(s, data, out, cfg).unwrap();
+                })
+            })
+        });
+        g.bench_function("allgather", |b| {
+            // Shard-sized input: the inverse phase of the reduce-scatter,
+            // so rs + ag here is directly comparable to the fused row.
+            b.iter_custom(|iters| {
+                world_time(iters, |sc, s, data, out| {
+                    let (lo, hi) = sc.shard_bounds(data.len());
+                    sc.allgather_with_into(s, &data[lo..hi], out, cfg).unwrap();
+                })
+            })
+        });
+        g.bench_function("alltoall", |b| {
+            b.iter_custom(|iters| {
+                world_time(iters, |sc, s, data, out| {
+                    sc.alltoall_with_into(s, data, out, cfg).unwrap();
+                })
+            })
+        });
+        g.finish();
+    }
+
+    // The composed workload: one ZeRO-style sharded SGD step (encrypted
+    // reduce-scatter + local update + encrypted allgather) per iteration.
+    let n = elems();
+    let mut g = c.benchmark_group(format!("sharded_sgd_{WORLD}r"));
+    g.throughput(Throughput::Bytes((n * std::mem::size_of::<f64>()) as u64));
+    g.bench_function("step", |b| {
+        b.iter_custom(|iters| {
+            let times = Simulator::new(WORLD).run(move |comm| {
+                let mut sc = secure(comm);
+                let init: Vec<f64> = (0..n).map(|j| (j as f64 * 0.21).cos()).collect();
+                let grads: Vec<f64> = (0..n)
+                    .map(|j| ((j + comm.rank()) as f64 * 0.13).sin())
+                    .collect();
+                let mut opt = ShardedSgd::new(init, 0.05);
+                opt.step(&mut sc, &grads).unwrap(); // size the arenas
+                let t = Instant::now();
+                for _ in 0..iters {
+                    opt.step(&mut sc, &grads).unwrap();
+                }
+                t.elapsed()
+            });
+            times.into_iter().max().unwrap_or_default()
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_collectives(&mut c);
+    c.emit("collectives");
+}

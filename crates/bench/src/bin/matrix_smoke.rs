@@ -109,6 +109,99 @@ fn rel_close(tol: f64) -> impl Fn(&f64, &f64) -> bool {
     move |g, e| (g - e).abs() / e.abs().max(1.0) < tol
 }
 
+/// The factored collective sweep: reduce-scatter ∘ allgather must rebuild
+/// the allreduce aggregate and alltoall must transpose, in every chunking
+/// × verification cell. The phases are ring-native, so there is no
+/// algorithm dimension — chunking and HoMAC are the axes that can break.
+fn factored_smoke() -> u32 {
+    const LEN: usize = 11;
+    const A2A_CHUNK: usize = 3;
+    let inputs: Vec<Vec<u32>> = (0..WORLD)
+        .map(|r| (0..LEN).map(|j| (j as u32) * 7 + r as u32 + 1).collect())
+        .collect();
+    let expected: Vec<u32> = (0..LEN)
+        .map(|j| inputs.iter().fold(0u32, |a, r| a.wrapping_add(r[j])))
+        .collect();
+    let cells: [(&str, EngineCfg, usize); 3] = [
+        ("sync", EngineCfg::sync(), LEN),
+        ("blocked", EngineCfg::blocked(3), 3),
+        ("pipelined", EngineCfg::pipelined(3), 3),
+    ];
+    let inputs = &inputs;
+    let results = Simulator::with_config(WORLD, SimConfig::default().with_switch(4)).run(|comm| {
+        let keys = CommKeys::generate(WORLD, SEED ^ 0xFAC, Backend::best_available())
+            .into_iter()
+            .nth(comm.rank())
+            .unwrap();
+        let homac = Homac::generate(SEED ^ 0xFAC ^ 0x99, Backend::best_available());
+        let mut sc = SecureComm::new(comm.clone(), keys).with_homac(homac);
+        let mut s = IntSumScheme::<u32>::default();
+        let r = comm.rank() as u32;
+        let mut out = Vec::new();
+        for (name, base, _) in cells {
+            for verified in [false, true] {
+                let cfg = if verified { base.verified() } else { base };
+                let shard = sc
+                    .reduce_scatter_with(&mut s, &inputs[comm.rank()], cfg)
+                    .expect("honest network must reduce-scatter");
+                let full = sc
+                    .allgather_with(&mut s, &shard, cfg)
+                    .expect("honest network must allgather");
+                let a2a_in: Vec<u32> = (0..WORLD as u32)
+                    .flat_map(|dst| (0..A2A_CHUNK as u32).map(move |j| r * 1000 + dst * 10 + j))
+                    .collect();
+                let transposed = sc
+                    .alltoall_with(&mut s, &a2a_in, cfg)
+                    .expect("honest network must alltoall");
+                out.push((name, verified, full, transposed));
+            }
+        }
+        out
+    });
+    // Blocked reduce-scatter appends per-block shares, so the gathered
+    // (rank-contiguous) reference walks ranks then blocks.
+    let rs_ag_expect = |block: usize| -> Vec<u32> {
+        let mut v = Vec::new();
+        for rr in 0..WORLD {
+            let mut offset = 0;
+            while offset < LEN {
+                let end = (offset + block).min(LEN);
+                let (lo, hi) = hear::mpi::ring_chunk_bounds(end - offset, WORLD)[rr];
+                v.extend_from_slice(&expected[offset + lo..offset + hi]);
+                offset = end;
+            }
+        }
+        v
+    };
+    let mut failures = 0u32;
+    for (idx, (name, _, block)) in cells.iter().enumerate() {
+        for (vi, verified) in [false, true].into_iter().enumerate() {
+            let cell = idx * 2 + vi;
+            let want_full = rs_ag_expect(*block);
+            let ok = results.iter().enumerate().all(|(rank, per_rank)| {
+                let (_, _, full, transposed) = &per_rank[cell];
+                let want_a2a: Vec<u32> = (0..WORLD as u32)
+                    .flat_map(|src| {
+                        (0..A2A_CHUNK as u32).map(move |j| src * 1000 + rank as u32 * 10 + j)
+                    })
+                    .collect();
+                *full == want_full && *transposed == want_a2a
+            });
+            let tag = format!(
+                "rs∘ag+a2a      {name}{}",
+                if verified { " +verified" } else { "" },
+            );
+            if ok {
+                println!("ok    {tag}");
+            } else {
+                println!("FAIL  {tag}");
+                failures += 1;
+            }
+        }
+    }
+    failures
+}
+
 fn main() -> ExitCode {
     let mut failures = 0u32;
 
@@ -211,6 +304,8 @@ fn main() -> ExitCode {
         mag_prod,
         rel_close(1e-4),
     );
+
+    failures += factored_smoke();
 
     if failures == 0 {
         println!("matrix smoke: all cells ok");

@@ -186,6 +186,40 @@ impl Homac {
         ok
     }
 
+    /// Tags for single-origin data on the *shared* collective stream
+    /// (allgather/alltoall chunks): unlike [`Homac::tag_into`] there is
+    /// nothing to cancel — the chunk is never summed across ranks, so
+    /// every rank derives the same key `s(base, first+i)` from the
+    /// collective base and any rank can verify any chunk. The MAC stream
+    /// index must be disjoint from the chunk's pad indices (callers
+    /// offset by `DIGEST_BASE`), or σ would leak pad words.
+    pub fn tag_shared(&self, base: u128, first: u64, cipher: &[u64], out: &mut Vec<u64>) {
+        let _s = hear_telemetry::span!("homac_tag", elems = cipher.len());
+        out.clear();
+        out.extend(cipher.iter().enumerate().map(|(i, c)| {
+            let s = self.s_at(base, first + i as u64);
+            mul_p(sub_p(s, c % HOMAC_P), self.z_inv)
+        }));
+    }
+
+    /// Verify single-origin ciphertexts against [`Homac::tag_shared`]
+    /// tags. One contributor means no wrap-around, so there is no
+    /// overflow-candidate scan: `c + σ·Z ≡ s (mod p)` must hold exactly.
+    pub fn verify_shared(&self, base: u128, first: u64, cipher: &[u64], tags: &[u64]) -> bool {
+        assert_eq!(cipher.len(), tags.len());
+        let _s = hear_telemetry::span!("homac_verify", elems = cipher.len());
+        let ok = cipher.iter().zip(tags).enumerate().all(|(i, (c, sigma))| {
+            let s = self.s_at(base, first + i as u64);
+            add_p(c % HOMAC_P, mul_p(*sigma, self.z)) == s
+        });
+        hear_telemetry::incr(if ok {
+            hear_telemetry::Metric::HomacVerifyPass
+        } else {
+            hear_telemetry::Metric::HomacVerifyFail
+        });
+        ok
+    }
+
     /// Wire overhead of the tag channel relative to the data channel, as a
     /// fraction (e.g. 2.0 = 200% for 32-bit data words).
     pub fn inflation_for_width(bits: u32) -> f64 {
@@ -293,6 +327,28 @@ mod tests {
         assert!(homac.verify(&keys[0], 0, &agg, &tags));
         agg[1] = agg[1].wrapping_sub(1);
         assert!(!homac.verify(&keys[0], 0, &agg, &tags));
+    }
+
+    #[test]
+    fn shared_stream_tags_verify_across_ranks_and_detect_tampering() {
+        let (keys, _, homac) = setup(3);
+        let base = keys[1].base_collective();
+        // Rank 1 tags its chunk; rank 2 (same collective base) verifies.
+        let cipher: Vec<u64> = (0..6)
+            .map(|j| j * 0x0123_4567_89ab + u64::MAX / 3)
+            .collect();
+        let mut tags = Vec::new();
+        homac.tag_shared(base, 1 << 20, &cipher, &mut tags);
+        assert_eq!(keys[2].base_collective(), base);
+        assert!(homac.verify_shared(base, 1 << 20, &cipher, &tags));
+        // Wrong offset, tampered word, tampered tag all fail.
+        assert!(!homac.verify_shared(base, (1 << 20) + 1, &cipher, &tags));
+        let mut bad = cipher.clone();
+        bad[3] ^= 1 << 40;
+        assert!(!homac.verify_shared(base, 1 << 20, &bad, &tags));
+        let mut bad_tags = tags.clone();
+        bad_tags[0] = add_p(bad_tags[0], 1);
+        assert!(!homac.verify_shared(base, 1 << 20, &cipher, &bad_tags));
     }
 
     #[test]

@@ -135,6 +135,17 @@ pub trait Scheme {
     fn noise_width(&self) -> Option<usize> {
         None
     }
+
+    /// Encode one element as a raw `u64` cell for single-origin transport
+    /// (allgather, alltoall): the data is never combined homomorphically,
+    /// so the wire carries the exact bit pattern, XOR-padded on the
+    /// *collective* keystream. Must be lossless:
+    /// `cell_decode(cell_encode(x))` is bit-for-bit `x` for every scheme,
+    /// floats included.
+    fn cell_encode(x: &Self::Input) -> u64;
+
+    /// Inverse of [`Scheme::cell_encode`].
+    fn cell_decode(cell: u64) -> Self::Input;
 }
 
 /// Chunk size (elements) of the default `mask_slice`/`unmask_slice` loops.
@@ -218,6 +229,14 @@ impl<W: RingWord> Scheme for IntSumScheme<W> {
 
     fn noise_width(&self) -> Option<usize> {
         Some(std::mem::size_of::<W>())
+    }
+
+    fn cell_encode(x: &W) -> u64 {
+        x.to_u64()
+    }
+
+    fn cell_decode(cell: u64) -> W {
+        W::from_u64_trunc(cell)
     }
 }
 
@@ -306,6 +325,14 @@ impl<W: RingWord> Scheme for IntProdScheme<W> {
         }
         expect = expect.wmul(W::from_u64_trunc(1u64 << sum_v));
         *result == expect
+    }
+
+    fn cell_encode(x: &W) -> u64 {
+        x.to_u64()
+    }
+
+    fn cell_decode(cell: u64) -> W {
+        W::from_u64_trunc(cell)
     }
 }
 
@@ -463,6 +490,14 @@ impl<W: RingWord> Scheme for IntXorScheme<W> {
     fn noise_width(&self) -> Option<usize> {
         Some(std::mem::size_of::<W>())
     }
+
+    fn cell_encode(x: &W) -> u64 {
+        x.to_u64()
+    }
+
+    fn cell_decode(cell: u64) -> W {
+        W::from_u64_trunc(cell)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -556,6 +591,14 @@ impl Scheme for FixedSumScheme {
         // Fixed-point lanes ride the u64 IntSum cipher.
         Some(std::mem::size_of::<u64>())
     }
+
+    fn cell_encode(x: &f64) -> u64 {
+        x.to_bits()
+    }
+
+    fn cell_decode(cell: u64) -> f64 {
+        f64::from_bits(cell)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -628,6 +671,14 @@ impl Scheme for FloatSumScheme {
             1e-9,
         )
     }
+
+    fn cell_encode(x: &f64) -> u64 {
+        x.to_bits()
+    }
+
+    fn cell_decode(cell: u64) -> f64 {
+        f64::from_bits(cell)
+    }
 }
 
 /// [`FloatSumExp`] (§5.3.4, v2) as a [`Scheme`]; medium loss, so the
@@ -689,6 +740,14 @@ impl Scheme for FloatSumExpScheme {
             1e-3,
             1e-6,
         )
+    }
+
+    fn cell_encode(x: &f64) -> u64 {
+        x.to_bits()
+    }
+
+    fn cell_decode(cell: u64) -> f64 {
+        f64::from_bits(cell)
     }
 }
 
@@ -776,12 +835,58 @@ impl Scheme for FloatProdScheme {
             1e-4,
         )
     }
+
+    fn cell_encode(x: &f64) -> u64 {
+        x.to_bits()
+    }
+
+    fn cell_decode(cell: u64) -> f64 {
+        f64::from_bits(cell)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use hear_prf::Backend;
+
+    #[test]
+    fn cells_round_trip_bit_for_bit() {
+        for x in [0u32, 1, 0xdead_beef, u32::MAX] {
+            assert_eq!(
+                IntSumScheme::<u32>::cell_decode(IntSumScheme::<u32>::cell_encode(&x)),
+                x
+            );
+            assert_eq!(
+                IntProdScheme::<u32>::cell_decode(IntProdScheme::<u32>::cell_encode(&x)),
+                x
+            );
+            assert_eq!(
+                IntXorScheme::<u32>::cell_decode(IntXorScheme::<u32>::cell_encode(&x)),
+                x
+            );
+        }
+        for x in [0.0f64, -0.0, 1.5, -3.25e-7, f64::INFINITY, f64::NAN] {
+            // Compare bit patterns so -0.0 and NaN survive exactly.
+            let bits = x.to_bits();
+            assert_eq!(
+                FixedSumScheme::cell_decode(FixedSumScheme::cell_encode(&x)).to_bits(),
+                bits
+            );
+            assert_eq!(
+                FloatSumScheme::cell_decode(FloatSumScheme::cell_encode(&x)).to_bits(),
+                bits
+            );
+            assert_eq!(
+                FloatSumExpScheme::cell_decode(FloatSumExpScheme::cell_encode(&x)).to_bits(),
+                bits
+            );
+            assert_eq!(
+                FloatProdScheme::cell_decode(FloatProdScheme::cell_encode(&x)).to_bits(),
+                bits
+            );
+        }
+    }
 
     /// In-process encrypted allreduce over a [`Scheme`]: every rank masks,
     /// the "network" folds with `S::op`, rank 0 unmasks.

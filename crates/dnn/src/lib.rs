@@ -13,6 +13,8 @@
 //! further overlapping computation … with non-blocking HEAR
 //! communication").
 
+pub mod sharded;
+
 use hear_net::{ring_allreduce_time, Allocation, CryptoRates, Machine};
 
 /// One distributed-training proxy workload.

@@ -82,6 +82,9 @@ pub enum TypedVec {
     F64(Vec<f64>),
     /// Logical results decode to (or, and) pairs (§5.4).
     Logical(Vec<(bool, bool)>),
+    /// Raw booleans, as moved by the data-movement collectives
+    /// (allgather/alltoall carry no reduction, so no (or, and) decode).
+    Bool(Vec<bool>),
 }
 
 /// Why a `(datatype, op)` pair was rejected.
@@ -132,15 +135,188 @@ impl From<EngineError> for DispatchError {
     }
 }
 
-/// Run one integer cell through the engine, lending the matching lane
-/// width's keystream scratch to the scheme for the duration of the call.
+/// Run one integer cell through the named engine entry point, lending the
+/// matching lane width's keystream scratch to the scheme for the duration
+/// of the call.
 macro_rules! int_cell {
-    ($self:ident, $cfg:ident, $scheme:ident, $field:ident, $data:expr) => {{
+    ($self:ident, $cfg:ident, $method:ident, $scheme:ident, $field:ident, $data:expr) => {{
         let mut s = $scheme::with_scratch(std::mem::take(&mut $self.$field));
-        let out = $self.allreduce_with(&mut s, $data, $cfg);
+        let out = $self.$method(&mut s, $data, $cfg);
         $self.$field = s.into_scratch();
         out.map_err(DispatchError::from)
     }};
+}
+
+/// Generate a PMPI reduction front door over the full `(datatype, op)`
+/// matrix, routed to the named engine entry point. `pmpi_allreduce` and
+/// `pmpi_reduce_scatter` are the same matrix — by construction, since they
+/// expand from this one macro — differing only in which engine collective
+/// runs underneath.
+macro_rules! reduction_front_door {
+    ($(#[$attr:meta])* $fn_name:ident => $method:ident) => {
+        $(#[$attr])*
+        pub fn $fn_name(
+            &mut self,
+            data: TypedSlice<'_>,
+            op: MpiOp,
+            cfg: EngineCfg,
+        ) -> Result<TypedVec, DispatchError> {
+            // Reject the insecure operations up front, with the rationale.
+            if let Err(u) = op.support() {
+                return Err(DispatchError::Insecure(u));
+            }
+            let mismatch = || DispatchError::TypeMismatch {
+                datatype: data.datatype_name(),
+                op,
+            };
+            match (data, op) {
+                // --- SUM ----------------------------------------------------
+                (TypedSlice::U8(s), MpiOp::Sum) => {
+                    int_cell!(self, cfg, $method, IntSumScheme, scratch_u8, s).map(TypedVec::U8)
+                }
+                (TypedSlice::U16(s), MpiOp::Sum) => {
+                    int_cell!(self, cfg, $method, IntSumScheme, scratch_u16, s).map(TypedVec::U16)
+                }
+                (TypedSlice::U32(s), MpiOp::Sum) => {
+                    int_cell!(self, cfg, $method, IntSumScheme, scratch_u32, s).map(TypedVec::U32)
+                }
+                (TypedSlice::U64(s), MpiOp::Sum) => {
+                    int_cell!(self, cfg, $method, IntSumScheme, scratch_u64, s).map(TypedVec::U64)
+                }
+                (TypedSlice::I32(s), MpiOp::Sum) => {
+                    let lanes = hear_core::word::as_unsigned_i32(s);
+                    int_cell!(self, cfg, $method, IntSumScheme, scratch_u32, lanes)
+                        .map(|v| TypedVec::I32(v.into_iter().map(|x| x as i32).collect()))
+                }
+                (TypedSlice::I64(s), MpiOp::Sum) => {
+                    let lanes = hear_core::word::as_unsigned_i64(s);
+                    int_cell!(self, cfg, $method, IntSumScheme, scratch_u64, lanes)
+                        .map(|v| TypedVec::I64(v.into_iter().map(|x| x as i64).collect()))
+                }
+                (TypedSlice::F32(s), MpiOp::Sum) => {
+                    let wide: Vec<f64> = s.iter().map(|v| *v as f64).collect();
+                    let out = self.$method(
+                        &mut FloatSumScheme::new(HfpFormat::fp32(2, 2)),
+                        &wide,
+                        cfg,
+                    )?;
+                    Ok(TypedVec::F32(out.into_iter().map(|v| v as f32).collect()))
+                }
+                (TypedSlice::F64(s), MpiOp::Sum) => self
+                    .$method(&mut FloatSumScheme::new(HfpFormat::fp64(2, 2)), s, cfg)
+                    .map(TypedVec::F64)
+                    .map_err(DispatchError::from),
+                // --- PROD ---------------------------------------------------
+                (TypedSlice::U32(s), MpiOp::Prod) => {
+                    int_cell!(self, cfg, $method, IntProdScheme, scratch_u32, s).map(TypedVec::U32)
+                }
+                (TypedSlice::U64(s), MpiOp::Prod) => {
+                    int_cell!(self, cfg, $method, IntProdScheme, scratch_u64, s).map(TypedVec::U64)
+                }
+                (TypedSlice::F64(s), MpiOp::Prod) => self
+                    .$method(&mut FloatProdScheme::new(HfpFormat::fp64(0, 0)), s, cfg)
+                    .map(TypedVec::F64)
+                    .map_err(DispatchError::from),
+                (TypedSlice::F32(s), MpiOp::Prod) => {
+                    let wide: Vec<f64> = s.iter().map(|v| *v as f64).collect();
+                    let out = self.$method(
+                        &mut FloatProdScheme::new(HfpFormat::fp32(0, 0)),
+                        &wide,
+                        cfg,
+                    )?;
+                    Ok(TypedVec::F32(out.into_iter().map(|v| v as f32).collect()))
+                }
+                // --- XOR ----------------------------------------------------
+                (TypedSlice::U16(s), MpiOp::Bxor | MpiOp::Lxor) => {
+                    int_cell!(self, cfg, $method, IntXorScheme, scratch_u16, s).map(TypedVec::U16)
+                }
+                (TypedSlice::U32(s), MpiOp::Bxor | MpiOp::Lxor) => {
+                    int_cell!(self, cfg, $method, IntXorScheme, scratch_u32, s).map(TypedVec::U32)
+                }
+                (TypedSlice::U64(s), MpiOp::Bxor | MpiOp::Lxor) => {
+                    int_cell!(self, cfg, $method, IntXorScheme, scratch_u64, s).map(TypedVec::U64)
+                }
+                // --- logical AND/OR via summation encoding (§5.4) ------------
+                (TypedSlice::Bool(s), MpiOp::Land | MpiOp::Lor) => {
+                    let mut enc = Vec::new();
+                    encode_bools(s, &mut enc);
+                    let sums = int_cell!(self, cfg, $method, IntSumScheme, scratch_u32, &enc)?;
+                    Ok(TypedVec::Logical(decode_logical(&sums, self.world())))
+                }
+                // --- everything else is a type mismatch ----------------------
+                _ => Err(mismatch()),
+            }
+        }
+    };
+}
+
+/// Generate a PMPI data-movement front door dispatched on datatype alone
+/// (no reduction happens, so there is no op and no arithmetic): every
+/// datatype rides the single-origin cell transport as its exact bit
+/// pattern — floats travel as `to_bits` words, so the moved values are
+/// bit-for-bit the contributed ones.
+macro_rules! movement_front_door {
+    ($(#[$attr:meta])* $fn_name:ident => $method:ident) => {
+        $(#[$attr])*
+        pub fn $fn_name(
+            &mut self,
+            data: TypedSlice<'_>,
+            cfg: EngineCfg,
+        ) -> Result<TypedVec, DispatchError> {
+            match data {
+                TypedSlice::U8(s) => self
+                    .$method(&mut IntSumScheme::<u8>::default(), s, cfg)
+                    .map(TypedVec::U8)
+                    .map_err(DispatchError::from),
+                TypedSlice::U16(s) => self
+                    .$method(&mut IntSumScheme::<u16>::default(), s, cfg)
+                    .map(TypedVec::U16)
+                    .map_err(DispatchError::from),
+                TypedSlice::U32(s) => self
+                    .$method(&mut IntSumScheme::<u32>::default(), s, cfg)
+                    .map(TypedVec::U32)
+                    .map_err(DispatchError::from),
+                TypedSlice::U64(s) => self
+                    .$method(&mut IntSumScheme::<u64>::default(), s, cfg)
+                    .map(TypedVec::U64)
+                    .map_err(DispatchError::from),
+                TypedSlice::I32(s) => self
+                    .$method(
+                        &mut IntSumScheme::<u32>::default(),
+                        hear_core::word::as_unsigned_i32(s),
+                        cfg,
+                    )
+                    .map(|v| TypedVec::I32(v.into_iter().map(|x| x as i32).collect()))
+                    .map_err(DispatchError::from),
+                TypedSlice::I64(s) => self
+                    .$method(
+                        &mut IntSumScheme::<u64>::default(),
+                        hear_core::word::as_unsigned_i64(s),
+                        cfg,
+                    )
+                    .map(|v| TypedVec::I64(v.into_iter().map(|x| x as i64).collect()))
+                    .map_err(DispatchError::from),
+                TypedSlice::F32(s) => {
+                    let bits: Vec<u32> = s.iter().map(|v| v.to_bits()).collect();
+                    self.$method(&mut IntSumScheme::<u32>::default(), &bits, cfg)
+                        .map(|v| TypedVec::F32(v.into_iter().map(f32::from_bits).collect()))
+                        .map_err(DispatchError::from)
+                }
+                TypedSlice::F64(s) => {
+                    let bits: Vec<u64> = s.iter().map(|v| v.to_bits()).collect();
+                    self.$method(&mut IntSumScheme::<u64>::default(), &bits, cfg)
+                        .map(|v| TypedVec::F64(v.into_iter().map(f64::from_bits).collect()))
+                        .map_err(DispatchError::from)
+                }
+                TypedSlice::Bool(s) => {
+                    let bits: Vec<u8> = s.iter().map(|&b| u8::from(b)).collect();
+                    self.$method(&mut IntSumScheme::<u8>::default(), &bits, cfg)
+                        .map(|v| TypedVec::Bool(v.into_iter().map(|x| x != 0).collect()))
+                        .map_err(DispatchError::from)
+                }
+            }
+        }
+    };
 }
 
 impl SecureComm {
@@ -157,102 +333,39 @@ impl SecureComm {
         self.pmpi_allreduce(data, op, EngineCfg::default())
     }
 
-    /// The full PMPI front door: every supported `(datatype, op)` pair,
-    /// composed with any [`EngineCfg`] — transport algorithm, blocked or
-    /// pipelined chunking, and HoMAC verification are all orthogonal to
-    /// the cell. `pmpi_allreduce(data, op, EngineCfg::pipelined(b).verified())`
-    /// is the one-call version of the paper's full stack.
-    pub fn pmpi_allreduce(
-        &mut self,
-        data: TypedSlice<'_>,
-        op: MpiOp,
-        cfg: EngineCfg,
-    ) -> Result<TypedVec, DispatchError> {
-        // Reject the insecure operations up front, with the rationale.
-        if let Err(u) = op.support() {
-            return Err(DispatchError::Insecure(u));
-        }
-        let mismatch = || DispatchError::TypeMismatch {
-            datatype: data.datatype_name(),
-            op,
-        };
-        match (data, op) {
-            // --- SUM ----------------------------------------------------
-            (TypedSlice::U8(s), MpiOp::Sum) => {
-                int_cell!(self, cfg, IntSumScheme, scratch_u8, s).map(TypedVec::U8)
-            }
-            (TypedSlice::U16(s), MpiOp::Sum) => {
-                int_cell!(self, cfg, IntSumScheme, scratch_u16, s).map(TypedVec::U16)
-            }
-            (TypedSlice::U32(s), MpiOp::Sum) => {
-                int_cell!(self, cfg, IntSumScheme, scratch_u32, s).map(TypedVec::U32)
-            }
-            (TypedSlice::U64(s), MpiOp::Sum) => {
-                int_cell!(self, cfg, IntSumScheme, scratch_u64, s).map(TypedVec::U64)
-            }
-            (TypedSlice::I32(s), MpiOp::Sum) => {
-                let lanes = hear_core::word::as_unsigned_i32(s);
-                int_cell!(self, cfg, IntSumScheme, scratch_u32, lanes)
-                    .map(|v| TypedVec::I32(v.into_iter().map(|x| x as i32).collect()))
-            }
-            (TypedSlice::I64(s), MpiOp::Sum) => {
-                let lanes = hear_core::word::as_unsigned_i64(s);
-                int_cell!(self, cfg, IntSumScheme, scratch_u64, lanes)
-                    .map(|v| TypedVec::I64(v.into_iter().map(|x| x as i64).collect()))
-            }
-            (TypedSlice::F32(s), MpiOp::Sum) => {
-                let wide: Vec<f64> = s.iter().map(|v| *v as f64).collect();
-                let out = self.allreduce_with(
-                    &mut FloatSumScheme::new(HfpFormat::fp32(2, 2)),
-                    &wide,
-                    cfg,
-                )?;
-                Ok(TypedVec::F32(out.into_iter().map(|v| v as f32).collect()))
-            }
-            (TypedSlice::F64(s), MpiOp::Sum) => self
-                .allreduce_with(&mut FloatSumScheme::new(HfpFormat::fp64(2, 2)), s, cfg)
-                .map(TypedVec::F64)
-                .map_err(DispatchError::from),
-            // --- PROD ---------------------------------------------------
-            (TypedSlice::U32(s), MpiOp::Prod) => {
-                int_cell!(self, cfg, IntProdScheme, scratch_u32, s).map(TypedVec::U32)
-            }
-            (TypedSlice::U64(s), MpiOp::Prod) => {
-                int_cell!(self, cfg, IntProdScheme, scratch_u64, s).map(TypedVec::U64)
-            }
-            (TypedSlice::F64(s), MpiOp::Prod) => self
-                .allreduce_with(&mut FloatProdScheme::new(HfpFormat::fp64(0, 0)), s, cfg)
-                .map(TypedVec::F64)
-                .map_err(DispatchError::from),
-            (TypedSlice::F32(s), MpiOp::Prod) => {
-                let wide: Vec<f64> = s.iter().map(|v| *v as f64).collect();
-                let out = self.allreduce_with(
-                    &mut FloatProdScheme::new(HfpFormat::fp32(0, 0)),
-                    &wide,
-                    cfg,
-                )?;
-                Ok(TypedVec::F32(out.into_iter().map(|v| v as f32).collect()))
-            }
-            // --- XOR ----------------------------------------------------
-            (TypedSlice::U16(s), MpiOp::Bxor | MpiOp::Lxor) => {
-                int_cell!(self, cfg, IntXorScheme, scratch_u16, s).map(TypedVec::U16)
-            }
-            (TypedSlice::U32(s), MpiOp::Bxor | MpiOp::Lxor) => {
-                int_cell!(self, cfg, IntXorScheme, scratch_u32, s).map(TypedVec::U32)
-            }
-            (TypedSlice::U64(s), MpiOp::Bxor | MpiOp::Lxor) => {
-                int_cell!(self, cfg, IntXorScheme, scratch_u64, s).map(TypedVec::U64)
-            }
-            // --- logical AND/OR via summation encoding (§5.4) ------------
-            (TypedSlice::Bool(s), MpiOp::Land | MpiOp::Lor) => {
-                let mut enc = Vec::new();
-                encode_bools(s, &mut enc);
-                let sums = int_cell!(self, cfg, IntSumScheme, scratch_u32, &enc)?;
-                Ok(TypedVec::Logical(decode_logical(&sums, self.world())))
-            }
-            // --- everything else is a type mismatch ----------------------
-            _ => Err(mismatch()),
-        }
+    reduction_front_door! {
+        /// The full PMPI front door: every supported `(datatype, op)` pair,
+        /// composed with any [`EngineCfg`] — transport algorithm, blocked or
+        /// pipelined chunking, and HoMAC verification are all orthogonal to
+        /// the cell. `pmpi_allreduce(data, op, EngineCfg::pipelined(b).verified())`
+        /// is the one-call version of the paper's full stack.
+        pmpi_allreduce => allreduce_with
+    }
+
+    reduction_front_door! {
+        /// `MPI_Reduce_scatter_block` front door: the same `(datatype, op)`
+        /// matrix as [`SecureComm::pmpi_allreduce`] — the two expand from
+        /// one macro, so the matrices cannot drift — routed to the engine's
+        /// [`SecureComm::reduce_scatter_with`]. Every rank contributes the
+        /// full vector and receives its own fully reduced share (see
+        /// [`SecureComm::shard_bounds`] for the sync-mode layout).
+        pmpi_reduce_scatter => reduce_scatter_with
+    }
+
+    movement_front_door! {
+        /// `MPI_Allgather(v)` front door: rank-ordered concatenation of the
+        /// per-rank contributions (which may differ in length), dispatched
+        /// on datatype alone and composed with any [`EngineCfg`] —
+        /// chunking, retries, and per-cell HoMAC verification included.
+        pmpi_allgather => allgather_with
+    }
+
+    movement_front_door! {
+        /// `MPI_Alltoall` front door: `data` carries `world` equal-length
+        /// chunks back to back; the result holds the received chunks in
+        /// source-rank order. Dispatched on datatype alone, composed with
+        /// any [`EngineCfg`].
+        pmpi_alltoall => alltoall_with
     }
 }
 
@@ -404,6 +517,78 @@ mod tests {
                 other => panic!("wrong type: {other:?}"),
             }
             assert_eq!(*prod, TypedVec::U64(vec![2 * 3 * 4 * 5]));
+        }
+    }
+
+    #[test]
+    fn pmpi_reduce_scatter_shares_the_allreduce_matrix() {
+        let results = Simulator::new(2).run(|comm| {
+            let mut sc = secure(comm, 30);
+            let r = comm.rank() as u32;
+            let data: Vec<u32> = (0..4).map(|j| j * 10 + r).collect();
+            let shard = sc
+                .pmpi_reduce_scatter(TypedSlice::U32(&data), MpiOp::Sum, EngineCfg::sync())
+                .unwrap();
+            let insecure = sc
+                .pmpi_reduce_scatter(TypedSlice::U32(&data), MpiOp::Min, EngineCfg::sync())
+                .unwrap_err();
+            (shard, sc.shard_bounds(4), insecure)
+        });
+        for (rank, (shard, (lo, hi), insecure)) in results.iter().enumerate() {
+            assert_eq!((*lo, *hi), (rank * 2, rank * 2 + 2));
+            let expect: Vec<u32> = (*lo..*hi).map(|j| 20 * j as u32 + 1).collect();
+            assert_eq!(*shard, TypedVec::U32(expect));
+            assert_eq!(*insecure, DispatchError::Insecure(UnsupportedOp::MinMax));
+        }
+    }
+
+    #[test]
+    fn pmpi_allgather_moves_exact_bits_even_ragged() {
+        let results = Simulator::new(3).run(|comm| {
+            let mut sc = secure(comm, 31);
+            let r = comm.rank();
+            let mine: Vec<f64> = (0..=r).map(|j| -(j as f64) * 0.1 - r as f64).collect();
+            sc.pmpi_allgather(TypedSlice::F64(&mine), EngineCfg::sync())
+                .unwrap()
+        });
+        let expect: Vec<f64> = (0..3)
+            .flat_map(|r| (0..=r).map(move |j| -(j as f64) * 0.1 - r as f64))
+            .collect();
+        for got in &results {
+            match got {
+                TypedVec::F64(v) => {
+                    assert_eq!(v.len(), expect.len());
+                    for (a, b) in v.iter().zip(&expect) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+                other => panic!("wrong type: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pmpi_alltoall_transposes_every_datatype_shape() {
+        let results = Simulator::new(2).run(|comm| {
+            let mut sc = secure(comm, 32);
+            let r = comm.rank();
+            // Two chunks of two bools each: chunk d is [r==d, true].
+            let bools: Vec<bool> = (0..2).flat_map(|d| [r == d, true]).collect();
+            let b = sc
+                .pmpi_alltoall(TypedSlice::Bool(&bools), EngineCfg::sync())
+                .unwrap();
+            let ints: Vec<i32> = (0..2).map(|d| -((r * 10 + d) as i32)).collect();
+            let i = sc
+                .pmpi_alltoall(TypedSlice::I32(&ints), EngineCfg::sync())
+                .unwrap();
+            (b, i)
+        });
+        for (me, (b, i)) in results.iter().enumerate() {
+            // Chunk from src is [src==me, true].
+            let expect_b: Vec<bool> = (0..2).flat_map(|src| [src == me, true]).collect();
+            assert_eq!(*b, TypedVec::Bool(expect_b));
+            let expect_i: Vec<i32> = (0..2).map(|src| -((src * 10 + me) as i32)).collect();
+            assert_eq!(*i, TypedVec::I32(expect_i));
         }
     }
 

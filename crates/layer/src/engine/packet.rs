@@ -1,0 +1,294 @@
+//! Wire shapes and seal/open codecs for the engine's two transports.
+//!
+//! *Reductions* (allreduce, reduce-scatter) ship [`Packet`]s: the payload
+//! ciphertext plus encrypted digest lanes and HoMAC tags, all of which the
+//! network combines homomorphically. *Single-origin* collectives
+//! (allgather, alltoall) ship plain `u64` cells — each element bit-encoded
+//! losslessly ([`Scheme::cell_encode`]) and XOR-padded on the epoch's
+//! collective keystream — optionally as [`Tagged`] pairs carrying a
+//! shared-stream HoMAC tag per cell.
+
+use super::cfg::EngineError;
+use crate::arena::ScratchArena;
+use crate::secure::{Tagged, VerificationError};
+use hear_core::{CommKeys, Homac, IntSum, Scheme, Scratch, DIGEST_BASE, DIGEST_LANES};
+use hear_prf::keystream_u64;
+
+/// What the network reduces in verified mode: the payload ciphertext plus
+/// the encrypted digest lanes and their HoMAC tags (§5.5's "(σ, c)" pair,
+/// widened with the digest channel).
+#[derive(Debug, Clone)]
+pub(crate) struct Packet<W> {
+    pub(crate) c: W,
+    pub(crate) d: [u64; DIGEST_LANES],
+    pub(crate) s: [u64; DIGEST_LANES],
+}
+
+/// The combiner for [`Packet`] streams. A non-capturing generic `fn`, so
+/// every transport — including the key-less switch service threads — can
+/// carry it as a plain function pointer.
+pub(crate) fn packet_op<S: Scheme>(a: &Packet<S::Wire>, b: &Packet<S::Wire>) -> Packet<S::Wire> {
+    let mut d = [0u64; DIGEST_LANES];
+    let mut s = [0u64; DIGEST_LANES];
+    for i in 0..DIGEST_LANES {
+        d[i] = a.d[i].wrapping_add(b.d[i]);
+        s[i] = Homac::combine(a.s[i], b.s[i]);
+    }
+    Packet {
+        c: S::op(&a.c, &b.c),
+        d,
+        s,
+    }
+}
+
+/// PRF index of the first digest lane of the block starting at `offset`.
+#[inline]
+pub(crate) fn digest_first(offset: usize) -> u64 {
+    DIGEST_BASE + offset as u64 * DIGEST_LANES as u64
+}
+
+/// The verified path's staging set, leased from the [`ScratchArena`] for
+/// one call: wire ciphertexts, the decrypted block, digest lanes and tags
+/// (seal side), aggregate lane/tag splits (open side), and the packet
+/// vector that shuttles to and from the transport.
+pub(crate) struct VerifyScratch<S: Scheme + 'static> {
+    pub(crate) wire: Vec<S::Wire>,
+    pub(crate) dec: Vec<S::Input>,
+    pub(crate) dlanes: Vec<u64>,
+    pub(crate) sigmas: Vec<u64>,
+    pub(crate) d_agg: Vec<u64>,
+    pub(crate) s_agg: Vec<u64>,
+    pub(crate) packets: Vec<Packet<S::Wire>>,
+    pub(crate) dscratch: Scratch<u64>,
+}
+
+impl<S: Scheme + 'static> VerifyScratch<S> {
+    pub(crate) fn lease(arena: &mut ScratchArena) -> Self {
+        VerifyScratch {
+            wire: arena.take_vec(),
+            dec: arena.take_vec(),
+            dlanes: arena.take_vec(),
+            sigmas: arena.take_vec(),
+            d_agg: arena.take_vec(),
+            s_agg: arena.take_vec(),
+            packets: arena.take_vec(),
+            dscratch: Scratch::default(),
+        }
+    }
+
+    pub(crate) fn restore(self, arena: &mut ScratchArena) {
+        arena.put_vec(self.wire);
+        arena.put_vec(self.dec);
+        arena.put_vec(self.dlanes);
+        arena.put_vec(self.sigmas);
+        arena.put_vec(self.d_agg);
+        arena.put_vec(self.s_agg);
+        arena.put_vec(self.packets);
+    }
+}
+
+/// Mask one block and wrap it into verified-transport packets (left in
+/// `vs.packets`).
+pub(crate) fn seal_block<S: Scheme + 'static>(
+    scheme: &mut S,
+    homac: &Homac,
+    keys: &CommKeys,
+    offset: usize,
+    input: &[S::Input],
+    vs: &mut VerifyScratch<S>,
+) -> Result<(), EngineError> {
+    scheme.mask_block(keys, offset as u64, input, &mut vs.wire)?;
+    vs.dlanes.clear();
+    let mut lanes = [0u64; DIGEST_LANES];
+    for x in input {
+        scheme.digest(x, &mut lanes);
+        vs.dlanes.extend_from_slice(&lanes);
+    }
+    let first_d = digest_first(offset);
+    IntSum::encrypt_in_place(keys, first_d, &mut vs.dlanes, &mut vs.dscratch);
+    homac.tag_into(keys, first_d, &vs.dlanes, &mut vs.sigmas);
+    vs.packets.clear();
+    vs.packets.extend(
+        vs.wire
+            .drain(..)
+            .zip(
+                vs.dlanes
+                    .chunks_exact(DIGEST_LANES)
+                    .zip(vs.sigmas.chunks_exact(DIGEST_LANES)),
+            )
+            .map(|(c, (d, s))| Packet {
+                c,
+                d: d.try_into().expect("chunks_exact yields DIGEST_LANES"),
+                s: s.try_into().expect("chunks_exact yields DIGEST_LANES"),
+            }),
+    );
+    Ok(())
+}
+
+/// Verify, decrypt and digest-check one aggregated block into `vs.dec`.
+pub(crate) fn open_block<S: Scheme + 'static>(
+    scheme: &mut S,
+    homac: &Homac,
+    keys: &CommKeys,
+    world: usize,
+    offset: usize,
+    agg: &[Packet<S::Wire>],
+    vs: &mut VerifyScratch<S>,
+) -> Result<(), EngineError> {
+    vs.wire.clear();
+    vs.d_agg.clear();
+    vs.s_agg.clear();
+    for p in agg {
+        vs.wire.push(p.c.clone());
+        vs.d_agg.extend_from_slice(&p.d);
+        vs.s_agg.extend_from_slice(&p.s);
+    }
+    let first_d = digest_first(offset);
+    if !homac.verify(keys, first_d, &vs.d_agg, &vs.s_agg) {
+        return Err(EngineError::Verification(VerificationError));
+    }
+    IntSum::decrypt_in_place(keys, first_d, &mut vs.d_agg, &mut vs.dscratch);
+    scheme.unmask_block(keys, offset as u64, &vs.wire, &mut vs.dec);
+    for (i, r) in vs.dec.iter().enumerate() {
+        let lanes: [u64; DIGEST_LANES] = vs.d_agg[i * DIGEST_LANES..(i + 1) * DIGEST_LANES]
+            .try_into()
+            .expect("lane slice has DIGEST_LANES words");
+        if !scheme.digest_check(r, &lanes, world) {
+            return Err(EngineError::Verification(VerificationError));
+        }
+    }
+    Ok(())
+}
+
+// ---- single-origin cell transport (allgather / alltoall) ----------------
+
+/// Staging set for the cell transport, leased for one call: the XOR pad
+/// slice, the outbound/recycled cell buffer, and (verified mode) the
+/// split ciphertext/tag buffers.
+pub(crate) struct CellScratch {
+    pub(crate) pad: Vec<u64>,
+    pub(crate) cells: Vec<u64>,
+    pub(crate) sigmas: Vec<u64>,
+    pub(crate) tagged: Vec<Tagged<u64>>,
+}
+
+impl CellScratch {
+    pub(crate) fn lease(arena: &mut ScratchArena) -> CellScratch {
+        CellScratch {
+            pad: arena.take_vec(),
+            cells: arena.take_vec(),
+            sigmas: arena.take_vec(),
+            tagged: arena.take_vec(),
+        }
+    }
+
+    pub(crate) fn restore(self, arena: &mut ScratchArena) {
+        arena.put_vec(self.pad);
+        arena.put_vec(self.cells);
+        arena.put_vec(self.sigmas);
+        arena.put_vec(self.tagged);
+    }
+}
+
+/// Fill `cs.pad` with `n` words of the epoch's collective keystream
+/// starting at word index `first`.
+fn fill_pad(keys: &CommKeys, first: u64, n: usize, cs: &mut CellScratch) {
+    cs.pad.clear();
+    cs.pad.resize(n, 0);
+    keystream_u64(keys.prf(), keys.base_collective(), first, &mut cs.pad);
+}
+
+/// Encode `input` into padded cells (left in `cs.cells`): cell `j` is
+/// `cell_encode(input[j]) XOR pad(first + j)`. Pad word indices are the
+/// element's position in the collective's global coordinate space, so
+/// every (origin, position) pair draws a distinct keystream word.
+pub(crate) fn seal_cells<S: Scheme>(
+    keys: &CommKeys,
+    first: u64,
+    input: &[S::Input],
+    cs: &mut CellScratch,
+) {
+    fill_pad(keys, first, input.len(), cs);
+    cs.cells.clear();
+    cs.cells.extend(
+        input
+            .iter()
+            .zip(&cs.pad)
+            .map(|(x, p)| S::cell_encode(x) ^ p),
+    );
+}
+
+/// Decode padded cells into `out` (which must be pre-sized to
+/// `cells.len()`), the inverse of [`seal_cells`] at the same `first`.
+pub(crate) fn open_cells<S: Scheme>(
+    keys: &CommKeys,
+    first: u64,
+    cells: &[u64],
+    cs: &mut CellScratch,
+    out: &mut [S::Input],
+) {
+    debug_assert_eq!(cells.len(), out.len());
+    fill_pad(keys, first, cells.len(), cs);
+    for ((o, c), p) in out.iter_mut().zip(cells).zip(&cs.pad) {
+        *o = S::cell_decode(c ^ p);
+    }
+}
+
+/// [`seal_cells`] plus a shared-stream HoMAC tag per cell (left in
+/// `cs.tagged`). Tags are computed over the *padded* cell at MAC index
+/// `DIGEST_BASE + first + j` — offset from the pad indices so the tag
+/// stream never reuses a pad word — and verify on any rank, because the
+/// collective stream is common to the whole communicator.
+pub(crate) fn seal_cells_tagged<S: Scheme>(
+    keys: &CommKeys,
+    homac: &Homac,
+    first: u64,
+    input: &[S::Input],
+    cs: &mut CellScratch,
+) {
+    seal_cells::<S>(keys, first, input, cs);
+    homac.tag_shared(
+        keys.base_collective(),
+        DIGEST_BASE + first,
+        &cs.cells,
+        &mut cs.sigmas,
+    );
+    cs.tagged.clear();
+    cs.tagged.extend(
+        cs.cells
+            .iter()
+            .zip(&cs.sigmas)
+            .map(|(c, s)| Tagged { c: *c, sigma: *s }),
+    );
+}
+
+/// Verify and decode tagged cells into `out` (pre-sized to
+/// `cells.len()`); rejects the whole segment if any tag fails.
+pub(crate) fn open_cells_tagged<S: Scheme>(
+    keys: &CommKeys,
+    homac: &Homac,
+    first: u64,
+    cells: &[Tagged<u64>],
+    cs: &mut CellScratch,
+    out: &mut [S::Input],
+) -> Result<(), EngineError> {
+    cs.cells.clear();
+    cs.sigmas.clear();
+    for t in cells {
+        cs.cells.push(t.c);
+        cs.sigmas.push(t.sigma);
+    }
+    if !homac.verify_shared(
+        keys.base_collective(),
+        DIGEST_BASE + first,
+        &cs.cells,
+        &cs.sigmas,
+    ) {
+        return Err(EngineError::Verification(VerificationError));
+    }
+    fill_pad(keys, first, cells.len(), cs);
+    for ((o, t), p) in out.iter_mut().zip(cells).zip(&cs.pad) {
+        *o = S::cell_decode(t.c ^ p);
+    }
+    Ok(())
+}

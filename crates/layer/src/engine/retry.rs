@@ -1,0 +1,99 @@
+//! Per-call retry state and the attempt-tag schedule shared by every
+//! engine entry point.
+
+use super::cfg::{EngineError, RetryPolicy};
+use hear_mpi::{CommError, ATTEMPT_TAG_STRIDE, COLL_BLOCK_TAG_STRIDE, MAX_TAG_ATTEMPTS};
+use std::time::{Duration, Instant};
+
+/// Mutable retry state for one engine call: the call-wide attempt counter
+/// (which drives tag selection so a retry can never match a failed
+/// attempt's stale wires), the remaining retry budget, and the growing
+/// backoff.
+pub(crate) struct RetryCtl {
+    policy: RetryPolicy,
+    /// Attempts consumed call-wide (monotonic across blocks, retries and
+    /// degradations); attempt `a` of block `b` runs on tag
+    /// `base + b·COLL_BLOCK_TAG_STRIDE + a·ATTEMPT_TAG_STRIDE`.
+    pub(crate) attempt: u64,
+    retries_left: u32,
+    backoff: Duration,
+}
+
+/// What the retry controller decided after a block-level failure.
+pub(crate) enum Step {
+    /// Re-run the block on the same algorithm, next attempt tag.
+    Retry,
+    /// Switch the rest of the call to the host ring, next attempt tag.
+    Degrade,
+    /// Surface the error.
+    Fail(EngineError),
+}
+
+impl RetryCtl {
+    pub(crate) fn new(policy: RetryPolicy) -> RetryCtl {
+        RetryCtl {
+            policy,
+            attempt: 0,
+            retries_left: policy.max_attempts.saturating_sub(1),
+            backoff: policy.backoff,
+        }
+    }
+
+    /// Deadline for the attempt about to start.
+    pub(crate) fn deadline(&self) -> Option<Instant> {
+        self.policy.attempt_timeout.map(|t| Instant::now() + t)
+    }
+
+    /// Advance to the next attempt's tag slot; errors when the per-call
+    /// tag space (MAX_TAG_ATTEMPTS slots) is used up.
+    fn bump(&mut self) -> Result<(), ()> {
+        self.attempt += 1;
+        if self.attempt >= MAX_TAG_ATTEMPTS {
+            Err(())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Decide what a block-level failure means under the policy.
+    /// Timeouts and verification failures are retryable (a resend on the
+    /// per-block §5.5 digest failure IS the packet localization: only the
+    /// failing block travels again); `SwitchDown` degrades without
+    /// consuming a retry; everything else fails.
+    pub(crate) fn on_error(&mut self, e: EngineError) -> Step {
+        let retryable = match &e {
+            // Degrade even when the call has already moved off the switch:
+            // a pipelined call posts several blocks on the INC path before
+            // the first failure drains, and those stale posts still come
+            // back as `SwitchDown` after the call fell back to the ring.
+            EngineError::Comm(CommError::SwitchDown { .. })
+                if self.policy.degrade_on_switch_down =>
+            {
+                return if self.bump().is_ok() {
+                    Step::Degrade
+                } else {
+                    Step::Fail(e)
+                };
+            }
+            EngineError::Comm(c) => c.is_retryable(),
+            EngineError::Verification(_) => true,
+            EngineError::Hfp(_) => false,
+        };
+        if !retryable || self.retries_left == 0 || self.bump().is_err() {
+            return Step::Fail(e);
+        }
+        self.retries_left -= 1;
+        hear_telemetry::incr(hear_telemetry::Metric::RetriesTotal);
+        if !self.backoff.is_zero() {
+            std::thread::sleep(self.backoff);
+            self.backoff = self.backoff.saturating_mul(2);
+        }
+        Step::Retry
+    }
+}
+
+/// Wire tag for one attempt of one block.
+#[inline]
+pub(crate) fn attempt_tag(base: u64, block_idx: u64, attempt: u64) -> u64 {
+    base + block_idx * COLL_BLOCK_TAG_STRIDE + attempt * ATTEMPT_TAG_STRIDE
+}

@@ -9,11 +9,12 @@
 //! ciphertext growth; MIN/MAX remain rejected for the §5.4 security
 //! reason (see [`hear_core::derived::UnsupportedOp`]).
 
+use crate::engine::EngineCfg;
 use crate::secure::SecureComm;
 use hear_core::derived::{
     decode_logical, encode_bools, moments_to_stats, variance_moments, MpiOp, UnsupportedOp,
 };
-use hear_core::{HfpFormat, IntSum};
+use hear_core::{HfpFormat, IntSum, IntSumScheme};
 use hear_mpi::Communicator;
 use hear_prf::{keystream_u32, Backend, Prf, PrfCipher};
 use std::collections::HashMap;
@@ -226,11 +227,13 @@ impl SecureComm {
         mine
     }
 
-    /// Encrypted personalized all-to-all (§8): the chunk from `s` to `d`
-    /// is padded with the collective stream at offset `(s·P + d) × len`,
-    /// so every directed pair uses a disjoint stream slice.
+    /// Encrypted personalized all-to-all (§8). A compatibility shim over
+    /// the engine's [`SecureComm::alltoall_with`], which owns the pad
+    /// schedule (chunk from `s` to `d` rides the collective stream at
+    /// offset `(s·P + d) × len`, every directed pair disjoint) as well as
+    /// chunking, retries and HoMAC verification; this wrapper keeps the
+    /// historical chunks-in/chunks-out `u32` signature.
     pub fn alltoall_encrypted(&mut self, chunks: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
-        self.keys.advance();
         let world = self.comm.world();
         assert_eq!(chunks.len(), world, "need one chunk per rank");
         let len = chunks.first().map_or(0, Vec::len);
@@ -238,35 +241,15 @@ impl SecureComm {
             chunks.iter().all(|c| c.len() == len),
             "alltoall_encrypted requires equal chunk lengths"
         );
-        let base = self.keys.base_collective();
-        let me = self.comm.rank();
-        let padded: Vec<Vec<u32>> = chunks
-            .into_iter()
-            .enumerate()
-            .map(|(dst, mut c)| {
-                let off = (me * world + dst) as u64 * len as u64;
-                let mut pad = vec![0u32; c.len()];
-                keystream_u32(self.keys.prf(), base, off, &mut pad);
-                for (b, p) in c.iter_mut().zip(&pad) {
-                    *b ^= *p;
-                }
-                c
-            })
-            .collect();
-        let received = self.comm.alltoall(padded);
-        received
-            .into_iter()
-            .enumerate()
-            .map(|(src, mut c)| {
-                let off = (src * world + me) as u64 * len as u64;
-                let mut pad = vec![0u32; c.len()];
-                keystream_u32(self.keys.prf(), base, off, &mut pad);
-                for (b, p) in c.iter_mut().zip(&pad) {
-                    *b ^= *p;
-                }
-                c
-            })
-            .collect()
+        let flat: Vec<u32> = chunks.into_iter().flatten().collect();
+        let mut scheme = IntSumScheme::<u32>::default();
+        let out = self
+            .alltoall_with(&mut scheme, &flat, EngineCfg::sync())
+            .expect("plain alltoall over a healthy fabric cannot fail");
+        if len == 0 {
+            return vec![Vec::new(); world];
+        }
+        out.chunks(len).map(<[u32]>::to_vec).collect()
     }
 }
 

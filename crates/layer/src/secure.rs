@@ -56,7 +56,7 @@ impl std::error::Error for VerificationError {}
 /// (§5.5: "sends to the network a pair of values (σ, c)"). The engine
 /// transports the richer [`crate::engine`] packet internally; this type
 /// remains the public vocabulary for the raw tagged-word protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Tagged<W> {
     pub c: W,
     pub sigma: u64,

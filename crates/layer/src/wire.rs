@@ -3,13 +3,15 @@
 //! The TCP backend ([`hear_mpi::tcp`]) serializes `Box<dyn Any>` payloads
 //! through a runtime codec registry; the primitive `Vec<uN>` payloads of
 //! the host collectives are built in, but the HEAR engine additionally
-//! puts two of its own types on the wire:
+//! puts three of its own types on the wire:
 //!
 //! * `Vec<Hfp>` — unverified float-scheme ciphertexts (one HFP ring
 //!   element per value);
 //! * `Vec<Packet<W>>` — the verified path's §5.5 `(c, d, σ)` triples, for
 //!   every wire word the schemes use (`u8/u16/u32/u64` integer rings,
-//!   `Hfp` float ring).
+//!   `Hfp` float ring);
+//! * `Vec<Tagged<u64>>` — the verified single-origin cell transport of
+//!   allgather/alltoall (padded cell + shared-stream MAC tag).
 //!
 //! [`register_wire_codecs`] is idempotent (guarded by a [`Once`]) and is
 //! invoked from `SecureComm::new`, so any program that constructs a
@@ -18,6 +20,7 @@
 //! injector about the same types.
 
 use crate::engine::Packet;
+use crate::secure::Tagged;
 use hear_core::{Hfp, DIGEST_LANES};
 use hear_mpi::tcp::wire::{register_vec_codec, WIRE_ID_USER_BASE};
 use std::sync::Once;
@@ -110,6 +113,20 @@ const fn packet_bytes<W: WireElem>() -> usize {
     W::BYTES + 2 * DIGEST_LANES * 8
 }
 
+/// 16 bytes: padded cell + shared-stream MAC tag, the verified
+/// single-origin transport of allgather/alltoall.
+fn tagged_put(t: &Tagged<u64>, out: &mut Vec<u8>) {
+    out.extend_from_slice(&t.c.to_le_bytes());
+    out.extend_from_slice(&t.sigma.to_le_bytes());
+}
+
+fn tagged_get(b: &[u8]) -> Option<Tagged<u64>> {
+    Some(Tagged {
+        c: u64::from_le_bytes(b[..8].try_into().ok()?),
+        sigma: u64::from_le_bytes(b[8..16].try_into().ok()?),
+    })
+}
+
 /// Register every hear-layer payload codec with the TCP transport's
 /// registry. Idempotent and thread-safe; called by `SecureComm::new`, and
 /// callable directly by tests that drive the transport below the engine.
@@ -147,6 +164,7 @@ pub fn register_wire_codecs() {
             packet_put::<Hfp>,
             packet_get::<Hfp>,
         );
+        register_vec_codec::<Tagged<u64>>(WIRE_ID_USER_BASE + 6, 16, tagged_put, tagged_get);
     });
 }
 
@@ -204,6 +222,21 @@ mod tests {
         let (id, bytes) = encode_payload(&vh);
         let back = decode_payload(id, &bytes);
         assert_eq!(back.downcast_ref::<Vec<Packet<Hfp>>>().unwrap()[0].c, h);
+    }
+
+    #[test]
+    fn tagged_cell_vectors_roundtrip_bitexact() {
+        register_wire_codecs();
+        let v: Vec<Tagged<u64>> = (0..5)
+            .map(|i| Tagged {
+                c: 0xDEAD_BEEF_0000_0000 | i,
+                sigma: u64::MAX - i,
+            })
+            .collect();
+        let (id, bytes) = encode_payload(&v);
+        assert_eq!(id, WIRE_ID_USER_BASE + 6);
+        let back = decode_payload(id, &bytes);
+        assert_eq!(back.downcast_ref::<Vec<Tagged<u64>>>(), Some(&v));
     }
 
     #[test]

@@ -8,6 +8,24 @@
 
 use crate::comm::Communicator;
 
+/// Ring chunk boundaries for `n` elements over `world` ranks: the first
+/// `n % world` chunks take one extra element. `bounds[c]` is chunk `c`'s
+/// half-open `[start, end)` range. Every ring collective — the fused
+/// allreduce, reduce-scatter, allgather — partitions with this layout,
+/// and the HEAR engine relies on it to place each rank's share at its
+/// global offset.
+pub fn ring_chunk_bounds(n: usize, world: usize) -> Vec<(usize, usize)> {
+    (0..world)
+        .map(|c| {
+            let base = n / world;
+            let extra = n % world;
+            let start = c * base + c.min(extra);
+            let len = base + usize::from(c < extra);
+            (start, start + len)
+        })
+        .collect()
+}
+
 /// Element-wise fold of `src` into `dst`.
 fn fold_into<T, F: Fn(&T, &T) -> T>(dst: &mut [T], src: &[T], op: &F) {
     assert_eq!(
@@ -281,51 +299,203 @@ impl Communicator {
         if world == 1 || acc.is_empty() {
             return Ok(acc);
         }
-        let n = acc.len();
-        // Chunk boundaries (first `n % world` chunks get one extra element).
-        let bounds: Vec<(usize, usize)> = (0..world)
-            .map(|c| {
-                let base = n / world;
-                let extra = n % world;
-                let start = c * base + c.min(extra);
-                let len = base + usize::from(c < extra);
-                (start, start + len)
-            })
-            .collect();
+        let bounds = ring_chunk_bounds(acc.len(), world);
+        // Reduce-scatter phase: after world-1 steps, rank owns the fully
+        // reduced chunk (rank+1) mod world.
+        self.try_ring_circulate(
+            tag,
+            &mut acc,
+            &bounds,
+            rank,
+            |dst, src| fold_into(dst, src, &op),
+            seg,
+            deadline,
+        )?;
+        // Allgather phase: circulate the reduced chunks.
+        self.try_ring_circulate(
+            tag,
+            &mut acc,
+            &bounds,
+            (rank + 1) % world,
+            |dst, src| dst.clone_from_slice(src),
+            seg,
+            deadline,
+        )?;
+        Ok(acc)
+    }
+
+    /// One ring circulation — THE ring hop loop, shared by both phases of
+    /// the fused allreduce and by the standalone reduce-scatter and
+    /// allgather collectives. `world − 1` neighbour hops in which every
+    /// rank forwards the chunk it took in on the previous step: at step
+    /// `s` the rank sends chunk `(start + world − s) % world` and
+    /// receives chunk `(start + world − s − 1) % world`, where `start` is
+    /// the chunk this rank holds on entry. `absorb` merges each received
+    /// chunk into `acc` — a fold for the reduce-scatter phase, an
+    /// overwrite for the allgather phase.
+    ///
+    /// `seg` is one reusable segment buffer per hop: each received
+    /// segment's allocation becomes the next hop's send buffer, halving
+    /// the per-step allocations without changing the message schedule.
+    /// The buffer is the caller's, so its capacity outlives the call.
+    #[allow(clippy::too_many_arguments)]
+    fn try_ring_circulate<T, A>(
+        &self,
+        tag: u64,
+        acc: &mut [T],
+        bounds: &[(usize, usize)],
+        start: usize,
+        mut absorb: A,
+        seg: &mut Vec<T>,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<(), crate::CommError>
+    where
+        T: Clone + Send + 'static,
+        A: FnMut(&mut [T], &[T]),
+    {
+        let (world, rank) = (self.world(), self.rank());
         let next = (rank + 1) % world;
         let prev = (rank + world - 1) % world;
-        // One reusable segment buffer per hop: each received segment's
-        // allocation becomes the next hop's send buffer, halving the
-        // per-step allocations without changing the message schedule. The
-        // buffer is the caller's, so its capacity outlives the call.
-        // Reduce-scatter: after world-1 steps, rank owns the fully reduced
-        // chunk (rank+1) mod world.
         for step in 0..world - 1 {
-            let send_chunk = (rank + world - step) % world;
-            let recv_chunk = (rank + world - step - 1) % world;
+            let send_chunk = (start + world - step) % world;
+            let recv_chunk = (start + world - step - 1) % world;
             let (s, e) = bounds[send_chunk];
             seg.clear();
             seg.extend_from_slice(&acc[s..e]);
             let incoming =
                 self.try_sendrecv_internal(next, tag, std::mem::take(seg), prev, tag, deadline)?;
             let (s, e) = bounds[recv_chunk];
-            fold_into(&mut acc[s..e], &incoming, &op);
+            absorb(&mut acc[s..e], &incoming);
             *seg = incoming;
         }
-        // Allgather: circulate the reduced chunks.
-        for step in 0..world - 1 {
-            let send_chunk = (rank + 1 + world - step) % world;
-            let recv_chunk = (rank + world - step) % world;
-            let (s, e) = bounds[send_chunk];
-            seg.clear();
-            seg.extend_from_slice(&acc[s..e]);
-            let incoming =
-                self.try_sendrecv_internal(next, tag, std::mem::take(seg), prev, tag, deadline)?;
-            let (s, e) = bounds[recv_chunk];
-            acc[s..e].clone_from_slice(&incoming);
-            *seg = incoming;
+        Ok(())
+    }
+
+    /// Fallible tagged ring reduce-scatter on a deadline: every rank
+    /// passes the full vector; rank `r` returns the fully reduced
+    /// elements of chunk `r` (the [`ring_chunk_bounds`] layout). This is
+    /// the ring allreduce's first phase plus one rotation hop — after the
+    /// circulation rank `r` holds chunk `(r+1) mod world`, which it
+    /// forwards once so chunk index == owning rank (the MPI layout).
+    pub fn try_reduce_scatter_tagged_with_seg<T, F>(
+        &self,
+        tag: u64,
+        data: Vec<T>,
+        op: F,
+        seg: &mut Vec<T>,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Vec<T>, crate::CommError>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let (world, rank) = (self.world(), self.rank());
+        let _s = hear_telemetry::span!("reduce_scatter_ring", elems = data.len(), tag = tag);
+        let mut acc: Vec<T> = data;
+        if world == 1 || acc.is_empty() {
+            return Ok(acc);
         }
+        let bounds = ring_chunk_bounds(acc.len(), world);
+        self.try_ring_circulate(
+            tag,
+            &mut acc,
+            &bounds,
+            rank,
+            |dst, src| fold_into(dst, src, &op),
+            seg,
+            deadline,
+        )?;
+        let owned = (rank + 1) % world;
+        let (s, e) = bounds[owned];
+        seg.clear();
+        seg.extend_from_slice(&acc[s..e]);
+        // Chunk `rank` sits one hop behind (on rank−1); trade the owned
+        // chunk forward for it. Tag +1 stays inside this collective's
+        // attempt slot (attempt tags stride by 8).
+        self.try_sendrecv_internal(
+            owned,
+            tag + 1,
+            std::mem::take(seg),
+            (rank + world - 1) % world,
+            tag + 1,
+            deadline,
+        )
+    }
+
+    /// Fallible tagged ring allgather with per-rank counts: `mine` is
+    /// this rank's `counts[rank]`-element contribution; every rank
+    /// returns the rank-ordered concatenation. Runs the same circulate
+    /// loop as the fused ring's second phase, over (possibly uneven)
+    /// rank-sized chunks.
+    pub fn try_allgather_tagged_with_seg<T>(
+        &self,
+        tag: u64,
+        mine: Vec<T>,
+        counts: &[usize],
+        seg: &mut Vec<T>,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Vec<T>, crate::CommError>
+    where
+        T: Clone + Default + Send + 'static,
+    {
+        let (world, rank) = (self.world(), self.rank());
+        assert_eq!(counts.len(), world, "need one count per rank");
+        assert_eq!(
+            mine.len(),
+            counts[rank],
+            "contribution must match counts[rank]"
+        );
+        let _s = hear_telemetry::span!("allgather_ring", elems = mine.len(), tag = tag);
+        if world == 1 {
+            return Ok(mine);
+        }
+        let mut bounds = Vec::with_capacity(world);
+        let mut total = 0usize;
+        for &c in counts {
+            bounds.push((total, total + c));
+            total += c;
+        }
+        let mut acc = vec![T::default(); total];
+        let (s, e) = bounds[rank];
+        acc[s..e].clone_from_slice(&mine);
+        self.try_ring_circulate(
+            tag,
+            &mut acc,
+            &bounds,
+            rank,
+            |dst, src| dst.clone_from_slice(src),
+            seg,
+            deadline,
+        )?;
         Ok(acc)
+    }
+
+    /// Fallible tagged personalized all-to-all on a deadline:
+    /// `chunks[r]` goes to rank `r`; slot `r` of the result is what rank
+    /// `r` sent to us. Pairwise exchange — step `d` trades with the
+    /// ranks at ring distance `±d`, so every hop is one bounded
+    /// sendrecv and a dead peer surfaces as a typed error.
+    pub fn try_alltoall_tagged<T>(
+        &self,
+        tag: u64,
+        mut chunks: Vec<Vec<T>>,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Vec<Vec<T>>, crate::CommError>
+    where
+        T: Clone + Send + 'static,
+    {
+        let (world, rank) = (self.world(), self.rank());
+        assert_eq!(chunks.len(), world, "need one chunk per rank");
+        let _s = hear_telemetry::span!("alltoall", tag = tag);
+        let mut out: Vec<Vec<T>> = vec![Vec::new(); world];
+        out[rank] = std::mem::take(&mut chunks[rank]);
+        for dist in 1..world {
+            let to = (rank + dist) % world;
+            let from = (rank + world - dist) % world;
+            let payload = std::mem::take(&mut chunks[to]);
+            out[from] = self.try_sendrecv_internal(to, tag, payload, from, tag, deadline)?;
+        }
+        Ok(out)
     }
 
     /// Ring allgather: every rank contributes `data`, everyone returns the
@@ -571,6 +741,70 @@ mod tests {
     }
 
     #[test]
+    fn tagged_reduce_scatter_matches_blocking() {
+        for world in [2usize, 3, 4] {
+            for len in [5usize, 8, 11] {
+                let results = Simulator::new(world).run(move |comm| {
+                    let data: Vec<u64> = (0..len as u64)
+                        .map(|j| comm.rank() as u64 * 100 + j)
+                        .collect();
+                    let blocking = comm.reduce_scatter(&data, |a, b| a + b);
+                    let tag = comm.reserve_coll_tags(1);
+                    let mut seg = Vec::new();
+                    let tagged = comm
+                        .try_reduce_scatter_tagged_with_seg(tag, data, |a, b| a + b, &mut seg, None)
+                        .unwrap();
+                    (blocking, tagged)
+                });
+                let mut covered = 0usize;
+                for (r, (blocking, tagged)) in results.iter().enumerate() {
+                    assert_eq!(blocking, tagged, "world={world} len={len} rank={r}");
+                    for (i, v) in tagged.iter().enumerate() {
+                        let j = (covered + i) as u64;
+                        let expect: u64 = (0..world as u64).map(|rk| rk * 100 + j).sum();
+                        assert_eq!(*v, expect, "world={world} len={len} rank={r} i={i}");
+                    }
+                    covered += tagged.len();
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    #[test]
+    fn tagged_allgather_uneven_counts() {
+        let results = Simulator::new(4).run(|comm| {
+            let counts = [3usize, 0, 2, 1];
+            let mine: Vec<u32> = (0..counts[comm.rank()] as u32)
+                .map(|j| comm.rank() as u32 * 10 + j)
+                .collect();
+            let tag = comm.reserve_coll_tags(1);
+            let mut seg = Vec::new();
+            comm.try_allgather_tagged_with_seg(tag, mine, &counts, &mut seg, None)
+                .unwrap()
+        });
+        for v in &results {
+            assert_eq!(*v, vec![0, 1, 2, 20, 21, 30]);
+        }
+    }
+
+    #[test]
+    fn tagged_alltoall_matches_blocking() {
+        let results = Simulator::new(3).run(|comm| {
+            let chunks: Vec<Vec<u32>> = (0..3)
+                .map(|dst| vec![(comm.rank() * 10 + dst) as u32, 7])
+                .collect();
+            let blocking = comm.alltoall(chunks.clone());
+            let tag = comm.reserve_coll_tags(1);
+            let tagged = comm.try_alltoall_tagged(tag, chunks, None).unwrap();
+            (blocking, tagged)
+        });
+        for (blocking, tagged) in &results {
+            assert_eq!(blocking, tagged);
+        }
+    }
+
+    #[test]
     fn consecutive_collectives_do_not_cross_talk() {
         let results = Simulator::new(3).run(|comm| {
             let a = comm.allreduce(&[1u32], |a, b| a + b);
@@ -597,43 +831,9 @@ impl Communicator {
         F: Fn(&T, &T) -> T,
     {
         let tag = self.next_coll_tag();
-        let (world, rank) = (self.world(), self.rank());
-        let mut acc: Vec<T> = data.to_vec();
-        let n = acc.len();
-        let bounds: Vec<(usize, usize)> = (0..world)
-            .map(|c| {
-                let base = n / world;
-                let extra = n % world;
-                let start = c * base + c.min(extra);
-                let len = base + usize::from(c < extra);
-                (start, start + len)
-            })
-            .collect();
-        if world == 1 {
-            return acc;
-        }
-        let next = (rank + 1) % world;
-        let prev = (rank + world - 1) % world;
-        for step in 0..world - 1 {
-            let send_chunk = (rank + world - step) % world;
-            let recv_chunk = (rank + world - step - 1) % world;
-            let (s, e) = bounds[send_chunk];
-            let out: Vec<T> = acc[s..e].to_vec();
-            let incoming = self.sendrecv_internal(next, tag, out, prev, tag);
-            let (s, e) = bounds[recv_chunk];
-            fold_into(&mut acc[s..e], &incoming, &op);
-        }
-        // After P-1 steps rank owns chunk (rank+1) mod world fully reduced;
-        // rotate once more so rank r ends with chunk r (the MPI layout).
-        let owned = (rank + 1) % world;
-        let (s, e) = bounds[owned];
-        let mine: Vec<T> = acc[s..e].to_vec();
-        let dest_of_mine = owned; // chunk index == owning rank in MPI layout
-        if dest_of_mine == rank {
-            return mine;
-        }
-        self.send_internal(dest_of_mine, tag + 1, mine);
-        self.recv_internal::<T>((rank + world - 1) % world, tag + 1)
+        let mut seg = Vec::new();
+        self.try_reduce_scatter_tagged_with_seg(tag, data.to_vec(), op, &mut seg, None)
+            .unwrap_or_else(|e| panic!("reduce_scatter (tag {tag:#x}) failed: {e}"))
     }
 
     /// Inclusive prefix scan (MPI_Scan): rank `r` returns

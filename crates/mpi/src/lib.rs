@@ -34,6 +34,7 @@ mod simulator;
 pub mod tcp;
 mod transport;
 
+pub use collectives::ring_chunk_bounds;
 pub use comm::{Communicator, ATTEMPT_TAG_STRIDE, COLL_BLOCK_TAG_STRIDE, MAX_TAG_ATTEMPTS};
 pub use error::CommError;
 pub use fabric::{thread_transit_wait_nanos, NetConfig};

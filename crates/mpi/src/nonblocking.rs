@@ -139,6 +139,73 @@ impl Communicator {
         }
     }
 
+    /// Fallible nonblocking ring reduce-scatter on a caller-reserved tag:
+    /// the result is this rank's fully reduced chunk (MPI layout).
+    pub fn try_ireduce_scatter_tagged<T, F>(
+        &self,
+        tag: u64,
+        data: Vec<T>,
+        op: F,
+        deadline: Option<Instant>,
+    ) -> Request<Result<Vec<T>, CommError>>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T + Send + 'static,
+    {
+        let comm = self.clone();
+        let tele = hear_telemetry::spawn_context();
+        Request {
+            handle: std::thread::spawn(move || {
+                let _tele = tele.map(|(reg, rank)| reg.install(rank));
+                let mut seg = Vec::new();
+                comm.try_reduce_scatter_tagged_with_seg(tag, data, op, &mut seg, deadline)
+            }),
+        }
+    }
+
+    /// Fallible nonblocking ring allgather on a caller-reserved tag.
+    pub fn try_iallgather_tagged<T>(
+        &self,
+        tag: u64,
+        mine: Vec<T>,
+        counts: Vec<usize>,
+        deadline: Option<Instant>,
+    ) -> Request<Result<Vec<T>, CommError>>
+    where
+        T: Clone + Default + Send + 'static,
+    {
+        let comm = self.clone();
+        let tele = hear_telemetry::spawn_context();
+        Request {
+            handle: std::thread::spawn(move || {
+                let _tele = tele.map(|(reg, rank)| reg.install(rank));
+                let mut seg = Vec::new();
+                comm.try_allgather_tagged_with_seg(tag, mine, &counts, &mut seg, deadline)
+            }),
+        }
+    }
+
+    /// Fallible nonblocking personalized all-to-all on a caller-reserved
+    /// tag.
+    pub fn try_ialltoall_tagged<T>(
+        &self,
+        tag: u64,
+        chunks: Vec<Vec<T>>,
+        deadline: Option<Instant>,
+    ) -> Request<Result<Vec<Vec<T>>, CommError>>
+    where
+        T: Clone + Send + 'static,
+    {
+        let comm = self.clone();
+        let tele = hear_telemetry::spawn_context();
+        Request {
+            handle: std::thread::spawn(move || {
+                let _tele = tele.map(|(reg, rank)| reg.install(rank));
+                comm.try_alltoall_tagged(tag, chunks, deadline)
+            }),
+        }
+    }
+
     /// Fallible nonblocking switch-tree allreduce on a caller-reserved tag.
     pub fn try_iallreduce_inc_tagged<T, F>(
         &self,

@@ -16,10 +16,10 @@ export CARGO_NET_OFFLINE="${CARGO_NET_OFFLINE:-true}"
 cargo build --release "$@"
 cargo test -q "$@"
 
-# The same matrix and chaos suites again, with the transport swapped for
-# the loopback TCP socket mesh by the one environment switch — the suites
-# themselves are unchanged.
-HEAR_TRANSPORT=tcp cargo test -q -p hear --test matrix --test chaos
+# The same matrix, chaos, and collective-composition suites again, with
+# the transport swapped for the loopback TCP socket mesh by the one
+# environment switch — the suites themselves are unchanged.
+HEAR_TRANSPORT=tcp cargo test -q -p hear --test matrix --test chaos --test collectives
 
 # Traced smoke run: quickstart under HEAR_TRACE=1 must emit all three
 # telemetry formats, and they must pass the in-repo schema validator.
@@ -32,8 +32,16 @@ cargo run --release -q -p hear-bench --bin trace_validate -- \
 
 # Composition-matrix smoke: every scheme × algorithm × chunking × HoMAC
 # cell through the one generic engine, checked against the plaintext
-# reference. Exits nonzero on any mismatch.
+# reference, plus the factored reduce-scatter/allgather/alltoall sweep.
+# Exits nonzero on any mismatch.
 cargo run --release -q -p hear-bench --bin matrix_smoke
+
+# Factored-collective trajectory: reduce-scatter / allgather / alltoall /
+# fused allreduce / sharded-SGD step, measured over the in-memory world —
+# must emit a parseable BENCH_collectives.json per commit.
+HEAR_BENCH_FAST=1 HEAR_BENCH_DIR="$smoke_dir" \
+    cargo run --release -q -p hear-bench --bin collectives
+test -s "$smoke_dir/BENCH_collectives.json"
 
 # Chaos smoke: seeded, offline, deterministic fault-injection scenarios
 # (drop / corrupt / switch-kill) asserting the self-healing contract —

@@ -129,6 +129,105 @@ fn run_cell<S, MS, CL>(
     }
 }
 
+/// The robustness contract, applied to the factored reduce-scatter: under
+/// injected faults every rank either gets its exact per-block share of the
+/// reference aggregate or a typed error — the same correct-or-typed-error
+/// invariant the fused allreduce sweep pins, with the same RTT-derived
+/// deadline budget.
+fn run_rs_cell<S, MS, CL>(
+    mk_scheme: MS,
+    inputs: &[Vec<S::Input>],
+    expected: &[S::Input],
+    close: CL,
+    kind: FaultKind,
+    seed: u64,
+) where
+    S: Scheme + 'static,
+    S::Input: std::fmt::Debug + Clone + Send + Sync,
+    MS: Fn() -> S + Send + Sync,
+    CL: Fn(&S::Input, &S::Input) -> bool,
+{
+    let cfg = SimConfig::default()
+        .with_switch(WORLD)
+        .with_faults(plan_for(kind, seed));
+    let mk_scheme = &mk_scheme;
+    let results = Simulator::with_config(WORLD, cfg).run(|comm| {
+        let keys = CommKeys::generate(WORLD, seed, Backend::best_available())
+            .into_iter()
+            .nth(comm.rank())
+            .unwrap();
+        let homac = Homac::generate(seed ^ 0x5a5a, Backend::best_available());
+        let mut sc = SecureComm::new(comm.clone(), keys).with_homac(homac);
+        let mut s = mk_scheme();
+        let ecfg = EngineCfg::blocked(BLOCK)
+            .verified()
+            .with_retry(chaos_policy(comm));
+        sc.reduce_scatter_with(&mut s, &inputs[comm.rank()], ecfg)
+    });
+    for (rank, res) in results.iter().enumerate() {
+        // Blocked reduce-scatter appends this rank's chunk of each block.
+        let mut want: Vec<S::Input> = Vec::new();
+        let mut offset = 0;
+        while offset < LEN {
+            let end = (offset + BLOCK).min(LEN);
+            let (lo, hi) = hear::mpi::ring_chunk_bounds(end - offset, WORLD)[rank];
+            want.extend_from_slice(&expected[offset + lo..offset + hi]);
+            offset = end;
+        }
+        match res {
+            Ok(got) => {
+                assert_eq!(
+                    got.len(),
+                    want.len(),
+                    "{} {kind:?} rank {rank}: truncated share",
+                    S::NAME
+                );
+                for (j, (g, e)) in got.iter().zip(&want).enumerate() {
+                    assert!(
+                        close(g, e),
+                        "{} {kind:?} rank {rank} share elem {j}: got {g:?}, expected {e:?} \
+                         — a fault leaked a wrong share past verification",
+                        S::NAME
+                    );
+                }
+            }
+            Err(e) => assert!(
+                !matches!(e, EngineError::Hfp(_)),
+                "{} {kind:?} rank {rank}: wrong error class: {e}",
+                S::NAME
+            ),
+        }
+    }
+}
+
+#[test]
+fn chaos_reduce_scatter_drop_and_kill() {
+    let (int_in, int_exp) = int_inputs();
+    let (flt_in, flt_exp) = float_inputs();
+    for (k, kind) in [FaultKind::Drop, FaultKind::RankKill]
+        .into_iter()
+        .enumerate()
+    {
+        let seed = 0x25C0 + k as u64 * 100;
+        run_rs_cell(
+            IntSumScheme::<u32>::default,
+            &int_in,
+            &int_exp,
+            |g: &u32, e: &u32| g == e,
+            kind,
+            seed,
+        );
+        run_rs_cell(
+            || FloatSumExpScheme::new(HfpFormat::fp64(0, 0)),
+            &flt_in,
+            &flt_exp,
+            float_close,
+            kind,
+            seed + 1,
+        );
+    }
+}
+
 fn int_inputs() -> (Vec<Vec<u32>>, Vec<u32>) {
     let inputs: Vec<Vec<u32>> = (0..WORLD)
         .map(|r| {

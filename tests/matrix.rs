@@ -517,6 +517,47 @@ fn steady_state_allreduce_is_allocation_free_at_world_one() {
 }
 
 #[test]
+fn steady_state_factored_collectives_are_allocation_free_at_world_one() {
+    // The factored collective set inherits the allreduce discipline:
+    // reduce-scatter runs the same local mask → unmask path, allgather
+    // and alltoall short-circuit into a plain copy. None of them may
+    // allocate once warm.
+    let per_rank = Simulator::new(1).run(|comm| {
+        let keys = CommKeys::generate(1, 0xA110D, Backend::best_available())
+            .into_iter()
+            .nth(comm.rank())
+            .unwrap();
+        let mut sc = SecureComm::new(comm.clone(), keys);
+        let mut s = IntSumScheme::<u32>::default();
+        let data: Vec<u32> = (0..384u32).map(|j| j.wrapping_mul(0x85EB_CA6B)).collect();
+        let (mut rs, mut ag, mut a2a) = (Vec::new(), Vec::new(), Vec::new());
+        let mut round = |sc: &mut SecureComm, s: &mut IntSumScheme<u32>| {
+            sc.reduce_scatter_with_into(s, &data, &mut rs, EngineCfg::sync())
+                .unwrap();
+            sc.allgather_with_into(s, &data, &mut ag, EngineCfg::sync())
+                .unwrap();
+            sc.alltoall_with_into(s, &data, &mut a2a, EngineCfg::sync())
+                .unwrap();
+        };
+        for _ in 0..3 {
+            round(&mut sc, &mut s);
+        }
+        let before = allocs_on_this_thread();
+        for _ in 0..8 {
+            round(&mut sc, &mut s);
+        }
+        let allocs = allocs_on_this_thread() - before;
+        (allocs, rs.len(), ag.len(), a2a.len())
+    });
+    let (allocs, rs_len, ag_len, a2a_len) = per_rank[0];
+    assert_eq!((rs_len, ag_len, a2a_len), (384, 384, 384));
+    assert_eq!(
+        allocs, 0,
+        "steady-state factored collectives allocated {allocs} times on the rank thread"
+    );
+}
+
+#[test]
 fn steady_state_allreduce_allocations_stay_flat_across_ranks() {
     // At world > 1 the simulated fabric allocates per message (one boxed
     // envelope per send, one queue buffer per fresh collective tag), so

@@ -201,3 +201,67 @@ fn tcp_multi_process_verified_allreduce() {
     );
     assert!(outcome.success(), "rank exit codes: {:?}", outcome.codes);
 }
+
+/// The extension collectives (broadcast, gather, scatter, rooted reduce,
+/// alltoall) over real sockets: pins that every payload shape they put on
+/// the wire — `Vec<u32>` ciphertexts, `u64` length headers, and the
+/// engine-routed alltoall's `Vec<u64>` cells — has a registered socket
+/// codec, so `HEAR_TRANSPORT=tcp` covers the whole collective surface,
+/// not just allreduce.
+#[test]
+fn tcp_mesh_runs_extension_collectives() {
+    const W: usize = 3;
+    let results = tcp_sim(W).run(|comm| {
+        assert_eq!(comm.transport_name(), "tcp");
+        let keys = CommKeys::generate(W, 0xE27, Backend::best_available())
+            .into_iter()
+            .nth(comm.rank())
+            .unwrap();
+        let mut sc = SecureComm::new(comm.clone(), keys);
+        let r = comm.rank() as u32;
+
+        let config = sc.bcast_encrypted(0, if r == 0 { vec![7, 13] } else { vec![] });
+        let partial = sc.reduce_sum_u32(2, &[config[0] * (r + 1), r]);
+        let diag = sc.gather_encrypted(0, vec![r, r * 10]);
+        let shard = sc.scatter_encrypted(
+            1,
+            if r == 1 {
+                (0..W as u32)
+                    .map(|dst| vec![dst * 100, dst * 100 + 1])
+                    .collect()
+            } else {
+                Vec::new()
+            },
+        );
+        let transposed =
+            sc.alltoall_encrypted((0..W as u32).map(|dst| vec![r * 10 + dst]).collect());
+        (config, partial, diag, shard, transposed)
+    });
+    for (rank, (config, partial, diag, shard, transposed)) in results.iter().enumerate() {
+        assert_eq!(*config, vec![7, 13], "bcast over tcp, rank {rank}");
+        if rank == 2 {
+            assert_eq!(
+                partial.as_ref().unwrap(),
+                &vec![7 * (1 + 2 + 3), 3],
+                "rooted reduce over tcp"
+            );
+        } else {
+            assert!(partial.is_none(), "non-root rank {rank} got a reduction");
+        }
+        if rank == 0 {
+            assert_eq!(
+                *diag,
+                vec![vec![0, 0], vec![1, 10], vec![2, 20]],
+                "gather over tcp"
+            );
+        }
+        let r = rank as u32;
+        assert_eq!(
+            *shard,
+            vec![r * 100, r * 100 + 1],
+            "scatter over tcp, rank {rank}"
+        );
+        let expect: Vec<Vec<u32>> = (0..W as u32).map(|src| vec![src * 10 + r]).collect();
+        assert_eq!(*transposed, expect, "alltoall over tcp, rank {rank}");
+    }
+}
