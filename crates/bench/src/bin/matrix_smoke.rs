@@ -21,6 +21,8 @@ fn cells() -> Vec<(ReduceAlgo, bool, bool)> {
         ReduceAlgo::RecursiveDoubling,
         ReduceAlgo::Ring,
         ReduceAlgo::Switch,
+        // Two leader groups at world 4: every hierarchical stage runs.
+        ReduceAlgo::Hierarchical { group: 2 },
     ] {
         for pipelined in [false, true] {
             for verified in [false, true] {
@@ -45,7 +47,7 @@ fn cfg_for(algo: ReduceAlgo, pipelined: bool, verified: bool) -> EngineCfg {
     }
 }
 
-/// Run one scheme through all 12 cells; return the number of failed cells.
+/// Run one scheme through all 16 cells; return the number of failed cells.
 fn smoke<S, MS, CL>(
     name: &str,
     mk_scheme: MS,

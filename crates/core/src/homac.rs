@@ -16,7 +16,8 @@
 
 use crate::keys::{CommKeys, KeyRegistry};
 use crate::word::RingWord;
-use hear_prf::{Backend, Prf, PrfCipher};
+use hear_prf::{blocks_metric, for_each_shard, Backend, Prf, PrfCipher, WorkerPool};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// The HoMAC field modulus: the Mersenne prime `2^61 − 1` (λ = 61).
 pub const HOMAC_P: u64 = (1u64 << 61) - 1;
@@ -47,6 +48,21 @@ fn pow_p(mut base: u64, mut e: u64) -> u64 {
         e >>= 1;
     }
     acc
+}
+
+/// Smallest tag/verify batch worth fanning out. Every element costs a
+/// full PRF block (or two), so the crossover sits far below the mask
+/// kernels' byte threshold.
+const PAR_MIN_ELEMS: usize = 1 << 15;
+
+/// Shard count for an `n`-element digest batch: one shard per half
+/// [`PAR_MIN_ELEMS`], capped by the pool budget; 1 below the threshold.
+fn digest_shards(pool: &WorkerPool, n: usize) -> usize {
+    if n < PAR_MIN_ELEMS {
+        1
+    } else {
+        (n / (PAR_MIN_ELEMS / 2)).clamp(1, pool.threads())
+    }
 }
 
 /// Per-communicator HoMAC state: the verification key `Z` (with its
@@ -80,6 +96,14 @@ impl Homac {
         (self.prf.eval_block(base.wrapping_add(j as u128)) as u64) % HOMAC_P
     }
 
+    /// [`Homac::s_at`] without telemetry — for pool workers, which have no
+    /// registry context. The submitting thread attributes the exact block
+    /// total (one or two per element) before fanning out.
+    #[inline]
+    fn s_at_uncounted(&self, base: u128, j: u64) -> u64 {
+        (self.prf.eval_block_uncounted(base.wrapping_add(j as u128)) as u64) % HOMAC_P
+    }
+
     /// Cancelling tags for this rank's ciphertext block (Θ(1) verification).
     pub fn tag<W: RingWord>(&self, keys: &CommKeys, first: u64, cipher: &[W]) -> Vec<u64> {
         let mut out = Vec::new();
@@ -89,6 +113,11 @@ impl Homac {
 
     /// [`Homac::tag`] into a caller-owned vector — the engine stages tags
     /// through its pooled arena so verified steady state allocates nothing.
+    ///
+    /// Large batches fan out over the shared worker pool: tags are pure in
+    /// `(base, j)` like the pads, so contiguous index ranges compute
+    /// bit-identically on any thread. Workers evaluate uncounted; this
+    /// thread attributes the exact serial block total up front.
     pub fn tag_into<W: RingWord>(
         &self,
         keys: &CommKeys,
@@ -98,19 +127,47 @@ impl Homac {
     ) {
         let _s = hear_telemetry::span!("homac_tag", elems = cipher.len());
         out.clear();
-        out.extend(cipher.iter().enumerate().map(|(i, c)| {
-            let j = first + i as u64;
-            let c_res = c.to_u64() % HOMAC_P;
-            let s = if keys.is_last() {
-                self.s_at(keys.base_own(), j)
-            } else {
-                sub_p(
-                    self.s_at(keys.base_own(), j),
-                    self.s_at(keys.base_next(), j),
-                )
-            };
-            mul_p(sub_p(s, c_res), self.z_inv)
-        }));
+        let nshards = WorkerPool::with_current(|pool| digest_shards(pool, cipher.len()));
+        if nshards <= 1 {
+            out.extend(cipher.iter().enumerate().map(|(i, c)| {
+                let j = first + i as u64;
+                let c_res = c.to_u64() % HOMAC_P;
+                let s = if keys.is_last() {
+                    self.s_at(keys.base_own(), j)
+                } else {
+                    sub_p(
+                        self.s_at(keys.base_own(), j),
+                        self.s_at(keys.base_next(), j),
+                    )
+                };
+                mul_p(sub_p(s, c_res), self.z_inv)
+            }));
+            return;
+        }
+        let streams: u64 = if keys.is_last() { 1 } else { 2 };
+        hear_telemetry::add(
+            blocks_metric(self.prf.backend()),
+            streams * cipher.len() as u64,
+        );
+        out.resize(cipher.len(), 0);
+        WorkerPool::with_current(|pool| {
+            for_each_shard(pool, out.as_mut_slice(), nshards, |start, shard| {
+                for (i, o) in shard.iter_mut().enumerate() {
+                    let idx = start + i;
+                    let j = first + idx as u64;
+                    let c_res = cipher[idx].to_u64() % HOMAC_P;
+                    let s = if keys.is_last() {
+                        self.s_at_uncounted(keys.base_own(), j)
+                    } else {
+                        sub_p(
+                            self.s_at_uncounted(keys.base_own(), j),
+                            self.s_at_uncounted(keys.base_next(), j),
+                        )
+                    };
+                    *o = mul_p(sub_p(s, c_res), self.z_inv);
+                }
+            })
+        });
     }
 
     /// Non-cancelling tags (Θ(P) verification via [`Homac::verify_plain`]).
@@ -145,13 +202,43 @@ impl Homac {
         assert_eq!(agg.len(), tags.len());
         let _s = hear_telemetry::span!("homac_verify", elems = agg.len());
         let two_b = pow_p(2, W::BITS as u64); // 2^b mod p
-        let ok = agg.iter().zip(tags).enumerate().all(|(i, (c, sigma))| {
-            let j = first + i as u64;
-            let s0 = self.s_at(keys.base_zero(), j);
+        let nshards = WorkerPool::with_current(|pool| digest_shards(pool, agg.len()));
+        let check = |c: &W, sigma: &u64, s0: u64| {
             let base = add_p(c.to_u64() % HOMAC_P, mul_p(*sigma, self.z));
             // Σc_i = c_t + k·2^b for some overflow count k < P.
             (0..keys.world() as u64).any(|k| add_p(base, mul_p(k % HOMAC_P, two_b)) == s0)
-        });
+        };
+        let ok = if nshards <= 1 {
+            agg.iter().zip(tags).enumerate().all(|(i, (c, sigma))| {
+                let j = first + i as u64;
+                check(c, sigma, self.s_at(keys.base_zero(), j))
+            })
+        } else {
+            // Workers evaluate uncounted; attribute one block per element
+            // here. (On a failing batch the serial path short-circuits and
+            // counts fewer blocks, but failures abort the collective
+            // anyway — only the honest path's totals are load-bearing.)
+            hear_telemetry::add(blocks_metric(self.prf.backend()), agg.len() as u64);
+            let all_ok = AtomicBool::new(true);
+            let chunk = agg.len().div_ceil(nshards);
+            WorkerPool::with_current(|pool| {
+                pool.run(nshards, &|k| {
+                    if !all_ok.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let s = (k * chunk).min(agg.len());
+                    let e = ((k + 1) * chunk).min(agg.len());
+                    let fine = (s..e).all(|i| {
+                        let j = first + i as u64;
+                        check(&agg[i], &tags[i], self.s_at_uncounted(keys.base_zero(), j))
+                    });
+                    if !fine {
+                        all_ok.store(false, Ordering::Relaxed);
+                    }
+                })
+            });
+            all_ok.load(Ordering::Relaxed)
+        };
         hear_telemetry::incr(if ok {
             hear_telemetry::Metric::HomacVerifyPass
         } else {
@@ -196,10 +283,25 @@ impl Homac {
     pub fn tag_shared(&self, base: u128, first: u64, cipher: &[u64], out: &mut Vec<u64>) {
         let _s = hear_telemetry::span!("homac_tag", elems = cipher.len());
         out.clear();
-        out.extend(cipher.iter().enumerate().map(|(i, c)| {
-            let s = self.s_at(base, first + i as u64);
-            mul_p(sub_p(s, c % HOMAC_P), self.z_inv)
-        }));
+        let nshards = WorkerPool::with_current(|pool| digest_shards(pool, cipher.len()));
+        if nshards <= 1 {
+            out.extend(cipher.iter().enumerate().map(|(i, c)| {
+                let s = self.s_at(base, first + i as u64);
+                mul_p(sub_p(s, c % HOMAC_P), self.z_inv)
+            }));
+            return;
+        }
+        hear_telemetry::add(blocks_metric(self.prf.backend()), cipher.len() as u64);
+        out.resize(cipher.len(), 0);
+        WorkerPool::with_current(|pool| {
+            for_each_shard(pool, out.as_mut_slice(), nshards, |start, shard| {
+                for (i, o) in shard.iter_mut().enumerate() {
+                    let idx = start + i;
+                    let s = self.s_at_uncounted(base, first + idx as u64);
+                    *o = mul_p(sub_p(s, cipher[idx] % HOMAC_P), self.z_inv);
+                }
+            })
+        });
     }
 
     /// Verify single-origin ciphertexts against [`Homac::tag_shared`]
@@ -208,10 +310,34 @@ impl Homac {
     pub fn verify_shared(&self, base: u128, first: u64, cipher: &[u64], tags: &[u64]) -> bool {
         assert_eq!(cipher.len(), tags.len());
         let _s = hear_telemetry::span!("homac_verify", elems = cipher.len());
-        let ok = cipher.iter().zip(tags).enumerate().all(|(i, (c, sigma))| {
-            let s = self.s_at(base, first + i as u64);
-            add_p(c % HOMAC_P, mul_p(*sigma, self.z)) == s
-        });
+        let nshards = WorkerPool::with_current(|pool| digest_shards(pool, cipher.len()));
+        let ok = if nshards <= 1 {
+            cipher.iter().zip(tags).enumerate().all(|(i, (c, sigma))| {
+                let s = self.s_at(base, first + i as u64);
+                add_p(c % HOMAC_P, mul_p(*sigma, self.z)) == s
+            })
+        } else {
+            hear_telemetry::add(blocks_metric(self.prf.backend()), cipher.len() as u64);
+            let all_ok = AtomicBool::new(true);
+            let chunk = cipher.len().div_ceil(nshards);
+            WorkerPool::with_current(|pool| {
+                pool.run(nshards, &|k| {
+                    if !all_ok.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let s = (k * chunk).min(cipher.len());
+                    let e = ((k + 1) * chunk).min(cipher.len());
+                    let fine = (s..e).all(|i| {
+                        let key = self.s_at_uncounted(base, first + i as u64);
+                        add_p(cipher[i] % HOMAC_P, mul_p(tags[i], self.z)) == key
+                    });
+                    if !fine {
+                        all_ok.store(false, Ordering::Relaxed);
+                    }
+                })
+            });
+            all_ok.load(Ordering::Relaxed)
+        };
         hear_telemetry::incr(if ok {
             hear_telemetry::Metric::HomacVerifyPass
         } else {

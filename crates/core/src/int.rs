@@ -12,8 +12,8 @@
 use crate::keys::{CommKeys, KeyRegistry};
 use crate::word::RingWord;
 use hear_prf::{
-    add_blocks_into, add_keystream_into, sub_blocks_into, sub_keystream_into, xor_blocks_into,
-    xor_keystream_into,
+    par_add_blocks_into, par_add_keystream_into, par_sub_blocks_into, par_sub_keystream_into,
+    par_xor_blocks_into, par_xor_keystream_into, WorkerPool,
 };
 use hear_telemetry::Metric;
 
@@ -33,10 +33,27 @@ enum FusedOp {
 /// count, keystream bytes and masked bytes — which keeps every counter
 /// total identical whether or not the prefetcher is running. Any miss
 /// falls back to inline fused generation, which does its own accounting.
+///
+/// Both passes go through the parallel kernels of `hear-prf::par`: large
+/// buffers are cut at PRF-block boundaries and masked across the shared
+/// worker pool (bit-identical by pad purity in `(epoch, offset)`), while
+/// small buffers and single-thread budgets take the serial kernels
+/// unchanged.
 fn apply_stream<W: RingWord>(keys: &CommKeys, base: u128, first: u64, buf: &mut [W], op: FusedOp) {
     if buf.is_empty() {
         return;
     }
+    WorkerPool::with_current(|pool| apply_stream_on(pool, keys, base, first, buf, op))
+}
+
+fn apply_stream_on<W: RingWord>(
+    pool: &WorkerPool,
+    keys: &CommKeys,
+    base: u128,
+    first: u64,
+    buf: &mut [W],
+    op: FusedOp,
+) {
     if let Some(cache) = keys.cache() {
         let per = W::PER_BLOCK as u64;
         let first_block = first / per;
@@ -49,9 +66,9 @@ fn apply_stream<W: RingWord>(keys: &CommKeys, base: u128, first: u64, buf: &mut 
             first_block,
             nblocks,
             |blocks| match op {
-                FusedOp::Add => add_blocks_into(blocks, skip, buf),
-                FusedOp::Sub => sub_blocks_into(blocks, skip, buf),
-                FusedOp::Xor => xor_blocks_into(blocks, skip, buf),
+                FusedOp::Add => par_add_blocks_into(pool, blocks, skip, buf),
+                FusedOp::Sub => par_sub_blocks_into(pool, blocks, skip, buf),
+                FusedOp::Xor => par_xor_blocks_into(pool, blocks, skip, buf),
             },
         );
         if hit.is_some() {
@@ -68,9 +85,9 @@ fn apply_stream<W: RingWord>(keys: &CommKeys, base: u128, first: u64, buf: &mut 
         hear_telemetry::incr(Metric::PrefetchMisses);
     }
     match op {
-        FusedOp::Add => add_keystream_into(keys.prf(), base, first, buf),
-        FusedOp::Sub => sub_keystream_into(keys.prf(), base, first, buf),
-        FusedOp::Xor => xor_keystream_into(keys.prf(), base, first, buf),
+        FusedOp::Add => par_add_keystream_into(pool, keys.prf(), base, first, buf),
+        FusedOp::Sub => par_sub_keystream_into(pool, keys.prf(), base, first, buf),
+        FusedOp::Xor => par_xor_keystream_into(pool, keys.prf(), base, first, buf),
     }
 }
 

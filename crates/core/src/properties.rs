@@ -108,8 +108,8 @@ pub fn table2_markdown() -> String {
 /// sound only up to 15 ranks.
 pub fn composition_matrix_markdown() -> String {
     let mut s = String::from(
-        "| Scheme | Recursive doubling | Ring | Switch (INC) | Pipelined | HoMAC verified |\n\
-         |---|---|---|---|---|---|\n",
+        "| Scheme | Recursive doubling | Ring | Switch (INC) | Hierarchical | Pipelined | HoMAC verified |\n\
+         |---|---|---|---|---|---|---|\n",
     );
     for row in &TABLE2 {
         let verified = if row.operation.contains("XOR") {
@@ -118,7 +118,7 @@ pub fn composition_matrix_markdown() -> String {
             "yes"
         };
         s.push_str(&format!(
-            "| {} {} | yes | yes | yes | yes | {} |\n",
+            "| {} {} | yes | yes | yes | yes | yes | {} |\n",
             row.datatype, row.operation, verified
         ));
     }

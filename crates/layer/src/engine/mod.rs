@@ -181,6 +181,9 @@ impl SecureComm {
                 .comm
                 .try_allreduce_ring_owned_tagged_with_seg(tag, data, op, seg, deadline),
             ReduceAlgo::Switch => self.comm.try_allreduce_inc_tagged(tag, data, op, deadline),
+            ReduceAlgo::Hierarchical { group } => self
+                .comm
+                .try_allreduce_hier_owned_tagged_with_seg(tag, data, op, group, seg, deadline),
         }
     }
 
@@ -206,6 +209,9 @@ impl SecureComm {
                 .comm
                 .try_iallreduce_ring_tagged(tag, data, op, deadline),
             ReduceAlgo::Switch => self.comm.try_iallreduce_inc_tagged(tag, data, op, deadline),
+            ReduceAlgo::Hierarchical { group } => self
+                .comm
+                .try_iallreduce_hier_tagged(tag, data, op, group, deadline),
         }
     }
 }

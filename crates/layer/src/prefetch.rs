@@ -25,13 +25,18 @@
 //! * **Buffer recycling.** [`KeystreamCache::publish`] returns the evicted
 //!   generation; the worker keeps those `CacheSlot`s as spares, so the
 //!   steady state regenerates in place with zero allocation.
-//! * **Lazy thread.** The thread spawns on the first submit, so communi-
-//!   cators that never allreduce (or have prefetch disabled) cost nothing.
+//! * **Shared worker pool.** Generation runs on the process-wide
+//!   [`WorkerPool`]'s background lane ([`hear_prf::BgTask`]) instead of a
+//!   bespoke per-communicator thread: one submit parks the task in the
+//!   pool's single background slot and any idle worker picks it up when no
+//!   fork-join masking shards are pending. Nothing spawns until the first
+//!   submit, and teardown never joins — dropping the [`Prefetcher`] flips
+//!   a shutdown flag and the task retires itself at the next stream
+//!   boundary.
 
 use hear_core::{CacheSlot, KeystreamCache, StreamPlan};
-use hear_prf::PrfCipher;
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use hear_prf::{BgTask, PrfCipher, WorkerPool};
+use std::sync::{Arc, Mutex};
 
 /// Most streams one job can plan: own, next and zero noise streams.
 pub const MAX_STREAMS: usize = 3;
@@ -53,118 +58,121 @@ pub struct PrefetchJob {
 #[derive(Default)]
 struct State {
     job: Option<PrefetchJob>,
+    /// A pool worker is inside [`PrefetchTask::run`]'s job loop; further
+    /// background wakeups bounce off instead of generating concurrently.
+    running: bool,
     shutdown: bool,
+    // Spare slot buffers recycled from evicted cache generations, plus one
+    // reusable container for the slot list itself. Only the single active
+    // runner touches them; they live here so the task owns no second lock.
+    spare: Vec<CacheSlot>,
+    container: Vec<CacheSlot>,
 }
 
-#[derive(Default)]
-struct Shared {
-    state: Mutex<State>,
-    cv: Condvar,
-}
-
-/// Owner handle for the worker thread; dropping it joins the thread.
-pub struct Prefetcher {
+/// The pool-resident half of the prefetcher: picked up by an idle
+/// [`WorkerPool`] worker whenever a plan is parked in the job cell.
+struct PrefetchTask {
     prf: PrfCipher,
     cache: Arc<KeystreamCache>,
-    shared: Arc<Shared>,
-    worker: Option<JoinHandle<()>>,
+    state: Mutex<State>,
+}
+
+/// Owner handle for the prefetch task; dropping it flips the shutdown flag
+/// (no join — the shared pool's workers outlive any one communicator).
+pub struct Prefetcher {
+    task: Arc<PrefetchTask>,
 }
 
 impl Prefetcher {
     /// A prefetcher publishing into `cache`, generating with (a clone of)
-    /// `prf`. No thread is spawned until the first [`Prefetcher::submit`].
+    /// `prf`. Nothing is scheduled until the first [`Prefetcher::submit`].
     pub fn new(prf: PrfCipher, cache: Arc<KeystreamCache>) -> Prefetcher {
         Prefetcher {
-            prf,
-            cache,
-            shared: Arc::new(Shared::default()),
-            worker: None,
+            task: Arc::new(PrefetchTask {
+                prf,
+                cache,
+                state: Mutex::new(State::default()),
+            }),
         }
     }
 
-    /// Hand the worker a plan for an upcoming epoch, replacing any plan it
-    /// has not started yet. Never blocks on generation.
+    /// Park a plan for an upcoming epoch in the job cell, replacing any
+    /// plan generation has not started yet, and nudge the shared pool.
+    /// Never blocks on generation.
     pub fn submit(&mut self, job: PrefetchJob) {
-        if self.worker.is_none() {
-            self.spawn();
+        {
+            let mut st = lock_unpoisoned(&self.task.state);
+            st.job = Some(job);
         }
-        let mut st = lock_unpoisoned(&self.shared.state);
-        st.job = Some(job);
-        drop(st);
-        self.shared.cv.notify_one();
-    }
-
-    fn spawn(&mut self) {
-        let prf = self.prf.clone();
-        let cache = Arc::clone(&self.cache);
-        let shared = Arc::clone(&self.shared);
-        self.worker = Some(
-            std::thread::Builder::new()
-                .name("hear-prefetch".into())
-                .spawn(move || worker_loop(&prf, &cache, &shared))
-                .expect("spawn keystream prefetch worker"),
-        );
+        WorkerPool::global().submit_bg(Arc::clone(&self.task) as Arc<dyn BgTask>);
     }
 }
 
 impl Drop for Prefetcher {
     fn drop(&mut self) {
-        {
-            let mut st = lock_unpoisoned(&self.shared.state);
-            st.shutdown = true;
-        }
-        self.shared.cv.notify_one();
-        if let Some(h) = self.worker.take() {
-            let _ = h.join();
-        }
+        // No join: an in-flight runner sees the flag at the next stream
+        // boundary and abandons the job; the Arc keeps the task's state
+        // alive until then.
+        lock_unpoisoned(&self.task.state).shutdown = true;
     }
 }
 
-fn worker_loop(prf: &PrfCipher, cache: &KeystreamCache, shared: &Shared) {
-    // Spare slot buffers recycled from evicted cache generations, plus one
-    // reusable container for the slot list itself.
-    let mut spare: Vec<CacheSlot> = Vec::new();
-    let mut container: Vec<CacheSlot> = Vec::new();
-    loop {
-        let job = {
-            let mut st = lock_unpoisoned(&shared.state);
-            loop {
-                if st.shutdown {
+impl BgTask for PrefetchTask {
+    fn run(&self) {
+        loop {
+            let (job, mut slots, mut spare) = {
+                let mut st = lock_unpoisoned(&self.state);
+                // The active runner drains the job cell itself at the end
+                // of each pass; a second wakeup must not touch its state.
+                if st.running || st.shutdown {
                     return;
                 }
-                if let Some(j) = st.job.take() {
-                    break j;
-                }
-                st = match shared.cv.wait(st) {
-                    Ok(g) => g,
-                    Err(poisoned) => poisoned.into_inner(),
+                let Some(job) = st.job.take() else {
+                    return;
                 };
+                st.running = true;
+                (
+                    job,
+                    std::mem::take(&mut st.container),
+                    std::mem::take(&mut st.spare),
+                )
+            };
+            for plan in job.streams.into_iter().flatten() {
+                // Re-check shutdown between stream fills: teardown (e.g.
+                // the engine aborting mid-epoch and dropping the
+                // communicator) must never hold a pool worker for a whole
+                // multi-MiB plan.
+                if lock_unpoisoned(&self.state).shutdown {
+                    return;
+                }
+                let mut slot = spare.pop().unwrap_or_default();
+                let n = plan.nblocks.min(MAX_PREFETCH_BLOCKS);
+                slot.blocks.resize(n, 0);
+                // Generation happens outside the cache lock and uncounted:
+                // the consumer does the telemetry accounting on each hit.
+                self.prf.fill_blocks_uncounted(
+                    plan.base.wrapping_add(plan.first_block as u128),
+                    &mut slot.blocks,
+                );
+                slot.base = plan.base;
+                slot.first_block = plan.first_block;
+                slots.push(slot);
             }
-        };
-        let mut slots = std::mem::take(&mut container);
-        for plan in job.streams.into_iter().flatten() {
-            // Re-check shutdown between stream fills: teardown (e.g. the
-            // engine aborting mid-epoch and dropping the communicator)
-            // must never wait for a whole multi-MiB plan to generate.
-            if lock_unpoisoned(&shared.state).shutdown {
-                return;
+            let mut evicted = self.cache.publish(job.epoch, slots);
+            spare.append(&mut evicted);
+            {
+                let mut st = lock_unpoisoned(&self.state);
+                st.spare = spare;
+                st.container = evicted;
+                st.running = false;
+                if st.job.is_none() || st.shutdown {
+                    return;
+                }
+                // A newer plan arrived while we generated: loop and take it
+                // ourselves rather than waiting for the pool to re-wake us.
+                st.running = true;
             }
-            let mut slot = spare.pop().unwrap_or_default();
-            let n = plan.nblocks.min(MAX_PREFETCH_BLOCKS);
-            slot.blocks.resize(n, 0);
-            // Generation happens outside the cache lock and uncounted: the
-            // consumer does the telemetry accounting on each hit.
-            prf.fill_blocks_uncounted(
-                plan.base.wrapping_add(plan.first_block as u128),
-                &mut slot.blocks,
-            );
-            slot.base = plan.base;
-            slot.first_block = plan.first_block;
-            slots.push(slot);
         }
-        let mut evicted = cache.publish(job.epoch, slots);
-        spare.append(&mut evicted);
-        container = evicted;
     }
 }
 

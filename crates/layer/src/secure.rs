@@ -35,6 +35,15 @@ pub enum ReduceAlgo {
     Ring,
     /// In-network switch tree (requires a switch-enabled simulator).
     Switch,
+    /// Two-level hierarchy: groups of `group` consecutive ranks reduce to
+    /// a leader, the leaders run a ring, leaders broadcast back. Matches
+    /// the flat ring bit-for-bit (all HEAR combines are exactly
+    /// associative-commutative) while concentrating inter-node traffic on
+    /// one rank per node.
+    Hierarchical {
+        /// Ranks per leader group (clamped to `1..=world` at call time).
+        group: usize,
+    },
 }
 
 /// Error returned when HoMAC verification rejects a reduction result.

@@ -345,7 +345,7 @@ impl Communicator {
         acc: &mut [T],
         bounds: &[(usize, usize)],
         start: usize,
-        mut absorb: A,
+        absorb: A,
         seg: &mut Vec<T>,
         deadline: Option<std::time::Instant>,
     ) -> Result<(), crate::CommError>
@@ -356,9 +356,39 @@ impl Communicator {
         let (world, rank) = (self.world(), self.rank());
         let next = (rank + 1) % world;
         let prev = (rank + world - 1) % world;
-        for step in 0..world - 1 {
-            let send_chunk = (start + world - step) % world;
-            let recv_chunk = (start + world - step - 1) % world;
+        self.try_ring_circulate_among(
+            tag, acc, bounds, world, next, prev, start, absorb, seg, deadline,
+        )
+    }
+
+    /// [`Communicator::try_ring_circulate`] over an explicit sub-ring: the
+    /// `npeers` participants are identified only by their `next`/`prev`
+    /// global ranks and the chunk index `start` this participant holds on
+    /// entry. The hierarchical allreduce runs its inter-leader phase on
+    /// this — the leaders of a grouped communicator form a ring of
+    /// `⌈world/group⌉` peers at stride `group` — while the flat ring is
+    /// the degenerate sub-ring of all `world` ranks.
+    #[allow(clippy::too_many_arguments)]
+    fn try_ring_circulate_among<T, A>(
+        &self,
+        tag: u64,
+        acc: &mut [T],
+        bounds: &[(usize, usize)],
+        npeers: usize,
+        next: usize,
+        prev: usize,
+        start: usize,
+        mut absorb: A,
+        seg: &mut Vec<T>,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<(), crate::CommError>
+    where
+        T: Clone + Send + 'static,
+        A: FnMut(&mut [T], &[T]),
+    {
+        for step in 0..npeers - 1 {
+            let send_chunk = (start + npeers - step) % npeers;
+            let recv_chunk = (start + npeers - step - 1) % npeers;
             let (s, e) = bounds[send_chunk];
             seg.clear();
             seg.extend_from_slice(&acc[s..e]);
@@ -369,6 +399,111 @@ impl Communicator {
             *seg = incoming;
         }
         Ok(())
+    }
+
+    /// Hierarchical allreduce: ranks are partitioned into leader groups of
+    /// `group` consecutive ranks ("nodes"); each group reduces to its
+    /// leader, the leaders run a reduce-scatter + allgather ring among
+    /// themselves, and each leader broadcasts the result back to its
+    /// group. For exactly associative-commutative operators (every HEAR
+    /// combine) the regrouped fold is bit-identical to the flat ring.
+    ///
+    /// The intra-group phases are plain send/recv, which the transport
+    /// shapes: in-process channel hops under the `mem` transport (the
+    /// shared-memory case), socket hops under `tcp`. Three sub-tags are
+    /// used — `tag` (intra reduce), `tag+1` (inter-leader ring), `tag+2`
+    /// (intra broadcast) — staying inside one attempt slot of the engine's
+    /// retry ladder (attempt tags stride by 8).
+    pub fn allreduce_hier<T, F>(&self, data: &[T], group: usize, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let tag = self.next_coll_tag();
+        let mut seg = Vec::new();
+        self.try_allreduce_hier_owned_tagged_with_seg(tag, data.to_vec(), op, group, &mut seg, None)
+            .unwrap_or_else(|e| panic!("hierarchical allreduce (tag {tag:#x}) failed: {e}"))
+    }
+
+    /// Fallible hierarchical allreduce on a caller-reserved tag and
+    /// deadline — see [`Communicator::allreduce_hier`] for the topology.
+    /// On error the accumulator is lost mid-schedule; retries restart
+    /// from the caller's own input.
+    pub fn try_allreduce_hier_owned_tagged_with_seg<T, F>(
+        &self,
+        tag: u64,
+        data: Vec<T>,
+        op: F,
+        group: usize,
+        seg: &mut Vec<T>,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Vec<T>, crate::CommError>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let (world, rank) = (self.world(), self.rank());
+        let _s = hear_telemetry::span!("allreduce_hier", elems = data.len(), tag = tag);
+        let mut acc: Vec<T> = data;
+        if world == 1 || acc.is_empty() {
+            return Ok(acc);
+        }
+        let g = group.clamp(1, world);
+        let leader = rank - rank % g;
+        let members_end = (leader + g).min(world);
+
+        if rank != leader {
+            // Phase 1 (member): hand the contribution to the leader, then
+            // wait for the reduced vector in phase 3.
+            self.try_send_internal(leader, tag, std::mem::take(&mut acc))?;
+            return self.try_recv_internal::<T>(leader, tag + 2, deadline);
+        }
+
+        // Phase 1 (leader): fold the group members' contributions.
+        for r in leader + 1..members_end {
+            let other = self.try_recv_internal::<T>(r, tag, deadline)?;
+            fold_into(&mut acc, &other, &op);
+            *seg = other; // recycle the allocation for the ring phase
+        }
+
+        // Phase 2: reduce-scatter + allgather ring among the leaders.
+        let nleaders = world.div_ceil(g);
+        if nleaders > 1 {
+            let li = rank / g;
+            let next = ((li + 1) % nleaders) * g;
+            let prev = ((li + nleaders - 1) % nleaders) * g;
+            let bounds = ring_chunk_bounds(acc.len(), nleaders);
+            self.try_ring_circulate_among(
+                tag + 1,
+                &mut acc,
+                &bounds,
+                nleaders,
+                next,
+                prev,
+                li,
+                |dst, src| fold_into(dst, src, &op),
+                seg,
+                deadline,
+            )?;
+            self.try_ring_circulate_among(
+                tag + 1,
+                &mut acc,
+                &bounds,
+                nleaders,
+                next,
+                prev,
+                (li + 1) % nleaders,
+                |dst, src| dst.clone_from_slice(src),
+                seg,
+                deadline,
+            )?;
+        }
+
+        // Phase 3: broadcast the result back into the group.
+        for r in leader + 1..members_end {
+            self.try_send_internal(r, tag + 2, acc.clone())?;
+        }
+        Ok(acc)
     }
 
     /// Fallible tagged ring reduce-scatter on a deadline: every rank
@@ -666,6 +801,45 @@ mod tests {
                     assert_eq!(ring, rd, "world={world} len={len}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn allreduce_hier_matches_ring_across_groupings() {
+        // Every grouping — degenerate (g=1 and g>=world), even, uneven
+        // (last group short) — must be bit-identical to the flat ring for
+        // an exactly associative-commutative op.
+        for world in [1usize, 2, 3, 4, 5, 6, 8] {
+            for group in [1usize, 2, 3, 4, 8] {
+                for len in [1usize, 3, 7, 33] {
+                    let results = Simulator::new(world).run(move |comm| {
+                        let data: Vec<u64> = (0..len as u64)
+                            .map(|j| (comm.rank() as u64).wrapping_mul(0x9e37) ^ (j * j))
+                            .collect();
+                        let hier = comm.allreduce_hier(&data, group, |a, b| a.wrapping_add(*b));
+                        let ring = comm.allreduce_ring(&data, |a, b| a.wrapping_add(*b));
+                        (hier, ring)
+                    });
+                    for (r, (hier, ring)) in results.iter().enumerate() {
+                        assert_eq!(hier, ring, "world={world} group={group} len={len} rank={r}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_hier_nonblocking_matches_blocking() {
+        let results = Simulator::new(6).run(|comm| {
+            let data: Vec<u32> = (0..17).map(|j| comm.rank() as u32 * 31 + j).collect();
+            let tag = comm.next_coll_tag();
+            let req = comm.try_iallreduce_hier_tagged(tag, data.clone(), |a, b| a ^ b, 2, None);
+            let blocking = comm.allreduce_hier(&data, 2, |a, b| a ^ b);
+            let nb = req.wait().expect("nonblocking hier allreduce failed");
+            (nb, blocking)
+        });
+        for (nb, blocking) in &results {
+            assert_eq!(nb, blocking);
         }
     }
 

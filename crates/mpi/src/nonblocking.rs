@@ -139,6 +139,36 @@ impl Communicator {
         }
     }
 
+    /// Fallible nonblocking hierarchical allreduce on a caller-reserved
+    /// tag block (`tag..tag+2`): intra-group reduce, inter-leader ring,
+    /// intra-group broadcast. See
+    /// [`Communicator::allreduce_hier`](crate::comm::Communicator) for the
+    /// topology.
+    pub fn try_iallreduce_hier_tagged<T, F>(
+        &self,
+        tag: u64,
+        data: Vec<T>,
+        op: F,
+        group: usize,
+        deadline: Option<Instant>,
+    ) -> Request<Result<Vec<T>, CommError>>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T + Send + 'static,
+    {
+        let comm = self.clone();
+        let tele = hear_telemetry::spawn_context();
+        Request {
+            handle: std::thread::spawn(move || {
+                let _tele = tele.map(|(reg, rank)| reg.install(rank));
+                let mut seg = Vec::new();
+                comm.try_allreduce_hier_owned_tagged_with_seg(
+                    tag, data, op, group, &mut seg, deadline,
+                )
+            }),
+        }
+    }
+
     /// Fallible nonblocking ring reduce-scatter on a caller-reserved tag:
     /// the result is this rank's fully reduced chunk (MPI layout).
     pub fn try_ireduce_scatter_tagged<T, F>(

@@ -29,8 +29,10 @@
 //! property tests at the bottom pin every fused kernel to the split
 //! reference bit-for-bit.
 
+#[cfg(test)]
+use crate::Prf;
 use crate::{block_words_u16, block_words_u32, block_words_u64, block_words_u8};
-use crate::{blocks_metric, Backend, Prf, PrfCipher};
+use crate::{blocks_metric, Backend, PrfCipher};
 use hear_telemetry::Metric;
 
 /// Words the fused kernels can mask: the unsigned machine integers whose
@@ -130,6 +132,22 @@ impl Tile {
     }
 }
 
+/// PRF blocks a fused pass over `len` words starting at stream index
+/// `first` touches: the block span `⌊last/per⌋ − ⌊first/per⌋ + 1`. This is
+/// exactly what the serial pass evaluates (leading partial + whole +
+/// trailing partial), so counting it up front lets the parallel path in
+/// [`crate::par`] attribute identical telemetry from the submitting thread
+/// while the workers run uncounted.
+#[inline]
+pub(crate) fn fused_blocks<W: KernelWord>(first: u64, len: usize) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let per = W::PER_BLOCK as u64;
+    let last = first + len as u64 - 1;
+    last / per - first / per + 1
+}
+
 /// `buf[i] <- f(buf[i], stream[first + i])` in one pass, where `stream` is
 /// the width-`W` keystream of `prf` at `base`.
 ///
@@ -151,14 +169,38 @@ where
         masked_metric(prf.backend()),
         std::mem::size_of_val(buf) as u64,
     );
+    hear_telemetry::add(
+        blocks_metric(prf.backend()),
+        fused_blocks::<W>(first, buf.len()),
+    );
+    fused_into_uncounted(prf, base, first, buf, f);
+}
 
+/// The fused combine pass with **no telemetry attribution** — the worker
+/// half of the parallel kernels. Counting lives with the submitter (see
+/// [`fused_blocks`]); worker threads have no registry context and must
+/// record nothing lest the counts land in the global registry.
+#[inline]
+pub(crate) fn fused_into_uncounted<W, F>(
+    prf: &PrfCipher,
+    base: u128,
+    first: u64,
+    buf: &mut [W],
+    f: F,
+) where
+    W: KernelWord,
+    F: Fn(W, W) -> W + Copy,
+{
+    if buf.is_empty() {
+        return;
+    }
     let per = W::PER_BLOCK as u64;
     let mut j = first;
     let mut idx = 0usize;
 
     // Leading partial block: first may land mid-block.
     if !j.is_multiple_of(per) {
-        let block = prf.eval_block(base.wrapping_add((j / per) as u128));
+        let block = prf.eval_block_uncounted(base.wrapping_add((j / per) as u128));
         while !j.is_multiple_of(per) && idx < buf.len() {
             let w = W::extract(block, (j % per) as usize);
             buf[idx] = f(buf[idx], w);
@@ -173,7 +215,6 @@ where
         let first_block = j / per;
         #[cfg(target_arch = "x86_64")]
         if let Some(ni) = prf.aesni() {
-            hear_telemetry::add(blocks_metric(prf.backend()), whole as u64);
             let mut b = 0usize;
             let mut tile = Tile([0u8; 128]);
             let wsize = std::mem::size_of::<W>();
@@ -207,13 +248,13 @@ where
             finish_trailing(prf, base, &mut j, per, &mut idx, buf, f);
             return;
         }
-        // Generic backends: batched counted fill, then combine per block.
+        // Generic backends: batched fill, then combine per block.
         const BATCH: usize = 256;
         let mut blocks = [0u128; BATCH];
         let mut b = 0u64;
         while (b as usize) < whole {
             let n = BATCH.min(whole - b as usize);
-            prf.fill_blocks(
+            prf.fill_blocks_uncounted(
                 base.wrapping_add((first_block + b) as u128),
                 &mut blocks[..n],
             );
@@ -246,7 +287,7 @@ fn finish_trailing<W, F>(
     F: Fn(W, W) -> W + Copy,
 {
     if *idx < buf.len() {
-        let block = prf.eval_block(base.wrapping_add((*j / per) as u128));
+        let block = prf.eval_block_uncounted(base.wrapping_add((*j / per) as u128));
         while *idx < buf.len() {
             let w = W::extract(block, (*j % per) as usize);
             buf[*idx] = f(buf[*idx], w);
@@ -280,7 +321,7 @@ pub fn sub_keystream_into<W: KernelWord>(prf: &PrfCipher, base: u128, first: u64
 /// `skip .. skip + buf.len()` and accounts the telemetry itself (the blocks
 /// were generated uncounted on a worker thread).
 #[inline]
-fn blocks_into<W, F>(blocks: &[u128], skip: u64, buf: &mut [W], f: F)
+pub(crate) fn blocks_combine<W, F>(blocks: &[u128], skip: u64, buf: &mut [W], f: F)
 where
     W: KernelWord,
     F: Fn(W, W) -> W + Copy,
@@ -296,19 +337,19 @@ where
     }
 }
 
-/// XOR-combine from pregenerated blocks (see [`blocks_into`]).
+/// XOR-combine from pregenerated blocks (see [`blocks_combine`]).
 pub fn xor_blocks_into<W: KernelWord>(blocks: &[u128], skip: u64, buf: &mut [W]) {
-    blocks_into(blocks, skip, buf, |a, b| a.bxor(b));
+    blocks_combine(blocks, skip, buf, |a, b| a.bxor(b));
 }
 
-/// Wrapping-add-combine from pregenerated blocks (see [`blocks_into`]).
+/// Wrapping-add-combine from pregenerated blocks (see [`blocks_combine`]).
 pub fn add_blocks_into<W: KernelWord>(blocks: &[u128], skip: u64, buf: &mut [W]) {
-    blocks_into(blocks, skip, buf, |a, b| a.wrapping_add(b));
+    blocks_combine(blocks, skip, buf, |a, b| a.wrapping_add(b));
 }
 
-/// Wrapping-sub-combine from pregenerated blocks (see [`blocks_into`]).
+/// Wrapping-sub-combine from pregenerated blocks (see [`blocks_combine`]).
 pub fn sub_blocks_into<W: KernelWord>(blocks: &[u128], skip: u64, buf: &mut [W]) {
-    blocks_into(blocks, skip, buf, |a, b| a.wrapping_sub(b));
+    blocks_combine(blocks, skip, buf, |a, b| a.wrapping_sub(b));
 }
 
 #[cfg(test)]

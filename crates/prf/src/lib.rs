@@ -25,6 +25,7 @@ pub mod aes;
 #[cfg(target_arch = "x86_64")]
 pub mod aesni;
 pub mod kernels;
+pub mod par;
 pub mod sha1;
 #[cfg(target_arch = "x86_64")]
 pub mod shani;
@@ -34,6 +35,11 @@ pub use kernels::masked_metric;
 pub use kernels::{
     add_blocks_into, add_keystream_into, sub_blocks_into, sub_keystream_into, xor_blocks_into,
     xor_keystream_into, KernelWord,
+};
+pub use par::{
+    configured_threads, for_each_shard, par_add_blocks_into, par_add_keystream_into,
+    par_sub_blocks_into, par_sub_keystream_into, par_xor_blocks_into, par_xor_keystream_into,
+    with_pool, BgTask, WorkerPool, PAR_MIN_BYTES, SHARD_BYTES,
 };
 
 /// A keyed pseudorandom function producing 128-bit blocks.

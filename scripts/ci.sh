@@ -65,3 +65,12 @@ HEAR_BENCH_FAST=1 HEAR_BENCH_DIR="$smoke_dir" \
 test -s "$smoke_dir/BENCH_crypto.json"
 HEAR_BENCH_FAST=1 \
     cargo run --release -q -p hear-bench --bin crypto_throughput -- --gate
+
+# Roofline sweep + scaling gate: STREAM triad and masked-bytes throughput
+# at 1..N threads must land in BENCH_roofline.json, and on a >=4-core
+# host 4 threads must beat 1 thread by >=3x at 64 MiB (the gate prints
+# SKIP and exits 0 on smaller runners, so shared-core CI stays green).
+HEAR_BENCH_DIR="$smoke_dir" \
+    cargo run --release -q -p hear-bench --bin roofline
+test -s "$smoke_dir/BENCH_roofline.json"
+cargo run --release -q -p hear-bench --bin roofline -- --gate

@@ -266,10 +266,15 @@ fn float_close(g: &f64, e: &f64) -> bool {
     (g - e).abs() / e.abs().max(1.0) < 1e-3
 }
 
-const ALGOS: [ReduceAlgo; 3] = [
+const ALGOS: [ReduceAlgo; 4] = [
     ReduceAlgo::RecursiveDoubling,
     ReduceAlgo::Ring,
     ReduceAlgo::Switch,
+    // Two leaders at world 4: faults land in every hierarchical stage —
+    // including the RankKill row, where the dying rank 3 takes out a
+    // group member *and* the inter-leader ring's traffic sources, so the
+    // cell must degrade to a correct result or fail typed, never hang.
+    ReduceAlgo::Hierarchical { group: 2 },
 ];
 
 fn sweep_kind(kind: FaultKind, kind_idx: u64) {

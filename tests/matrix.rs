@@ -24,6 +24,9 @@ fn cells() -> Vec<(ReduceAlgo, bool, bool)> {
         ReduceAlgo::RecursiveDoubling,
         ReduceAlgo::Ring,
         ReduceAlgo::Switch,
+        // Group size 2 at world 4: two leaders, so every stage (intra
+        // reduce, inter-leader ring, broadcast) actually runs.
+        ReduceAlgo::Hierarchical { group: 2 },
     ] {
         for pipelined in [false, true] {
             for verified in [false, true] {
@@ -50,10 +53,22 @@ fn cfg_for(algo: ReduceAlgo, pipelined: bool, verified: bool) -> EngineCfg {
     }
 }
 
-/// Run one scheme through all 12 cells at world = 4 on a switch-enabled
+/// Run one scheme through all 16 cells at world = 4 on a switch-enabled
 /// simulator and compare every rank's every cell against `expected`.
-fn sweep<S, MS, CL>(mk_scheme: MS, inputs: Vec<Vec<S::Input>>, expected: Vec<S::Input>, close: CL)
-where
+///
+/// `hier_bitwise` pins Hierarchical against the flat ring **bit for bit**;
+/// set it for every scheme whose wire op is an exact ring operation
+/// (wrapping add/mul, xor — reassociation is invisible). The HFP float
+/// schemes round during exponent alignment, so their combine is only
+/// approximately associative: for those the pin is the scheme's `close`
+/// tolerance instead.
+fn sweep<S, MS, CL>(
+    mk_scheme: MS,
+    inputs: Vec<Vec<S::Input>>,
+    expected: Vec<S::Input>,
+    close: CL,
+    hier_bitwise: bool,
+) where
     S: Scheme + 'static,
     S::Input: PartialEq + std::fmt::Debug + Sync,
     MS: Fn() -> S + Send + Sync,
@@ -101,6 +116,46 @@ where
                 );
             }
         }
+        // The hierarchical pin: regrouping the reduction (intra-group →
+        // inter-leader ring → broadcast) must match the flat Ring cell of
+        // the same (chunking, verification) — bit for bit when the wire op
+        // is an exact ring operation, within the scheme tolerance when the
+        // HFP combine rounds (see `sweep` docs).
+        for pipelined in [false, true] {
+            for verified in [false, true] {
+                let pick = |want_hier: bool| {
+                    cells
+                        .iter()
+                        .find(|(a, p, v, _)| {
+                            *p == pipelined
+                                && *v == verified
+                                && matches!(a, ReduceAlgo::Hierarchical { .. }) == want_hier
+                                && (want_hier || *a == ReduceAlgo::Ring)
+                        })
+                        .map(|(_, _, _, got)| got)
+                        .unwrap()
+                };
+                let (hier, ring) = (pick(true), pick(false));
+                if hier_bitwise {
+                    assert_eq!(
+                        hier,
+                        ring,
+                        "{} rank={rank} (pipelined={pipelined}, verified={verified}): \
+                         Hierarchical diverged bitwise from the flat ring",
+                        S::NAME
+                    );
+                } else {
+                    for (j, (h, r)) in hier.iter().zip(ring).enumerate() {
+                        assert!(
+                            close(h, r),
+                            "{} rank={rank} (pipelined={pipelined}, verified={verified}) \
+                             elem {j}: Hierarchical {h:?} vs ring {r:?} outside tolerance",
+                            S::NAME
+                        );
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -142,6 +197,7 @@ fn int_sum_full_matrix() {
         inputs,
         expected,
         |g: &u32, e: &u32| g == e,
+        true,
     );
 }
 
@@ -163,6 +219,7 @@ fn int_prod_full_matrix() {
         inputs,
         expected,
         |g: &u64, e: &u64| g == e,
+        true,
     );
 }
 
@@ -184,6 +241,7 @@ fn int_xor_full_matrix() {
         inputs,
         expected,
         |g: &u32, e: &u32| g == e,
+        true,
     );
 }
 
@@ -205,6 +263,8 @@ fn fixed_sum_full_matrix() {
         inputs,
         expected,
         rel_close(1e-3),
+        // Fixed-point wires reduce with exact wrapping u64 addition.
+        true,
     );
 }
 
@@ -228,6 +288,7 @@ fn float_sum_v1_full_matrix() {
         inputs,
         expected,
         rel_close(tol),
+        false,
     );
 }
 
@@ -251,6 +312,7 @@ fn float_sum_v2_full_matrix() {
         inputs,
         expected,
         rel_close(tol),
+        false,
     );
 }
 
@@ -275,6 +337,7 @@ fn float_prod_full_matrix() {
         inputs,
         expected,
         rel_close(tol),
+        false,
     );
 }
 
@@ -394,14 +457,15 @@ mod random_cells {
             len in 0usize..60,
             block in 1usize..16,
             seed in any::<u64>(),
-            algo_pick in 0u8..3,
+            algo_pick in 0u8..4,
             pipelined in any::<bool>(),
             verified in any::<bool>(),
         ) {
             let algo = match algo_pick {
                 0 => ReduceAlgo::RecursiveDoubling,
                 1 => ReduceAlgo::Ring,
-                _ => ReduceAlgo::Switch,
+                2 => ReduceAlgo::Switch,
+                _ => ReduceAlgo::Hierarchical { group: 2 },
             };
             let results = Simulator::with_config(world, SimConfig::default().with_switch(2))
                 .run(move |comm| {
@@ -599,6 +663,92 @@ fn steady_state_allreduce_allocations_stay_flat_across_ranks() {
         assert!(
             max <= min + SLACK,
             "rank {rank}: per-iteration allocation counts drift in steady state: {counts:?}"
+        );
+    }
+}
+
+#[test]
+fn steady_state_parallel_masking_is_allocation_free_at_world_one() {
+    // A buffer past PAR_MIN_BYTES routes the mask → unmask round trip
+    // through the worker pool. The submitter's side of the fork-join —
+    // publish the job, work shards alongside the pool, join — must stay
+    // allocation-free after the lazy worker spawn, or the "no allocation
+    // on the submitter path" claim in hear_prf::par is false.
+    use hear::prf::{with_pool, WorkerPool, PAR_MIN_BYTES};
+    let len = PAR_MIN_BYTES / 4 + 13; // odd u32 count, > 1 MiB
+    let zero_after_warmup = Simulator::new(1).run(move |comm| {
+        let pool = WorkerPool::new(4);
+        with_pool(&pool, || {
+            let keys = CommKeys::generate(1, 0xA110E, Backend::best_available())
+                .into_iter()
+                .nth(comm.rank())
+                .unwrap();
+            let mut sc = SecureComm::new(comm.clone(), keys);
+            let mut s = IntSumScheme::<u32>::default();
+            let data: Vec<u32> = (0..len as u32)
+                .map(|j| j.wrapping_mul(0x9E37_79B9))
+                .collect();
+            let mut out = Vec::new();
+            for _ in 0..3 {
+                sc.allreduce_with_into(&mut s, &data, &mut out, EngineCfg::sync())
+                    .unwrap();
+            }
+            let before = allocs_on_this_thread();
+            for _ in 0..4 {
+                sc.allreduce_with_into(&mut s, &data, &mut out, EngineCfg::sync())
+                    .unwrap();
+            }
+            (allocs_on_this_thread() - before, out.len())
+        })
+    });
+    let (allocs, out_len) = zero_after_warmup[0];
+    assert_eq!(out_len, len);
+    assert_eq!(
+        allocs, 0,
+        "steady-state parallel-masked allreduce allocated {allocs} times on the rank thread"
+    );
+}
+
+#[test]
+fn steady_state_hierarchical_allocations_stay_flat_at_world_four() {
+    // Same flatness discipline as the ring test, but at world 4 over the
+    // hierarchical cell: the intra-group reduce, inter-leader ring, and
+    // broadcast all recycle their staging (`seg`) buffers, so per-iteration
+    // allocation counts must not drift even though the simulated fabric
+    // allocates per message.
+    const ITERS: usize = 10;
+    const SLACK: u64 = 8;
+    let per_rank = Simulator::new(4).run(|comm| {
+        let keys = CommKeys::generate(4, 0xF1A8, Backend::best_available())
+            .into_iter()
+            .nth(comm.rank())
+            .unwrap();
+        let mut sc = SecureComm::new(comm.clone(), keys);
+        let mut s = IntSumScheme::<u32>::default();
+        let data: Vec<u32> = (0..1024u32)
+            .map(|j| j.wrapping_mul(0xC2B2_AE35).wrapping_add(comm.rank() as u32))
+            .collect();
+        let cfg = EngineCfg::pipelined(64).with_algo(ReduceAlgo::Hierarchical { group: 2 });
+        let mut out = Vec::new();
+        for _ in 0..4 {
+            sc.allreduce_with_into(&mut s, &data, &mut out, cfg)
+                .unwrap();
+        }
+        let mut counts = Vec::with_capacity(ITERS);
+        for _ in 0..ITERS {
+            let before = allocs_on_this_thread();
+            sc.allreduce_with_into(&mut s, &data, &mut out, cfg)
+                .unwrap();
+            counts.push(allocs_on_this_thread() - before);
+        }
+        counts
+    });
+    for (rank, counts) in per_rank.iter().enumerate() {
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(
+            max <= min + SLACK,
+            "rank {rank}: hierarchical per-iteration allocation counts drift: {counts:?}"
         );
     }
 }

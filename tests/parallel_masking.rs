@@ -1,0 +1,181 @@
+//! Satellite pin for the multi-threaded mask kernels: for every one of the
+//! seven Table 2 schemes, `mask_slice`/`unmask_slice` under an explicit
+//! 2- or 4-thread [`WorkerPool`] must be **bit-for-bit identical** to the
+//! 1-thread (serial-degenerate) pool — wires, aggregate, and decoded
+//! outputs alike. HEAR pads are pure in `(epoch, offset)`, so cutting a
+//! buffer at PRF-block boundaries and masking shards on different cores
+//! must not be observable in the ciphertext at all.
+//!
+//! The pools are pinned with [`hear::prf::with_pool`] rather than
+//! `HEAR_THREADS` (the global pool reads the env only once per process);
+//! the 1-thread pool *is* the `HEAR_THREADS=1` degeneracy — `WorkerPool`
+//! sizes are indistinguishable from the env knob past construction, which
+//! `hear_prf`'s own env test pins separately.
+
+use hear::core::{
+    Backend, CommKeys, FixedCodec, FixedSumScheme, FloatProdScheme, FloatSumExpScheme,
+    FloatSumScheme, HfpFormat, Homac, IntProdScheme, IntSumScheme, IntXorScheme, Scheme,
+};
+use hear::prf::{with_pool, WorkerPool, PAR_MIN_BYTES};
+
+const SEED: u64 = 0x009A_5CED;
+/// Odd element count whose smallest wire encoding (u32) still clears
+/// [`PAR_MIN_BYTES`], so the fused schemes really take the sharded path
+/// on the multi-thread pools; the odd tail exercises partial blocks.
+const LEN: usize = PAR_MIN_BYTES / 4 + 3;
+/// Odd stream offset so the leading partial block is non-empty too.
+const FIRST: u64 = 3;
+
+/// Both ranks' wires plus the unmasked aggregate from one pool size.
+type PinOutcome<S> = (
+    Vec<<S as Scheme>::Wire>,
+    Vec<<S as Scheme>::Wire>,
+    Vec<<S as Scheme>::Input>,
+);
+
+/// Mask both ranks' inputs, combine the wires with the scheme's network
+/// op, unmask the aggregate with rank 0's keys — once per pool size — and
+/// demand every intermediate is identical across pool sizes.
+fn pin_scheme<S, MS>(mk: MS, inputs: [Vec<S::Input>; 2])
+where
+    S: Scheme,
+    S::Input: PartialEq + std::fmt::Debug,
+    MS: Fn() -> S,
+{
+    let keys = CommKeys::generate(2, SEED, Backend::best_available());
+    let mut reference: Option<PinOutcome<S>> = None;
+    for threads in [1usize, 2, 4] {
+        let pool = WorkerPool::new(threads);
+        let (w0, w1, out) = with_pool(&pool, || {
+            let mut w0 = Vec::new();
+            mk().mask_slice(&keys[0], FIRST, &inputs[0], &mut w0)
+                .unwrap_or_else(|e| panic!("{} mask rank 0: {e:?}", S::NAME));
+            let mut w1 = Vec::new();
+            mk().mask_slice(&keys[1], FIRST, &inputs[1], &mut w1)
+                .unwrap_or_else(|e| panic!("{} mask rank 1: {e:?}", S::NAME));
+            let agg: Vec<S::Wire> = w0.iter().zip(&w1).map(|(a, b)| S::op(a, b)).collect();
+            let mut out = Vec::new();
+            mk().unmask_slice(&keys[0], FIRST, &agg, &mut out);
+            (w0, w1, out)
+        });
+        assert_eq!(out.len(), inputs[0].len(), "{} threads={threads}", S::NAME);
+        match &reference {
+            None => reference = Some((w0, w1, out)),
+            Some((rw0, rw1, rout)) => {
+                assert!(
+                    &w0 == rw0,
+                    "{}: rank-0 wires diverge from serial at {threads} threads",
+                    S::NAME
+                );
+                assert!(
+                    &w1 == rw1,
+                    "{}: rank-1 wires diverge from serial at {threads} threads",
+                    S::NAME
+                );
+                assert!(
+                    &out == rout,
+                    "{}: unmasked output diverges from serial at {threads} threads",
+                    S::NAME
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn int_sum_parallel_masking_is_bit_identical() {
+    let inputs: [Vec<u32>; 2] = std::array::from_fn(|r| {
+        (0..LEN as u32)
+            .map(|j| j.wrapping_mul(0x9E37_79B9).wrapping_add(r as u32))
+            .collect()
+    });
+    pin_scheme(IntSumScheme::<u32>::default, inputs);
+}
+
+#[test]
+fn int_prod_parallel_masking_is_bit_identical() {
+    let inputs: [Vec<u64>; 2] =
+        std::array::from_fn(|r| (0..LEN as u64).map(|j| 1 + (j + r as u64) % 9).collect());
+    pin_scheme(IntProdScheme::<u64>::default, inputs);
+}
+
+#[test]
+fn int_xor_parallel_masking_is_bit_identical() {
+    let inputs: [Vec<u32>; 2] = std::array::from_fn(|r| {
+        (0..LEN as u32)
+            .map(|j| j.wrapping_mul(0xDEAD_BEEF) ^ ((r as u32) << 13))
+            .collect()
+    });
+    pin_scheme(IntXorScheme::<u32>::default, inputs);
+}
+
+#[test]
+fn fixed_sum_parallel_masking_is_bit_identical() {
+    let inputs: [Vec<f64>; 2] = std::array::from_fn(|r| {
+        (0..LEN)
+            .map(|j| (((r * LEN + j) % 8191) as f64 * 0.37).sin() * 4.0)
+            .collect()
+    });
+    pin_scheme(|| FixedSumScheme::new(FixedCodec::new(16)), inputs);
+}
+
+#[test]
+fn float_sum_v1_parallel_masking_is_bit_identical() {
+    let inputs: [Vec<f64>; 2] = std::array::from_fn(|r| {
+        (0..LEN)
+            .map(|j| (((r * LEN + j) % 8191) as f64 * 0.17).cos() * 3.0 + 4.0)
+            .collect()
+    });
+    pin_scheme(|| FloatSumScheme::new(HfpFormat::fp32(2, 2)), inputs);
+}
+
+#[test]
+fn float_sum_v2_parallel_masking_is_bit_identical() {
+    let inputs: [Vec<f64>; 2] = std::array::from_fn(|r| {
+        (0..LEN)
+            .map(|j| (((r * LEN + j) % 8191) as f64 * 0.29).sin() * 0.4)
+            .collect()
+    });
+    pin_scheme(|| FloatSumExpScheme::new(HfpFormat::fp64(0, 0)), inputs);
+}
+
+#[test]
+fn float_prod_parallel_masking_is_bit_identical() {
+    let inputs: [Vec<f64>; 2] = std::array::from_fn(|r| {
+        (0..LEN)
+            .map(|j| 0.6 + (((r * LEN + j) % 8191) as f64 * 0.41).cos().abs())
+            .collect()
+    });
+    pin_scheme(|| FloatProdScheme::new(HfpFormat::fp64(0, 0)), inputs);
+}
+
+/// The HoMAC digest fan-out has its own parallel threshold
+/// (`PAR_MIN_ELEMS` elements, not bytes): tags and the verify verdict at
+/// a length past it must be identical across 1/2/4-thread pools, and a
+/// single-rank tag must verify against its own cipher on every pool.
+#[test]
+fn homac_tags_parallel_match_serial() {
+    let keys = CommKeys::generate(1, SEED ^ 0x7A65, Backend::best_available());
+    let homac = Homac::generate(SEED ^ 0x1234, Backend::best_available());
+    let cipher: Vec<u32> = (0..70_001u32)
+        .map(|j| j.wrapping_mul(0x85EB_CA6B))
+        .collect();
+    let mut reference: Option<Vec<u64>> = None;
+    for threads in [1usize, 2, 4] {
+        let pool = WorkerPool::new(threads);
+        let (tags, ok) = with_pool(&pool, || {
+            let mut tags = Vec::new();
+            homac.tag_into(&keys[0], FIRST, &cipher, &mut tags);
+            let ok = homac.verify(&keys[0], FIRST, &cipher, &tags);
+            (tags, ok)
+        });
+        assert!(ok, "single-rank HoMAC verify failed at {threads} threads");
+        match &reference {
+            None => reference = Some(tags),
+            Some(r) => assert!(
+                &tags == r,
+                "HoMAC tags diverge from serial at {threads} threads"
+            ),
+        }
+    }
+}
