@@ -5,13 +5,18 @@
 //! parent injects the one fault no in-process harness can fake: it
 //! SIGKILLs a rank mid-epoch and requires every survivor to observe a
 //! *typed* transport error — never a hang, never a wrong aggregate.
+//! A third scenario repeats the kill with
+//! [`PeerDeadPolicy::ShrinkAndContinue`] enabled: the three survivors
+//! must *absorb* the death — agree on the shrunk membership, rebase
+//! keys, and keep producing bit-exact survivor-set aggregates — and
+//! their heartbeat/eviction telemetry must be live.
 //!
 //! Exit codes (parent), chosen so CI logs distinguish the failure class
 //! at a glance:
 //!
 //! | code | meaning                                                    |
 //! |------|------------------------------------------------------------|
-//! | 0    | both scenarios passed                                      |
+//! | 0    | all scenarios passed                                       |
 //! | 1    | infrastructure: spawn/rendezvous/unexpected child status   |
 //! | 2    | wrong answer (or wrong error class) on some rank           |
 //! | 3    | hang: the launcher watchdog had to kill the tree           |
@@ -21,8 +26,11 @@
 //! selects the rank body); `HEAR_SOCKET_SMOKE_MODE` selects the scenario.
 
 use hear::core::{Backend, CommKeys, Homac, IntSumScheme};
-use hear::layer::{EngineCfg, EngineError, ReduceAlgo, RetryPolicy, SecureComm};
+use hear::layer::{
+    EngineCfg, EngineError, MembershipChange, PeerDeadPolicy, ReduceAlgo, RetryPolicy, SecureComm,
+};
 use hear::mpi::{launch, Launcher};
+use hear::telemetry::{Metric, Registry};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -155,6 +163,107 @@ fn child_kill(rank: usize) -> ExitCode {
     ExitCode::from(4)
 }
 
+/// [`epoch_cfg`] with the shrink-and-continue reaction enabled — and a
+/// roomier retry budget than the fail-fast scenarios. Here a timeout on
+/// a *healthy* ring is not an acceptable outcome: it would surface as
+/// an error (exit 2) or, worse, stall the rank long enough for its
+/// peers to declare it dead and cascade a second eviction. Real kills
+/// are detected by socket EOF, so the wider deadline does not slow the
+/// drill's reaction to the SIGKILL.
+fn shrink_cfg(comm: &hear::mpi::Communicator) -> EngineCfg {
+    let attempt = (comm.transport_rtt() * 1000).max(Duration::from_millis(500));
+    EngineCfg::pipelined(BLOCK)
+        .verified()
+        .with_algo(ReduceAlgo::Ring)
+        .with_retry(
+            RetryPolicy::retries(3)
+                .with_backoff(Duration::from_millis(2))
+                .with_attempt_timeout(attempt)
+                .on_peer_dead(PeerDeadPolicy::ShrinkAndContinue),
+        )
+}
+
+/// Shrink drill rank body: the same mid-loop SIGKILL as [`child_kill`],
+/// but with `ShrinkAndContinue` enabled the death must be *absorbed*,
+/// not surfaced. Every survivor must observe exactly one membership
+/// change evicting the killed rank, then keep producing bit-exact
+/// aggregates over the three survivors' contributions, with live
+/// heartbeat and eviction telemetry (the parent sets `HEAR_TRACE=1`, so
+/// the transport's counters land in the global registry). The epoch
+/// loop stops a few epochs after the shrink: the collectives keep the
+/// survivors in lockstep, so all of them tear down after the *same*
+/// epoch and nobody yanks sockets from a peer still mid-collective.
+fn child_shrink(rank: usize) -> ExitCode {
+    let (comm, mut sc) = match child_secure_comm(rank) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("[socket_smoke rank {rank}] infra: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let (input, mut expected) = inputs_for(rank, comm.world());
+    let survivor_expected = inputs_for(rank, WORLD - 1).1;
+    let mut s = IntSumScheme::<u32>::default();
+    let mut post_shrink_ok = 0usize;
+    for epoch in 0..KILL_EPOCHS {
+        match sc.allreduce_with(&mut s, &input, shrink_cfg(&comm)) {
+            Ok(got) => {
+                let changes = sc.take_membership_changes();
+                if !changes.is_empty() {
+                    let want = vec![MembershipChange {
+                        epoch: 1,
+                        evicted: vec![WORLD - 1],
+                        old_world: WORLD,
+                        new_world: WORLD - 1,
+                    }];
+                    if changes != want {
+                        eprintln!(
+                            "[socket_smoke rank {rank}] epoch {epoch}: \
+                             unexpected membership change {changes:?}"
+                        );
+                        return ExitCode::from(2);
+                    }
+                    expected = survivor_expected.clone();
+                }
+                if got != expected {
+                    eprintln!("[socket_smoke rank {rank}] epoch {epoch}: wrong aggregate");
+                    return ExitCode::from(2);
+                }
+                if sc.is_shrunk() {
+                    post_shrink_ok += 1;
+                    if post_shrink_ok >= 3 {
+                        break;
+                    }
+                }
+                std::thread::sleep(KILL_EPOCH_PAUSE);
+            }
+            Err(e) => {
+                eprintln!(
+                    "[socket_smoke rank {rank}] epoch {epoch}: \
+                     error surfaced instead of shrinking: {e}"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if post_shrink_ok == 0 {
+        eprintln!("[socket_smoke rank {rank}] completed all epochs without observing the kill");
+        return ExitCode::from(4);
+    }
+    let reg = Registry::global();
+    for (metric, name) in [
+        (Metric::HeartbeatsTotal, "hear_heartbeats_total"),
+        (Metric::MembershipEpochs, "hear_membership_epochs_total"),
+        (Metric::RanksEvicted, "hear_ranks_evicted_total"),
+    ] {
+        if reg.counter(metric) == 0 {
+            eprintln!("[socket_smoke rank {rank}] telemetry counter {name} stayed zero");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn spawn_world(mode: &str) -> std::io::Result<hear::mpi::launch::Tree> {
     Launcher::new(WORLD)
         .watchdog(WATCHDOG)
@@ -214,6 +323,33 @@ fn parent() -> ExitCode {
         return ExitCode::from(code);
     }
     println!("[socket_smoke] kill: survivors saw typed PeerDead/Timeout OK");
+
+    // Scenario 3: the same SIGKILL, but with shrink-and-continue enabled
+    // the survivors must reconfigure around the corpse and keep going.
+    let mut tree = match Launcher::new(WORLD)
+        .watchdog(WATCHDOG)
+        .env(MODE_ENV, "shrink")
+        .env("HEAR_TRACE", "1")
+        .allow_shrink()
+        .spawn()
+    {
+        Ok(tree) => tree,
+        Err(e) => {
+            eprintln!("[socket_smoke] spawn failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    std::thread::sleep(KILL_AT);
+    tree.kill_rank(WORLD - 1);
+    let outcome = tree.wait();
+    if let Some(code) = grade(&outcome, Some(WORLD - 1)) {
+        eprintln!("[socket_smoke] shrink scenario failed: {:?}", outcome.codes);
+        return ExitCode::from(code);
+    }
+    println!(
+        "[socket_smoke] shrink: survivors reconfigured to world {} and continued OK",
+        WORLD - 1
+    );
     ExitCode::SUCCESS
 }
 
@@ -222,6 +358,7 @@ fn main() -> ExitCode {
         Some(rank) => match std::env::var(MODE_ENV).as_deref() {
             Ok("clean") => child_clean(rank),
             Ok("kill") => child_kill(rank),
+            Ok("shrink") => child_shrink(rank),
             other => {
                 eprintln!("[socket_smoke rank {rank}] bad {MODE_ENV}: {other:?}");
                 ExitCode::from(1)

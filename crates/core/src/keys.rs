@@ -167,6 +167,63 @@ impl CommKeys {
             self.ks_zero.wrapping_add(epoch) as u128,
         )
     }
+
+    /// Re-derive the ring keys over a survivor set at a fresh membership
+    /// epoch (shrink-and-continue after a `PeerDead` eviction).
+    ///
+    /// `members` are the *old* ranks of the survivors in ascending order
+    /// (must contain this rank); `salt` is the agreed membership-epoch
+    /// value every survivor computes identically. Each survivor derives
+    /// the new ring from material it already shares — the progression
+    /// PRF `F_kp` — so no extra key exchange is needed: old rank `m`'s
+    /// new starting key is `F_kp(salt ∥ m+1)` and the new collective key
+    /// is `F_kp(salt ∥ 0)` (the low word 0 is reserved for `kc`, so the
+    /// domains never collide). Every survivor can evaluate every ring
+    /// position, but each keeps only the Θ(1) triple the ring protocol
+    /// needs, exactly like initial generation.
+    ///
+    /// Temporal safety across the shrink: the new `kc'` is drawn from a
+    /// PRF domain (`salt ∥ 0`) disjoint from the progression chain
+    /// `kc ← F_kp(kc)`, so no pad position of the shrunk ring coincides
+    /// with a pre-shrink pad — a resend of the surviving contributions
+    /// under the new keys is never a two-time pad (see DESIGN.md §11).
+    pub fn rebase(&self, members: &[usize], salt: u64) -> CommKeys {
+        assert!(!members.is_empty(), "survivor set cannot be empty");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "survivor set must be strictly ascending"
+        );
+        assert!(
+            members.iter().all(|&m| m < self.world),
+            "survivor outside the old world"
+        );
+        let pos = members
+            .iter()
+            .position(|&m| m == self.rank)
+            .expect("rebase caller must be in the survivor set");
+        let world = members.len();
+        let key_for = |old_rank: usize| {
+            self.kp_prf
+                .eval_block(mix_rebase(salt, old_rank as u64 + 1)) as u64
+        };
+        CommKeys {
+            rank: pos,
+            world,
+            ks_own: key_for(members[pos]),
+            ks_next: key_for(members[(pos + 1) % world]),
+            ks_zero: key_for(members[0]),
+            kc: self.kp_prf.eval_block(mix_rebase(salt, 0)) as u64,
+            ke_prf: self.ke_prf.clone(),
+            kp_prf: self.kp_prf.clone(),
+            cache: None,
+        }
+    }
+}
+
+/// Domain-separated PRF input for [`CommKeys::rebase`]: the salt in the
+/// high word, the (shifted) old rank in the low word.
+fn mix_rebase(salt: u64, slot: u64) -> u128 {
+    ((salt as u128) << 64) | slot as u128
 }
 
 /// The full key material of a communicator, as known to the trusted
@@ -289,5 +346,66 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_world_rejected() {
         CommKeys::generate(0, 1, Backend::AesSoft);
+    }
+
+    #[test]
+    fn rebase_survivor_ring_is_consistent() {
+        let keys = gen(4);
+        // Rank 2 died; survivors re-derive a 3-ring.
+        let members = [0usize, 1, 3];
+        let salt = 0xdead_beef;
+        let shrunk: Vec<CommKeys> = members
+            .iter()
+            .map(|&m| keys[m].rebase(&members, salt))
+            .collect();
+        for (pos, k) in shrunk.iter().enumerate() {
+            assert_eq!(k.rank(), pos);
+            assert_eq!(k.world(), 3);
+            assert_eq!(k.base_next(), shrunk[(pos + 1) % 3].base_own());
+            assert_eq!(k.base_zero(), shrunk[0].base_own());
+        }
+        assert!(shrunk[2].is_last());
+        // Every survivor lands on the same fresh collective key...
+        assert!(shrunk.iter().all(|k| k.epoch() == shrunk[0].epoch()));
+        // ...distinct from the pre-shrink epoch (no pad reuse).
+        assert_ne!(shrunk[0].epoch(), keys[0].epoch());
+        // And the re-derived bases differ from the old ring's.
+        for (&m, k) in members.iter().zip(&shrunk) {
+            assert_ne!(k.base_own(), keys[m].base_own());
+        }
+    }
+
+    #[test]
+    fn rebase_is_deterministic_and_salt_separated() {
+        let keys = gen(3);
+        let members = [0usize, 2];
+        let a = keys[0].rebase(&members, 7);
+        let b = keys[0].rebase(&members, 7);
+        assert_eq!(a.base_own(), b.base_own());
+        assert_eq!(a.epoch(), b.epoch());
+        let c = keys[0].rebase(&members, 8);
+        assert_ne!(
+            a.epoch(),
+            c.epoch(),
+            "distinct salts must give distinct epochs"
+        );
+    }
+
+    #[test]
+    fn rebase_to_singleton_world() {
+        let keys = gen(2);
+        let solo = keys[1].rebase(&[1], 3);
+        assert_eq!(solo.rank(), 0);
+        assert_eq!(solo.world(), 1);
+        assert!(solo.is_last());
+        assert_eq!(solo.base_next(), solo.base_own());
+        assert_eq!(solo.base_zero(), solo.base_own());
+    }
+
+    #[test]
+    #[should_panic(expected = "survivor set")]
+    fn rebase_rejects_caller_outside_survivors() {
+        let keys = gen(3);
+        keys[1].rebase(&[0, 2], 1);
     }
 }

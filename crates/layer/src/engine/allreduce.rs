@@ -36,8 +36,26 @@ impl SecureComm {
     /// vector. `out` is cleared and filled with the aggregate; its capacity
     /// is reused across calls, which makes the integer hot path free of
     /// heap allocation in steady state (the staging buffers come from the
-    /// arena, the output from the caller).
+    /// arena, the output from the caller). Under
+    /// [`PeerDeadPolicy::ShrinkAndContinue`](super::cfg::PeerDeadPolicy)
+    /// a dead member triggers membership reconfiguration and a re-run
+    /// over the survivors (see [`super::membership`]).
     pub fn allreduce_with_into<S: Scheme + 'static>(
+        &mut self,
+        scheme: &mut S,
+        data: &[S::Input],
+        out: &mut Vec<S::Input>,
+        cfg: EngineCfg,
+    ) -> Result<(), EngineError> {
+        self.with_shrink(cfg.retry, |sc| sc.allreduce_attempt(scheme, data, out, cfg))
+    }
+
+    /// One full attempt of the fused allreduce over the *current*
+    /// membership. [`SecureComm::allreduce_with_into`] (the public
+    /// wrapper in [`super::membership`]) re-runs this after a
+    /// shrink-and-continue reconfiguration; `out` is cleared at entry so
+    /// a re-run starts from a clean slate.
+    pub(crate) fn allreduce_attempt<S: Scheme + 'static>(
         &mut self,
         scheme: &mut S,
         data: &[S::Input],

@@ -19,6 +19,22 @@ pub enum ChunkMode {
     Pipelined(usize),
 }
 
+/// What a collective does when a member rank is declared dead
+/// mid-operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PeerDeadPolicy {
+    /// Surface a typed [`EngineError::Comm`] with
+    /// [`CommError::PeerDead`] — the legacy fail-fast contract.
+    #[default]
+    Fail,
+    /// Survivors run a membership-agreement round, re-derive the ring
+    /// keys over the shrunk world, and re-run the collective: the caller
+    /// gets a correct allreduce of the *survivors'* contributions plus a
+    /// [`MembershipChange`](crate::MembershipChange) report instead of
+    /// an error.
+    ShrinkAndContinue,
+}
+
 /// How the engine reacts to communication and verification failures.
 ///
 /// Defaults reproduce the legacy behavior: one attempt, no deadline, but
@@ -30,7 +46,9 @@ pub struct RetryPolicy {
     /// verification failures consume retries; `SwitchDown` degradation
     /// does not.
     pub max_attempts: u32,
-    /// Sleep before the first retry; doubled after each one.
+    /// Sleep before the first retry; doubled after each one but never
+    /// beyond [`RetryPolicy::attempt_timeout`] (sleeping longer than one
+    /// attempt's deadline would burn the remaining budget idling).
     pub backoff: Duration,
     /// Deadline applied to each attempt's collective; `None` waits
     /// forever (legacy blocking semantics).
@@ -38,6 +56,9 @@ pub struct RetryPolicy {
     /// Fall back to the host ring when the INC switch tree reports
     /// `SwitchDown`, instead of failing the call.
     pub degrade_on_switch_down: bool,
+    /// React to a dead member: fail fast (default) or shrink the
+    /// membership and continue over the survivors.
+    pub on_peer_dead: PeerDeadPolicy,
 }
 
 impl Default for RetryPolicy {
@@ -47,6 +68,7 @@ impl Default for RetryPolicy {
             backoff: Duration::ZERO,
             attempt_timeout: None,
             degrade_on_switch_down: true,
+            on_peer_dead: PeerDeadPolicy::Fail,
         }
     }
 }
@@ -76,6 +98,14 @@ impl RetryPolicy {
     /// Fail the call on `SwitchDown` instead of degrading to the ring.
     pub fn no_degrade(mut self) -> RetryPolicy {
         self.degrade_on_switch_down = false;
+        self
+    }
+
+    /// Choose the reaction to a dead member rank
+    /// ([`PeerDeadPolicy::ShrinkAndContinue`] opts into membership
+    /// reconfiguration).
+    pub fn on_peer_dead(mut self, policy: PeerDeadPolicy) -> RetryPolicy {
+        self.on_peer_dead = policy;
         self
     }
 }

@@ -1,0 +1,225 @@
+//! Epoch-boundary membership reconfiguration: the shrink-and-continue
+//! loop behind every public collective entry point.
+//!
+//! When an attempt fails because a member rank died, and the caller opted
+//! in via [`PeerDeadPolicy::ShrinkAndContinue`], the survivors:
+//!
+//! 1. **Agree** on the survivor set — a bounded gossip round of
+//!    all-to-all suspicion bitmasks on a reserved tag lane, seeded from
+//!    the transport's dead-endpoint flags (heartbeat miss budget on TCP,
+//!    fault-plan kills in memory).
+//! 2. **Rebase** the HEAR key schedule — [`CommKeys::rebase`] derives a
+//!    fresh ring of starting keys and a fresh collective key over the
+//!    survivor order from the shared progression PRF, so no extra key
+//!    exchange is needed and no pad position collides with pre-shrink
+//!    traffic.
+//! 3. **Shrink** the communicator — [`Communicator::shrink`] remaps the
+//!    survivor ranks onto a fresh context id (ring and hierarchical
+//!    neighbor tables, `shard_bounds`, and tag lanes all follow the new
+//!    world transparently).
+//! 4. **Re-run** the collective over the survivors: the caller gets a
+//!    correct aggregate of the survivors' contributions plus a
+//!    [`MembershipChange`] report instead of an error.
+//!
+//! ## Failure-detector assumption
+//!
+//! Agreement is sound for crash-stop failures surfaced through the
+//! transport's dead flags, which every rank observes consistently. A
+//! slow-but-alive rank that misses the (generous) agreement deadline can
+//! be falsely evicted; if suspicion diverges across survivors the
+//! re-run's collectives time out and the original error surfaces —
+//! safety (no wrong result) is preserved, only liveness of the shrink is
+//! lost. See DESIGN.md §11.
+
+use super::cfg::{EngineError, PeerDeadPolicy, RetryPolicy};
+use crate::prefetch::Prefetcher;
+use crate::secure::SecureComm;
+use hear_core::KeystreamCache;
+use hear_mpi::{CommError, ATTEMPT_TAG_STRIDE, COLL_BLOCK_TAG_STRIDE};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Gossip stages of the suspicion-bitmask exchange. Two stages propagate
+/// any single observation to every survivor; the third absorbs one
+/// asymmetric observation made *during* the exchange.
+const AGREE_STAGES: u64 = 3;
+
+/// Tag lane for agreement traffic. Sits far above the collective
+/// sequence lanes (`COLL_TAG_BASE + seq·256` would need ~2^38
+/// collectives to reach it) and below the context bits, so agreement
+/// wires can never match collective or user traffic. Successive shrink
+/// rounds run on distinct blocks keyed by the membership epoch.
+const AGREE_TAG_BASE: u64 = 1 << 46;
+
+/// One completed membership reconfiguration, reported to the caller via
+/// [`SecureComm::take_membership_changes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipChange {
+    /// Membership epoch this change created (1 = first shrink).
+    pub epoch: u64,
+    /// Evicted ranks, numbered in the *original* world (what the caller
+    /// launched with), not the pre-shrink intermediate numbering.
+    pub evicted: Vec<usize>,
+    /// World size before the shrink.
+    pub old_world: usize,
+    /// World size after the shrink.
+    pub new_world: usize,
+}
+
+impl SecureComm {
+    /// The shrink-and-continue loop shared by every collective entry
+    /// point: run `attempt`; on a shrink-eligible failure agree on the
+    /// survivors, rebase keys and communicator, and re-run. The world
+    /// strictly shrinks per iteration (and a one-rank world cannot fail
+    /// on transport), so the loop is bounded by the initial world size.
+    pub(crate) fn with_shrink<F>(
+        &mut self,
+        policy: RetryPolicy,
+        mut attempt: F,
+    ) -> Result<(), EngineError>
+    where
+        F: FnMut(&mut SecureComm) -> Result<(), EngineError>,
+    {
+        // A permanently-shrunk job keeps announcing itself: operators see
+        // the epoch counter move with the traffic, not just once at the
+        // eviction (mirroring how sticky INC degradation is counted).
+        if !self.evicted.is_empty() {
+            hear_telemetry::incr(hear_telemetry::Metric::MembershipEpochs);
+        }
+        loop {
+            match attempt(self) {
+                Err(e) if self.shrink_eligible(&e, policy.on_peer_dead) => {
+                    let survivors = self.agree_on_survivors(&policy);
+                    if survivors.len() == self.world() {
+                        // Agreement found no one newly dead: the failure
+                        // was not a membership problem after all.
+                        return Err(e);
+                    }
+                    self.shrink_to(&survivors);
+                }
+                res => return res,
+            }
+        }
+    }
+
+    /// Whether a failed attempt should trigger membership agreement:
+    /// the caller opted in, this rank is itself alive, and some *other*
+    /// member is transport-dead (a `PeerDead` hit it directly, or the
+    /// retries exhausted on timeouts while the corpse stalled the ring).
+    fn shrink_eligible(&self, e: &EngineError, policy: PeerDeadPolicy) -> bool {
+        if policy != PeerDeadPolicy::ShrinkAndContinue || self.world() <= 1 {
+            return false;
+        }
+        let me = self.rank();
+        if self.comm.is_peer_dead(me) {
+            // The dead rank's own call must fail, not shrink the world
+            // from inside the corpse.
+            return false;
+        }
+        matches!(
+            e,
+            EngineError::Comm(CommError::PeerDead { .. })
+                | EngineError::Comm(CommError::Timeout { .. })
+        ) && (0..self.world()).any(|r| r != me && self.comm.is_peer_dead(r))
+    }
+
+    /// The gossip round: flood suspicion bitmasks until every survivor
+    /// holds the same picture, then return the agreed survivor list (in
+    /// current-communicator rank numbering, ascending, self included).
+    fn agree_on_survivors(&self, policy: &RetryPolicy) -> Vec<usize> {
+        let world = self.world();
+        let me = self.rank();
+        assert!(
+            world <= 64,
+            "membership agreement bitmasks support up to 64 ranks"
+        );
+        let mut mask: u64 = 0;
+        for r in (0..world).filter(|&r| r != me) {
+            if self.comm.is_peer_dead(r) {
+                mask |= 1 << r;
+            }
+        }
+        // Peers that saw only timeouts burn their whole retry budget
+        // before entering agreement; wait out that worst case (attempt
+        // deadline plus capped backoff per attempt) before suspecting.
+        let slice = policy
+            .attempt_timeout
+            .unwrap_or_else(|| (self.comm.transport_rtt() * 1000).max(Duration::from_millis(200)));
+        let wait = slice * (2 * policy.max_attempts + 1);
+        let base = AGREE_TAG_BASE + self.membership_epoch * COLL_BLOCK_TAG_STRIDE;
+        for stage in 0..AGREE_STAGES {
+            let tag = base + stage * ATTEMPT_TAG_STRIDE;
+            // Who counted as alive when this stage started: sends and
+            // receives pair up against the same snapshot on both ends.
+            let stage_mask = mask;
+            for r in (0..world).filter(|&r| r != me && stage_mask & (1 << r) == 0) {
+                if self.comm.try_send_tagged(r, tag, vec![mask]).is_err() {
+                    mask |= 1 << r;
+                }
+            }
+            for r in 0..world {
+                if r == me || stage_mask & (1 << r) != 0 || mask & (1 << r) != 0 {
+                    continue;
+                }
+                match self
+                    .comm
+                    .try_recv_tagged::<u64>(r, tag, Some(Instant::now() + wait))
+                {
+                    Ok(theirs) => mask |= theirs.first().copied().unwrap_or(0),
+                    Err(_) => mask |= 1 << r,
+                }
+            }
+        }
+        (0..world)
+            .filter(|&r| r == me || mask & (1 << r) == 0)
+            .collect()
+    }
+
+    /// Execute one agreed shrink: rebase the key schedule over the
+    /// survivors at a fresh membership epoch, shrink the communicator,
+    /// reattach a fresh keystream cache and prefetch worker, and record
+    /// the change (sticky eviction set, per-epoch counters, caller
+    /// report).
+    fn shrink_to(&mut self, survivors: &[usize]) {
+        let old_world = self.world();
+        let evicted_now: Vec<usize> = (0..old_world)
+            .filter(|r| !survivors.contains(r))
+            .map(|r| self.lineage[r])
+            .collect();
+        self.membership_epoch += 1;
+        // Salt: identical on every survivor (shared kc, lockstep epoch
+        // counter), distinct per shrink, and fed through the progression
+        // PRF's rebase domain — so the post-shrink pads never collide
+        // with pre-shrink traffic (DESIGN.md §11).
+        let salt = self
+            .keys
+            .epoch()
+            .wrapping_add(self.membership_epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut keys = self.keys.rebase(survivors, salt);
+        let cache = KeystreamCache::new();
+        keys.attach_cache(Arc::clone(&cache));
+        if self.prefetch.is_some() {
+            self.prefetch = Some(Prefetcher::new(keys.prf().clone(), cache));
+        }
+        if self.comm.switch_topology().is_some() {
+            // The shrunk communicator drops the INC tree; route later
+            // Switch-algo epochs straight to the host ring.
+            self.degraded = true;
+        }
+        self.comm = self.comm.shrink(survivors);
+        self.keys = keys;
+        self.lineage = survivors.iter().map(|&r| self.lineage[r]).collect();
+        hear_telemetry::incr(hear_telemetry::Metric::MembershipEpochs);
+        hear_telemetry::add(
+            hear_telemetry::Metric::RanksEvicted,
+            evicted_now.len() as u64,
+        );
+        self.membership_changes.push(MembershipChange {
+            epoch: self.membership_epoch,
+            evicted: evicted_now.clone(),
+            old_world,
+            new_world: survivors.len(),
+        });
+        self.evicted.extend(evicted_now);
+    }
+}

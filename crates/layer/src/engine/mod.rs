@@ -78,11 +78,13 @@
 mod allreduce;
 mod alltoall;
 mod cfg;
+mod membership;
 mod packet;
 mod phases;
 mod retry;
 
-pub use cfg::{ChunkMode, EngineCfg, EngineError, RetryPolicy};
+pub use cfg::{ChunkMode, EngineCfg, EngineError, PeerDeadPolicy, RetryPolicy};
+pub use membership::MembershipChange;
 pub(crate) use packet::Packet;
 
 use crate::prefetch::{PrefetchJob, MAX_PREFETCH_BLOCKS, MAX_STREAMS};

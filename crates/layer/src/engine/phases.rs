@@ -70,8 +70,26 @@ impl SecureComm {
     /// [`SecureComm::reduce_scatter_with`] writing into a caller-provided
     /// vector (cleared, then the per-block shares are appended in block
     /// order). Steady-state allocation-free on the integer paths, like
-    /// the other `*_into` entry points.
+    /// the other `*_into` entry points. Under
+    /// [`PeerDeadPolicy::ShrinkAndContinue`](super::cfg::PeerDeadPolicy)
+    /// a dead member triggers membership reconfiguration and a re-run
+    /// over the survivors — note the share layout then follows the
+    /// *shrunk* world ([`SecureComm::shard_bounds`] reflects it).
     pub fn reduce_scatter_with_into<S: Scheme + 'static>(
+        &mut self,
+        scheme: &mut S,
+        data: &[S::Input],
+        out: &mut Vec<S::Input>,
+        cfg: EngineCfg,
+    ) -> Result<(), EngineError> {
+        self.with_shrink(cfg.retry, |sc| {
+            sc.reduce_scatter_attempt(scheme, data, out, cfg)
+        })
+    }
+
+    /// One full reduce-scatter attempt over the current membership (the
+    /// shrink-and-continue re-run target; `out` is cleared at entry).
+    pub(crate) fn reduce_scatter_attempt<S: Scheme + 'static>(
         &mut self,
         scheme: &mut S,
         data: &[S::Input],
@@ -512,8 +530,23 @@ impl SecureComm {
     /// [`SecureComm::allgather_with`] writing into a caller-provided
     /// vector. The output layout is identical across chunk modes: rank
     /// `r`'s contribution occupies `starts[r]..starts[r]+counts[r]`
-    /// (rounds scatter their pieces into place).
+    /// (rounds scatter their pieces into place). Under
+    /// [`PeerDeadPolicy::ShrinkAndContinue`](super::cfg::PeerDeadPolicy)
+    /// a dead member triggers membership reconfiguration and a re-run:
+    /// the concatenation then covers the survivors only.
     pub fn allgather_with_into<S: Scheme + 'static>(
+        &mut self,
+        scheme: &mut S,
+        mine: &[S::Input],
+        out: &mut Vec<S::Input>,
+        cfg: EngineCfg,
+    ) -> Result<(), EngineError> {
+        self.with_shrink(cfg.retry, |sc| sc.allgather_attempt(scheme, mine, out, cfg))
+    }
+
+    /// One full allgather attempt over the current membership (the
+    /// shrink-and-continue re-run target; `out` is cleared at entry).
+    pub(crate) fn allgather_attempt<S: Scheme + 'static>(
         &mut self,
         _scheme: &mut S,
         mine: &[S::Input],

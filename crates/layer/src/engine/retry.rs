@@ -85,7 +85,14 @@ impl RetryCtl {
         self.retries_left -= 1;
         hear_telemetry::incr(hear_telemetry::Metric::RetriesTotal);
         if !self.backoff.is_zero() {
-            std::thread::sleep(self.backoff);
+            // Cap the sleep by the per-attempt deadline: a backoff that
+            // outlasts one attempt's budget would idle away more time
+            // than the retry is allowed to use.
+            let sleep = match self.policy.attempt_timeout {
+                Some(t) => self.backoff.min(t),
+                None => self.backoff,
+            };
+            std::thread::sleep(sleep);
             self.backoff = self.backoff.saturating_mul(2);
         }
         Step::Retry
@@ -96,4 +103,48 @@ impl RetryCtl {
 #[inline]
 pub(crate) fn attempt_tag(base: u64, block_idx: u64, attempt: u64) -> u64 {
     base + block_idx * COLL_BLOCK_TAG_STRIDE + attempt * ATTEMPT_TAG_STRIDE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeout_err() -> EngineError {
+        EngineError::Comm(CommError::Timeout {
+            source: 0,
+            tag: 0,
+            waited: Duration::ZERO,
+        })
+    }
+
+    /// The backoff sleep never exceeds the per-attempt deadline: with a
+    /// 50 ms configured backoff but a 5 ms attempt budget, two retries
+    /// must sleep ~10 ms total, not 150 ms.
+    #[test]
+    fn backoff_is_capped_by_attempt_deadline() {
+        let policy = RetryPolicy::retries(2)
+            .with_backoff(Duration::from_millis(50))
+            .with_attempt_timeout(Duration::from_millis(5));
+        let mut ctl = RetryCtl::new(policy);
+        let start = Instant::now();
+        assert!(matches!(ctl.on_error(timeout_err()), Step::Retry));
+        assert!(matches!(ctl.on_error(timeout_err()), Step::Retry));
+        assert!(
+            start.elapsed() < Duration::from_millis(45),
+            "slept {:?}, the 50 ms backoff was not capped by the 5 ms deadline",
+            start.elapsed()
+        );
+        assert!(matches!(ctl.on_error(timeout_err()), Step::Fail(_)));
+    }
+
+    /// Without a deadline the configured backoff still applies (and keeps
+    /// doubling).
+    #[test]
+    fn uncapped_backoff_sleeps_and_doubles() {
+        let mut ctl = RetryCtl::new(RetryPolicy::retries(1).with_backoff(Duration::from_millis(4)));
+        let start = Instant::now();
+        assert!(matches!(ctl.on_error(timeout_err()), Step::Retry));
+        assert!(start.elapsed() >= Duration::from_millis(4));
+        assert_eq!(ctl.backoff, Duration::from_millis(8));
+    }
 }

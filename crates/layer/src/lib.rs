@@ -29,7 +29,9 @@ pub mod wire;
 pub use arena::ScratchArena;
 pub use breakdown::{measure_phases, PhaseBreakdown};
 pub use dispatch::{DispatchError, TypedSlice, TypedVec};
-pub use engine::{ChunkMode, EngineCfg, EngineError, RetryPolicy};
+pub use engine::{
+    ChunkMode, EngineCfg, EngineError, MembershipChange, PeerDeadPolicy, RetryPolicy,
+};
 pub use extensions::SecureP2p;
 pub use pool::{AlignedBuf, MemoryPool};
 pub use prefetch::{PrefetchJob, Prefetcher};

@@ -91,6 +91,19 @@ pub struct SecureComm {
     /// (`SwitchDown`) and degraded to the ring; later Switch-algo epochs
     /// then route straight to the ring instead of re-probing dead fabric.
     pub(crate) degraded: bool,
+    /// Sticky eviction record (original-world rank numbering): like
+    /// `degraded`, a shrunk membership never heals — evicted ranks stay
+    /// out for the life of the communicator, and per-epoch counters keep
+    /// announcing the shrunk world to operators.
+    pub(crate) evicted: Vec<usize>,
+    /// Current members expressed as original-world ranks (`lineage[r]`
+    /// is the launch-time identity of current rank `r`); identity at
+    /// construction, remapped by each shrink.
+    pub(crate) lineage: Vec<usize>,
+    /// Completed membership reconfigurations (0 = never shrunk).
+    pub(crate) membership_epoch: u64,
+    /// Shrinks not yet collected by the caller.
+    pub(crate) membership_changes: Vec<crate::engine::MembershipChange>,
 }
 
 impl SecureComm {
@@ -108,6 +121,7 @@ impl SecureComm {
         // only ship types its codec registry knows, and the engine's
         // packet payloads are private to this crate.
         crate::wire::register_wire_codecs();
+        let comm_world = comm.world();
         let cache = KeystreamCache::new();
         keys.attach_cache(Arc::clone(&cache));
         let prefetch = Some(Prefetcher::new(keys.prf().clone(), cache));
@@ -123,6 +137,10 @@ impl SecureComm {
             scratch_u16: Scratch::default(),
             scratch_u8: Scratch::default(),
             degraded: false,
+            evicted: Vec::new(),
+            lineage: (0..comm_world).collect(),
+            membership_epoch: 0,
+            membership_changes: Vec::new(),
         }
     }
 
@@ -130,6 +148,22 @@ impl SecureComm {
     /// to a host algorithm after losing the switch tree.
     pub fn is_degraded(&self) -> bool {
         self.degraded
+    }
+
+    /// Whether membership ever shrank below the launch-time world.
+    pub fn is_shrunk(&self) -> bool {
+        !self.evicted.is_empty()
+    }
+
+    /// Ranks evicted so far, in original-world numbering.
+    pub fn evicted(&self) -> &[usize] {
+        &self.evicted
+    }
+
+    /// Completed membership reconfigurations since the last call; each
+    /// entry reports one shrink (who left, old and new world size).
+    pub fn take_membership_changes(&mut self) -> Vec<crate::engine::MembershipChange> {
+        std::mem::take(&mut self.membership_changes)
     }
 
     pub fn with_algo(mut self, algo: ReduceAlgo) -> Self {

@@ -129,6 +129,77 @@ impl Communicator {
         }
     }
 
+    /// Shrink this communicator to a survivor subset after a membership
+    /// agreement round. **Non-collective**: unlike [`Communicator::split`]
+    /// this exchanges no messages — every survivor must call it with the
+    /// *same* `survivors` list (ascending ranks of this communicator, dead
+    /// members excluded), which the agreement protocol guarantees. The
+    /// child keeps the parent's transport but gets a fresh collective
+    /// sequence and a context id derived deterministically from the
+    /// parent's context, its sequence position, and the survivor set — so
+    /// post-shrink traffic can never match stale wires of the pre-shrink
+    /// ring, and successive shrinks stay distinct.
+    pub fn shrink(&self, survivors: &[usize]) -> Communicator {
+        assert!(!survivors.is_empty(), "survivor set cannot be empty");
+        assert!(
+            survivors.windows(2).all(|w| w[0] < w[1]),
+            "survivor set must be strictly ascending"
+        );
+        let new_rank = survivors
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("caller must be in the survivor set");
+        let members: Vec<usize> = survivors.iter().map(|&r| self.endpoint(r)).collect();
+        let mask: u64 = survivors.iter().fold(0, |m, &r| m | (1u64 << (r % 64)));
+        let seq = self.coll_seq.load(Ordering::Relaxed);
+        let mut ctx = self
+            .context
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(seq)
+            .wrapping_mul(0x85eb_ca6b)
+            .wrapping_add(mask);
+        ctx = (ctx ^ (ctx >> 13)) & 0xffff;
+        Communicator {
+            rank: new_rank,
+            world: members.len(),
+            transport: self.transport.clone(),
+            coll_seq: Arc::new(AtomicU64::new(0)),
+            switch: None,
+            context: ctx.max(1), // 0 is reserved for the world communicator
+            members: Some(Arc::new(members)),
+        }
+    }
+
+    /// Whether the transport has declared `rank`'s endpoint dead (fault
+    /// plan kill, heartbeat miss budget exhausted, connection loss). Local
+    /// view only — no message exchange.
+    pub fn is_peer_dead(&self, rank: usize) -> bool {
+        self.transport.is_dead(self.endpoint(rank))
+    }
+
+    /// Checked send on an explicit full wire tag (collective tag space
+    /// allowed) — the membership-agreement plumbing sends its suspicion
+    /// masks on tags reserved via [`Communicator::reserve_coll_tags`].
+    pub fn try_send_tagged<T: Send + 'static>(
+        &self,
+        dst: usize,
+        tag: u64,
+        data: Vec<T>,
+    ) -> Result<(), CommError> {
+        self.try_send_internal(dst, tag, data)
+    }
+
+    /// Deadline-bounded receive on an explicit full wire tag (collective
+    /// tag space allowed) — the receive half of the agreement plumbing.
+    pub fn try_recv_tagged<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<T>, CommError> {
+        self.try_recv_internal(src, tag, deadline)
+    }
+
     pub(crate) fn set_switch(&mut self, topo: Option<Arc<SwitchTopology>>) {
         self.switch = topo;
     }
@@ -523,6 +594,51 @@ mod split_tests {
             let pair_base = (r / 2) * 2;
             assert_eq!(*s as usize, pair_base * 2 + 1);
         }
+    }
+
+    #[test]
+    fn shrink_remaps_ranks_and_collectives_work() {
+        let results = Simulator::new(4).run(|comm| {
+            if comm.rank() == 2 {
+                // The "dead" rank stays out of the shrunk communicator.
+                return (usize::MAX, usize::MAX, 0);
+            }
+            let sub = comm.shrink(&[0, 1, 3]);
+            let sum = sub.allreduce(&[comm.rank() as u64], |a, b| a + b)[0];
+            (sub.rank(), sub.world(), sum)
+        });
+        assert_eq!((results[0].0, results[0].1), (0, 3));
+        assert_eq!((results[1].0, results[1].1), (1, 3));
+        assert_eq!((results[3].0, results[3].1), (2, 3));
+        for r in [0, 1, 3] {
+            // Survivor contributions: ranks 0 + 1 + 3.
+            assert_eq!(results[r].2, 4);
+        }
+    }
+
+    #[test]
+    fn shrink_traffic_does_not_cross_parent() {
+        let results = Simulator::new(3).run(|comm| {
+            if comm.rank() == 1 {
+                return 0;
+            }
+            let sub = comm.shrink(&[0, 2]);
+            // Identical payload shape on parent-compatible tags: the fresh
+            // context must keep the shrunk ring's wires separate.
+            sub.allreduce(&[comm.rank() as u32 + 1], |a, b| a + b)[0]
+        });
+        assert_eq!(results[0], 4);
+        assert_eq!(results[2], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "survivor set")]
+    fn shrink_rejects_non_member_caller() {
+        Simulator::new(2).run(|comm| {
+            if comm.rank() == 1 {
+                comm.shrink(&[0]);
+            }
+        });
     }
 
     #[test]

@@ -26,6 +26,12 @@ pub enum CommError {
     /// panicked). `peer` may be the caller's own endpoint when the caller
     /// itself was killed mid-operation.
     PeerDead { peer: usize },
+    /// The connection to `peer` dropped messages but the transport is
+    /// still trying to heal it (write-retry backoff, a fault plan's
+    /// transient-disconnect window). Retryable: the resend lands once
+    /// the link reconnects. Hardens into [`CommError::PeerDead`] if the
+    /// supervision miss budget runs out instead.
+    Disconnected { peer: usize },
     /// A message matched `(source, tag)` but carried a different payload
     /// type — a tag collision between two protocols.
     TypeMismatch {
@@ -43,12 +49,18 @@ pub enum CommError {
 }
 
 impl CommError {
-    /// True for failures worth retrying with the same transport
-    /// (currently only [`CommError::Timeout`]): dead peers stay dead, a
+    /// True for failures worth retrying with the same transport:
+    /// [`CommError::Timeout`] (the peer may merely be slow) and
+    /// [`CommError::Disconnected`] (the link is healing and a resend can
+    /// land). Dead peers stay dead — `PeerDead` is *reconfigurable* (the
+    /// membership can shrink around the corpse) but never retryable — a
     /// type mismatch is a protocol bug, and a downed switch needs a
     /// different transport, not a retry.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, CommError::Timeout { .. })
+        matches!(
+            self,
+            CommError::Timeout { .. } | CommError::Disconnected { .. }
+        )
     }
 }
 
@@ -64,6 +76,9 @@ impl std::fmt::Display for CommError {
                 "timed out after {waited:?} waiting for (source={source}, tag={tag:#x})"
             ),
             CommError::PeerDead { peer } => write!(f, "peer endpoint {peer} is dead"),
+            CommError::Disconnected { peer } => {
+                write!(f, "connection to endpoint {peer} dropped (reconnecting)")
+            }
             CommError::TypeMismatch {
                 source,
                 tag,
@@ -85,22 +100,37 @@ impl std::error::Error for CommError {}
 mod tests {
     use super::*;
 
+    /// Pins the classification of *every* variant. Adding a variant must
+    /// consciously place it on one side: transient faults (slow peer,
+    /// healing link) retry in place; `PeerDead` is reconfigurable via
+    /// membership shrink but never retryable; protocol and topology
+    /// faults need different handling entirely.
     #[test]
-    fn only_timeout_is_retryable() {
-        assert!(CommError::Timeout {
-            source: 0,
-            tag: 1,
-            waited: Duration::from_millis(5)
+    fn every_variant_classification_is_pinned() {
+        let variants = [
+            (
+                CommError::Timeout {
+                    source: 0,
+                    tag: 1,
+                    waited: Duration::from_millis(5),
+                },
+                true,
+            ),
+            (CommError::Disconnected { peer: 1 }, true),
+            (CommError::PeerDead { peer: 2 }, false),
+            (
+                CommError::TypeMismatch {
+                    source: 0,
+                    tag: 1,
+                    expected: "alloc::vec::Vec<u32>",
+                },
+                false,
+            ),
+            (CommError::SwitchDown { node: 0 }, false),
+        ];
+        for (e, retryable) in variants {
+            assert_eq!(e.is_retryable(), retryable, "{e}");
         }
-        .is_retryable());
-        assert!(!CommError::PeerDead { peer: 2 }.is_retryable());
-        assert!(!CommError::TypeMismatch {
-            source: 0,
-            tag: 1,
-            expected: "alloc::vec::Vec<u32>"
-        }
-        .is_retryable());
-        assert!(!CommError::SwitchDown { node: 0 }.is_retryable());
     }
 
     #[test]

@@ -31,7 +31,7 @@ use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::error::CommError;
-use crate::fault::{filter_send, FaultPlan, FaultState, SendDecision};
+use crate::fault::{filter_send, FaultPlan, FaultState, SendDecision, SendVerdict};
 use crate::transport::{Envelope, Transport};
 
 /// Lock ignoring poisoning: the fabric must stay usable when a sibling
@@ -241,9 +241,17 @@ impl Mailbox {
 /// A message still in modeled transit past the deadline is pushed back to
 /// the *front* of its queue (preserving FIFO) and reported as `Timeout` —
 /// the message is late, not lost.
+///
+/// `is_suspect` reports whether an endpoint's link is in a known
+/// transient-disconnect window (a fault plan's injected window, or the
+/// TCP backend's write-retry backoff): a deadline that expires with no
+/// message *and* a suspect source is reported as `Disconnected` — the
+/// retryable "resend once the link heals" verdict — instead of a bare
+/// `Timeout`.
 pub(crate) fn recv_on_mailboxes(
     mailboxes: &[Mailbox],
     is_dead: &dyn Fn(usize) -> bool,
+    is_suspect: &dyn Fn(usize) -> bool,
     me: usize,
     source: usize,
     tag: u64,
@@ -280,6 +288,9 @@ pub(crate) fn recv_on_mailboxes(
                 let now = Instant::now();
                 let slice = match deadline {
                     Some(dl) if now >= dl => {
+                        if is_suspect(source) {
+                            return Err(CommError::Disconnected { peer: source });
+                        }
                         return Err(CommError::Timeout {
                             source,
                             tag,
@@ -332,6 +343,10 @@ pub(crate) struct Fabric {
     pub mailboxes: Vec<Mailbox>,
     clock: LinkClock,
     dead: Vec<AtomicBool>,
+    /// Endpoints currently inside a transient-disconnect window: their
+    /// sends are being dropped but they are expected back, so receivers
+    /// report `Disconnected` (retryable) rather than `Timeout`.
+    suspect: Vec<AtomicBool>,
     faults: Option<(FaultPlan, FaultState)>,
 }
 
@@ -352,6 +367,7 @@ impl Fabric {
             mailboxes: (0..endpoints).map(|_| Mailbox::default()).collect(),
             clock: LinkClock::new(net),
             dead,
+            suspect: (0..endpoints).map(|_| AtomicBool::new(false)).collect(),
             faults: faults.map(|p| {
                 let st = FaultState::new(endpoints);
                 (p, st)
@@ -361,6 +377,10 @@ impl Fabric {
 
     pub fn is_dead(&self, endpoint: usize) -> bool {
         self.dead[endpoint].load(Ordering::SeqCst)
+    }
+
+    pub fn is_suspect(&self, endpoint: usize) -> bool {
+        self.suspect[endpoint].load(Ordering::SeqCst)
     }
 
     /// Mark `endpoint` dead and wake every parked receiver so waits on it
@@ -391,7 +411,11 @@ impl Fabric {
         if self.is_dead(from) {
             return; // a dead endpoint emits nothing
         }
-        let (decision, kill_after) = filter_send(
+        let SendVerdict {
+            decision,
+            kill_after,
+            suspect,
+        } = filter_send(
             self.faults.as_ref(),
             self.is_dead(to),
             from,
@@ -399,6 +423,16 @@ impl Fabric {
             tag,
             &mut payload,
         );
+        if let Some(flag) = suspect {
+            self.suspect[from].store(flag, Ordering::SeqCst);
+            if !flag {
+                // The window closed: wake parked receivers so they stop
+                // reporting `Disconnected` for a healed link.
+                for mb in &self.mailboxes {
+                    mb.wake();
+                }
+            }
+        }
         if let SendDecision::Deliver { dup, extra_delay } = decision {
             if let Some(copy) = dup {
                 self.deliver(from, to, tag, copy, bytes, Duration::ZERO);
@@ -444,6 +478,7 @@ impl Fabric {
         recv_on_mailboxes(
             &self.mailboxes,
             &|ep| self.is_dead(ep),
+            &|ep| self.is_suspect(ep),
             me,
             source,
             tag,
@@ -745,6 +780,43 @@ mod tests {
             .recv_on(1, 0, 0, Some(Instant::now() + Duration::from_millis(5)))
             .unwrap_err();
         assert_eq!(err, CommError::PeerDead { peer: 0 });
+    }
+
+    #[test]
+    fn disconnect_window_is_transient_and_typed() {
+        // Endpoint 0's second and third sends fall into a disconnect
+        // window: they vanish, waiters see the retryable `Disconnected`,
+        // and the fourth send heals the link.
+        let plan = FaultPlan::seeded(1).disconnect_endpoint_after(0, 1, 2);
+        let fab = Fabric::with_faults(2, NetConfig::instant(), Some(plan));
+        fab.send_boxed(0, 1, 0, Box::new(1u8), 1);
+        assert_eq!(
+            *fab.recv_on(1, 0, 0, None)
+                .unwrap()
+                .payload
+                .downcast::<u8>()
+                .unwrap(),
+            1
+        );
+        fab.send_boxed(0, 1, 0, Box::new(2u8), 1); // dropped, suspect on
+        assert!(fab.is_suspect(0));
+        let err = fab
+            .recv_on(1, 0, 0, Some(Instant::now() + Duration::from_millis(5)))
+            .unwrap_err();
+        assert_eq!(err, CommError::Disconnected { peer: 0 });
+        assert!(err.is_retryable());
+        fab.send_boxed(0, 1, 0, Box::new(3u8), 1); // dropped (in window)
+        fab.send_boxed(0, 1, 0, Box::new(4u8), 1); // heals + delivers
+        assert!(!fab.is_suspect(0));
+        assert!(!fab.is_dead(0), "a disconnect is not a death");
+        assert_eq!(
+            *fab.recv_on(1, 0, 0, None)
+                .unwrap()
+                .payload
+                .downcast::<u8>()
+                .unwrap(),
+            4
+        );
     }
 
     #[test]

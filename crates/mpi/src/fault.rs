@@ -66,6 +66,11 @@ pub struct FaultPlan {
     /// `(endpoint, after_sends)`: the endpoint dies once it has completed
     /// `after_sends` outbound sends (`0` = dead from the start).
     kills: Vec<(usize, u64)>,
+    /// `(endpoint, after_sends, for_sends)`: the endpoint's outbound link
+    /// goes dark for sends `after_sends+1 ..= after_sends+for_sends`
+    /// (dropped, endpoint marked suspect), then heals — the deterministic
+    /// in-memory mirror of a transient TCP disconnect + reconnect.
+    disconnects: Vec<(usize, u64, u64)>,
     corruptors: Vec<Corruptor>,
     cloners: Vec<Cloner>,
 }
@@ -80,6 +85,7 @@ impl std::fmt::Debug for FaultPlan {
             .field("duplicate_one_in", &self.duplicate_one_in)
             .field("corrupt_one_in", &self.corrupt_one_in)
             .field("kills", &self.kills)
+            .field("disconnects", &self.disconnects)
             .field("corruptors", &self.corruptors.len())
             .field("cloners", &self.cloners.len())
             .finish()
@@ -130,6 +136,22 @@ impl FaultPlan {
         self
     }
 
+    /// Drop `endpoint`'s outbound sends `after_sends+1 ..= after_sends +
+    /// for_sends` and mark it suspect for that window; the first send
+    /// past the window heals the link (counted as a reconnect). Unlike
+    /// [`FaultPlan::kill_endpoint_after`], the endpoint survives —
+    /// receivers waiting on it during the window observe
+    /// `Disconnected` (retryable) rather than `PeerDead`.
+    pub fn disconnect_endpoint_after(
+        mut self,
+        endpoint: usize,
+        after_sends: u64,
+        for_sends: u64,
+    ) -> Self {
+        self.disconnects.push((endpoint, after_sends, for_sends));
+        self
+    }
+
     /// Register an additional payload corruptor (tried before built-ins).
     pub fn with_corruptor(mut self, c: Corruptor) -> Self {
         self.corruptors.insert(0, c);
@@ -156,6 +178,25 @@ impl FaultPlan {
         self.kills
             .iter()
             .any(|&(ep, after)| ep == endpoint && after != 0 && sends_done >= after)
+    }
+
+    /// Where `endpoint`'s `ordinal`-th outbound send falls relative to
+    /// its transient-disconnect windows.
+    pub(crate) fn disconnect_phase(&self, endpoint: usize, ordinal: u64) -> DisconnectPhase {
+        for &(ep, after, for_sends) in &self.disconnects {
+            if ep != endpoint {
+                continue;
+            }
+            if ordinal > after && ordinal <= after + for_sends {
+                return DisconnectPhase::Dropping {
+                    entering: ordinal == after + 1,
+                };
+            }
+            if ordinal == after + for_sends + 1 {
+                return DisconnectPhase::Healing;
+            }
+        }
+        DisconnectPhase::Clear
     }
 
     /// Sample the fault decision for one message. Pure in the message
@@ -265,6 +306,29 @@ pub(crate) enum SendDecision {
     Drop,
 }
 
+/// A send ordinal's relation to the sender's transient-disconnect
+/// windows, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DisconnectPhase {
+    /// No window is active for this send.
+    Clear,
+    /// Inside a window: the send is dropped and the sender is suspect.
+    /// `entering` is true on the window's first dropped send.
+    Dropping { entering: bool },
+    /// First send past a window: the link healed.
+    Healing,
+}
+
+/// Everything a transport backend needs to act on one outbound message:
+/// the delivery decision, whether this send triggers the sender's kill,
+/// and the sender's suspect-state transition (`Some(true)` = entered a
+/// disconnect window, `Some(false)` = healed, `None` = unchanged).
+pub(crate) struct SendVerdict {
+    pub(crate) decision: SendDecision,
+    pub(crate) kill_after: bool,
+    pub(crate) suspect: Option<bool>,
+}
+
 /// Apply an (optional) armed fault plan to one outbound message. This is
 /// the single fault-decision point shared by every transport backend: the
 /// in-memory fabric applies it just before mailbox deposit, the TCP
@@ -282,23 +346,46 @@ pub(crate) fn filter_send(
     to: usize,
     tag: u64,
     payload: &mut Box<dyn Any + Send>,
-) -> (SendDecision, bool) {
+) -> SendVerdict {
     let Some((plan, state)) = faults else {
-        return (
-            SendDecision::Deliver {
+        return SendVerdict {
+            decision: SendDecision::Deliver {
                 dup: None,
                 extra_delay: Duration::ZERO,
             },
-            false,
-        );
+            kill_after: false,
+            suspect: None,
+        };
     };
     // The send ordinal is the victim's own outbound count, so kill
     // triggers are independent of cross-thread scheduling. The
     // triggering send itself still completes ("dies after N sends").
     let ordinal = state.count_send(from);
     let kill_after = plan.kill_triggered(from, ordinal);
+    let mut suspect = None;
+    match plan.disconnect_phase(from, ordinal) {
+        DisconnectPhase::Dropping { entering } => {
+            if entering {
+                hear_telemetry::incr(hear_telemetry::Metric::FaultDisconnect);
+            }
+            return SendVerdict {
+                decision: SendDecision::Drop,
+                kill_after,
+                suspect: Some(true),
+            };
+        }
+        DisconnectPhase::Healing => {
+            hear_telemetry::incr(hear_telemetry::Metric::ReconnectsTotal);
+            suspect = Some(false);
+        }
+        DisconnectPhase::Clear => {}
+    }
     if to_is_dead {
-        return (SendDecision::Drop, kill_after);
+        return SendVerdict {
+            decision: SendDecision::Drop,
+            kill_after,
+            suspect,
+        };
     }
     let link_seq = state.next_link_seq(from, to);
     let decision = match plan.action_for(from, to, tag, link_seq) {
@@ -338,7 +425,11 @@ pub(crate) fn filter_send(
             }
         }
     };
-    (decision, kill_after)
+    SendVerdict {
+        decision,
+        kill_after,
+        suspect,
+    }
 }
 
 /// SplitMix64-style avalanche over the five identity words.
@@ -453,6 +544,27 @@ mod tests {
         assert!(!plan.kill_triggered(3, 4));
         assert!(plan.kill_triggered(3, 5));
         assert!(!plan.kill_triggered(2, 9)); // after == 0 handled at construction
+    }
+
+    #[test]
+    fn disconnect_window_phases() {
+        let plan = FaultPlan::seeded(0).disconnect_endpoint_after(1, 3, 2);
+        // Sends 1..=3 are before the window, 4..=5 inside, 6 heals.
+        for ordinal in 1..=3 {
+            assert_eq!(plan.disconnect_phase(1, ordinal), DisconnectPhase::Clear);
+        }
+        assert_eq!(
+            plan.disconnect_phase(1, 4),
+            DisconnectPhase::Dropping { entering: true }
+        );
+        assert_eq!(
+            plan.disconnect_phase(1, 5),
+            DisconnectPhase::Dropping { entering: false }
+        );
+        assert_eq!(plan.disconnect_phase(1, 6), DisconnectPhase::Healing);
+        assert_eq!(plan.disconnect_phase(1, 7), DisconnectPhase::Clear);
+        // Other endpoints are untouched.
+        assert_eq!(plan.disconnect_phase(0, 4), DisconnectPhase::Clear);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub struct Launcher {
     program: Option<PathBuf>,
     args: Vec<String>,
     envs: Vec<(String, String)>,
+    shrink_tolerant: bool,
 }
 
 impl Launcher {
@@ -53,7 +54,18 @@ impl Launcher {
             program: None,
             args: Vec::new(),
             envs: Vec::new(),
+            shrink_tolerant: false,
         }
+    }
+
+    /// Tolerate individual rank deaths instead of fail-fast-killing the
+    /// tree: with shrink-and-continue enabled in the children, a dead
+    /// rank is a survivable event the survivors reconfigure around, so
+    /// the supervisor keeps the tree running and reports the per-rank
+    /// exits at the end. The watchdog still bounds a wedged tree.
+    pub fn allow_shrink(mut self) -> Launcher {
+        self.shrink_tolerant = true;
+        self
     }
 
     /// Wall-clock ceiling on the whole tree; on expiry every child is
@@ -124,6 +136,7 @@ impl Launcher {
                         expected_dead: Vec::new(),
                         rendezvous_file: rendezvous_file.clone(),
                         deadline: Instant::now(),
+                        shrink_tolerant: self.shrink_tolerant,
                     };
                     tree.statuses = vec![None; tree.children.len()];
                     tree.expected_dead = vec![false; tree.children.len()];
@@ -140,6 +153,7 @@ impl Launcher {
             expected_dead,
             rendezvous_file,
             deadline: Instant::now() + self.watchdog,
+            shrink_tolerant: self.shrink_tolerant,
         })
     }
 }
@@ -171,6 +185,8 @@ pub struct Tree {
     expected_dead: Vec<bool>,
     rendezvous_file: PathBuf,
     deadline: Instant,
+    /// [`Launcher::allow_shrink`]: rank deaths do not fail-fast the tree.
+    shrink_tolerant: bool,
 }
 
 impl Tree {
@@ -227,7 +243,7 @@ impl Tree {
                     Ok(Some(status)) => {
                         self.statuses[rank] = Some(status);
                         self.children[rank] = None;
-                        if !status.success() && !self.expected_dead[rank] {
+                        if !status.success() && !self.expected_dead[rank] && !self.shrink_tolerant {
                             failure = true;
                         }
                     }
@@ -363,6 +379,27 @@ mod tests {
         assert_eq!(outcome.codes[0], None, "rank 0 died by signal");
         assert_eq!(outcome.codes[1], Some(0), "survivor ran to completion");
         assert!(t0.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn allow_shrink_keeps_survivors_running_past_a_rank_death() {
+        // Inverse of `nonzero_exit_fails_the_tree_and_kills_survivors`:
+        // with shrink tolerance the dead rank's non-zero exit is recorded
+        // but the survivors run to their own completion.
+        let outcome = sh(
+            3,
+            r#"if [ "$HEAR_RANK" = 1 ]; then exit 7; fi; sleep 0.3; exit 0"#,
+        )
+        .watchdog(Duration::from_secs(20))
+        .allow_shrink()
+        .spawn()
+        .unwrap()
+        .wait();
+        assert!(!outcome.watchdog_fired);
+        assert_eq!(outcome.codes[1], Some(7));
+        assert_eq!(outcome.codes[0], Some(0), "survivor was not torn down");
+        assert_eq!(outcome.codes[2], Some(0), "survivor was not torn down");
+        assert!(!outcome.success(), "a rank death still is not a success");
     }
 
     #[test]

@@ -51,8 +51,9 @@ use crate::error::CommError;
 use crate::fabric::{
     count_delivery, lock_unpoisoned, recv_on_mailboxes, LinkClock, Mailbox, NetConfig,
 };
-use crate::fault::{filter_send, FaultPlan, FaultState, SendDecision};
+use crate::fault::{filter_send, FaultPlan, FaultState, SendDecision, SendVerdict};
 use crate::transport::{Envelope, Transport};
+use std::sync::atomic::AtomicU64;
 use wire::{encode_frame, Frame, FrameDecoder, FrameHeader, FrameKind};
 
 /// Default ceiling on connection establishment (bind + rendezvous + mesh
@@ -72,6 +73,47 @@ fn setup_timeout() -> Duration {
         .and_then(|v| v.parse::<u64>().ok())
         .map(Duration::from_millis)
         .unwrap_or(DEFAULT_SETUP_TIMEOUT)
+}
+
+/// Bounded retries a failing frame write gets (exponential backoff from
+/// [`WRITE_RETRY_BACKOFF`]) before the peer is declared dead. During the
+/// retry window the peer is *suspect*: receivers see the retryable
+/// `Disconnected` instead of `Timeout`.
+const WRITE_RETRIES: u32 = 3;
+const WRITE_RETRY_BACKOFF: Duration = Duration::from_millis(1);
+
+/// Heartbeat supervision of the multi-process mesh: the progress thread
+/// pings every peer each `interval`, and a peer not heard from (any
+/// frame, including the `Pong` replies) for `interval × miss_budget` is
+/// declared dead. Hung-open sockets (a peer stopped by SIGSTOP, a
+/// half-broken NAT path) therefore harden into a typed `PeerDead`
+/// instead of an unbounded hang; an outright SIGKILL is still caught
+/// faster by EOF.
+#[derive(Debug, Clone, Copy)]
+struct Heartbeat {
+    interval: Duration,
+    miss_budget: u32,
+}
+
+impl Heartbeat {
+    /// `HEAR_HEARTBEAT_MS` (default 100) and `HEAR_HEARTBEAT_MISS`
+    /// (default 10): detection within ~1 s out of the box.
+    fn from_env() -> Heartbeat {
+        let ms = std::env::var("HEAR_HEARTBEAT_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(100)
+            .max(1);
+        let miss = std::env::var("HEAR_HEARTBEAT_MISS")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(10)
+            .max(1);
+        Heartbeat {
+            interval: Duration::from_millis(ms),
+            miss_budget: miss,
+        }
+    }
 }
 
 /// How rank 0's rendezvous listener is found by the other ranks.
@@ -126,6 +168,17 @@ struct Inner {
     topo: Topology,
     mailboxes: Vec<Mailbox>,
     dead: Vec<AtomicBool>,
+    /// Endpoints whose link is mid-heal (write-retry backoff, injected
+    /// disconnect window): receivers report `Disconnected` (retryable)
+    /// instead of `Timeout` while the flag is up.
+    suspect: Vec<AtomicBool>,
+    /// Milliseconds since `start` at which each peer was last heard from
+    /// (any inbound frame). Drives the heartbeat miss budget.
+    last_heard: Vec<AtomicU64>,
+    start: Instant,
+    /// Armed only in multi-process (`Proc`) topology; the in-process mesh
+    /// learns of deaths by EOF and explicit kills.
+    heartbeat: Option<Heartbeat>,
     clock: LinkClock,
     faults: Option<(FaultPlan, FaultState)>,
     rtt: Duration,
@@ -160,6 +213,31 @@ impl Inner {
 
     fn is_dead(&self, endpoint: usize) -> bool {
         endpoint < self.total && self.dead[endpoint].load(Ordering::SeqCst)
+    }
+
+    fn is_suspect(&self, endpoint: usize) -> bool {
+        endpoint < self.total && self.suspect[endpoint].load(Ordering::SeqCst)
+    }
+
+    fn mark_suspect(&self, endpoint: usize, flag: bool) {
+        if endpoint >= self.total {
+            return;
+        }
+        if self.suspect[endpoint].swap(flag, Ordering::SeqCst) && !flag {
+            // The link healed: wake parked receivers so they stop
+            // resolving to `Disconnected`.
+            for mb in &self.mailboxes {
+                mb.wake();
+            }
+        }
+    }
+
+    /// Record liveness evidence for `peer` (any inbound bytes count).
+    fn note_heard(&self, peer: usize) {
+        if peer < self.total {
+            let ms = self.start.elapsed().as_millis() as u64;
+            self.last_heard[peer].store(ms, Ordering::Relaxed);
+        }
     }
 
     fn writer_for(&self, from: usize, to: usize) -> Option<&Mutex<TcpStream>> {
@@ -238,14 +316,80 @@ impl Inner {
         self.write_frame(from, to, &encode_frame(header, &body));
     }
 
+    /// Push raw frame bytes down the `from → to` socket. Transient write
+    /// failures (`WouldBlock`/`TimedOut`) get [`WRITE_RETRIES`] bounded
+    /// exponential-backoff retries, resuming from the exact byte offset
+    /// reached (so a partial write never desyncs the frame stream), with
+    /// the peer marked suspect for the duration; only an unrecoverable
+    /// error (or an exhausted budget) declares the peer dead.
     fn write_frame(&self, from: usize, to: usize, bytes: &[u8]) {
         let Some(w) = self.writer_for(from, to) else {
             return;
         };
         let mut s = lock_unpoisoned(w);
-        if s.write_all(bytes).and_then(|_| s.flush()).is_err() {
-            drop(s);
-            self.mark_dead(to);
+        let mut off = 0usize;
+        let mut backoff = WRITE_RETRY_BACKOFF;
+        for attempt in 0..=WRITE_RETRIES {
+            match write_from_offset(&mut s, bytes, &mut off) {
+                Ok(()) => {
+                    if attempt > 0 {
+                        self.mark_suspect(to, false);
+                        hear_telemetry::incr(hear_telemetry::Metric::ReconnectsTotal);
+                    }
+                    return;
+                }
+                Err(e)
+                    if attempt < WRITE_RETRIES
+                        && matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                {
+                    self.mark_suspect(to, true);
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(_) => break,
+            }
+        }
+        drop(s);
+        self.mark_suspect(to, false);
+        self.mark_dead(to);
+    }
+
+    /// Ping every live peer connection (multi-process topology only).
+    fn emit_heartbeats(&self) {
+        let Topology::Proc { me, writers } = &self.topo else {
+            return;
+        };
+        for (peer, w) in writers.iter().enumerate() {
+            if w.is_none() || peer == *me || self.is_dead(peer) {
+                continue;
+            }
+            self.write_frame(
+                *me,
+                peer,
+                &encode_frame(FrameHeader::control(FrameKind::Ping, *me), &[]),
+            );
+            hear_telemetry::incr(hear_telemetry::Metric::HeartbeatsTotal);
+        }
+    }
+
+    /// Declare dead any peer silent past the heartbeat miss budget.
+    fn check_heartbeat_misses(&self, hb: Heartbeat) {
+        let Topology::Proc { me, writers } = &self.topo else {
+            return;
+        };
+        let elapsed = self.start.elapsed().as_millis() as u64;
+        let budget = (hb.interval.as_millis() as u64).saturating_mul(hb.miss_budget as u64);
+        for (peer, w) in writers.iter().enumerate() {
+            if w.is_none() || peer == *me || self.is_dead(peer) {
+                continue;
+            }
+            let heard = self.last_heard[peer].load(Ordering::Relaxed);
+            if elapsed.saturating_sub(heard) > budget {
+                self.mark_dead(peer);
+            }
         }
     }
 
@@ -280,20 +424,55 @@ impl Inner {
                     &encode_frame(FrameHeader::control(FrameKind::Pong, to), &[]),
                 );
             }
-            // Setup-phase kinds arriving late are stale; FIFO per
-            // connection means this cannot happen for a well-behaved peer.
+            // `Pong` replies already refreshed `last_heard` when their
+            // bytes were read; setup-phase kinds (`Hello`/`Table`)
+            // arriving late are stale — FIFO per connection means this
+            // cannot happen for a well-behaved peer.
             FrameKind::Hello | FrameKind::Table | FrameKind::Pong => {}
         }
     }
+}
+
+/// Write `bytes[*off..]`, advancing `off` past every byte the kernel
+/// accepted, then flush. On error `off` records exactly how far the
+/// frame got, so a retry resumes mid-frame instead of resending (and
+/// desyncing) the stream. `Interrupted` is absorbed here.
+fn write_from_offset(s: &mut TcpStream, bytes: &[u8], off: &mut usize) -> std::io::Result<()> {
+    while *off < bytes.len() {
+        match s.write(&bytes[*off..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "socket accepted zero bytes",
+                ))
+            }
+            Ok(n) => *off += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    s.flush()
 }
 
 /// The progress engine: nonblocking reads over every connection, frame
 /// reassembly, and mailbox deposit. One thread per transport.
 fn progress_loop(inner: Arc<Inner>, mut conns: Vec<ReadConn>) {
     let mut buf = vec![0u8; 64 << 10];
+    // First heartbeat goes out immediately: short-lived worlds still
+    // record supervision activity, and `last_heard` gets its first
+    // refresh within one RTT of the mesh going live.
+    let mut next_ping = Instant::now();
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {
             return;
+        }
+        if let Some(hb) = inner.heartbeat {
+            let now = Instant::now();
+            if now >= next_ping {
+                inner.emit_heartbeats();
+                next_ping = now + hb.interval;
+            }
+            inner.check_heartbeat_misses(hb);
         }
         let mut idle = true;
         for c in conns.iter_mut().filter(|c| c.alive) {
@@ -308,6 +487,7 @@ fn progress_loop(inner: Arc<Inner>, mut conns: Vec<ReadConn>) {
                     }
                     Ok(n) => {
                         idle = false;
+                        inner.note_heard(c.peer);
                         c.dec.push(&buf[..n]);
                         loop {
                             match c.dec.next_frame() {
@@ -552,6 +732,10 @@ impl TcpTransport {
                 topo: Topology::Mesh { writers },
                 mailboxes: (0..total).map(|_| Mailbox::default()).collect(),
                 dead,
+                suspect: (0..total).map(|_| AtomicBool::new(false)).collect(),
+                last_heard: (0..total).map(|_| AtomicU64::new(0)).collect(),
+                start: Instant::now(),
+                heartbeat: None,
                 clock: LinkClock::new(net),
                 faults: faults.map(|p| {
                     let st = FaultState::new(total);
@@ -728,6 +912,10 @@ impl TcpTransport {
                 topo: Topology::Proc { me: rank, writers },
                 mailboxes: (0..world).map(|_| Mailbox::default()).collect(),
                 dead: (0..world).map(|_| AtomicBool::new(false)).collect(),
+                suspect: (0..world).map(|_| AtomicBool::new(false)).collect(),
+                last_heard: (0..world).map(|_| AtomicU64::new(0)).collect(),
+                start: Instant::now(),
+                heartbeat: Some(Heartbeat::from_env()),
                 clock: LinkClock::new(net),
                 faults: None,
                 rtt: rtt.max(net.alpha * 2),
@@ -787,7 +975,11 @@ impl Transport for TcpTransport {
         if inner.is_dead(from) {
             return; // a dead endpoint emits nothing
         }
-        let (decision, kill_after) = filter_send(
+        let SendVerdict {
+            decision,
+            kill_after,
+            suspect,
+        } = filter_send(
             inner.faults.as_ref(),
             inner.is_dead(to),
             from,
@@ -795,6 +987,9 @@ impl Transport for TcpTransport {
             tag,
             &mut payload,
         );
+        if let Some(flag) = suspect {
+            inner.mark_suspect(from, flag);
+        }
         if let SendDecision::Deliver { dup, extra_delay } = decision {
             if let Some(copy) = dup {
                 inner.ship(from, to, tag, copy, bytes, Duration::ZERO);
@@ -818,6 +1013,7 @@ impl Transport for TcpTransport {
         let mut env = recv_on_mailboxes(
             &inner.mailboxes,
             &|ep| inner.is_dead(ep),
+            &|ep| inner.is_suspect(ep),
             me,
             source,
             tag,

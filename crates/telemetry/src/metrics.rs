@@ -79,10 +79,24 @@ pub enum Metric {
     DegradedEpochs,
     /// Nanoseconds spent sleeping out modeled message transit time.
     TransitWaitNanos,
+    /// Heartbeat probes emitted by the transport supervision loop.
+    HeartbeatsTotal,
+    /// Transient transport faults healed by reconnect/retry (a send that
+    /// succeeded after at least one failed delivery attempt, or a
+    /// suspect window that closed without an eviction).
+    ReconnectsTotal,
+    /// Epochs run over a shrunk membership (counted once at each shrink
+    /// plus once per collective entered while the world stays shrunk, so
+    /// a permanently small job keeps showing up in rate queries).
+    MembershipEpochs,
+    /// Ranks evicted from the membership by shrink-and-continue.
+    RanksEvicted,
+    /// Transient disconnect windows injected by the fault plan.
+    FaultDisconnect,
 }
 
 impl Metric {
-    pub const ALL: [Metric; 31] = [
+    pub const ALL: [Metric; 36] = [
         Metric::PrfBlocksAesSoft,
         Metric::PrfBlocksAesNi,
         Metric::PrfBlocksSha1,
@@ -114,6 +128,11 @@ impl Metric {
         Metric::FaultKill,
         Metric::DegradedEpochs,
         Metric::TransitWaitNanos,
+        Metric::HeartbeatsTotal,
+        Metric::ReconnectsTotal,
+        Metric::MembershipEpochs,
+        Metric::RanksEvicted,
+        Metric::FaultDisconnect,
     ];
     pub const COUNT: usize = Self::ALL.len();
 
@@ -144,9 +163,14 @@ impl Metric {
             | Metric::FaultDelay
             | Metric::FaultDuplicate
             | Metric::FaultCorrupt
-            | Metric::FaultKill => "hear_faults_injected_total",
+            | Metric::FaultKill
+            | Metric::FaultDisconnect => "hear_faults_injected_total",
             Metric::DegradedEpochs => "hear_degraded_epochs_total",
             Metric::TransitWaitNanos => "hear_transit_wait_nanos_total",
+            Metric::HeartbeatsTotal => "hear_heartbeats_total",
+            Metric::ReconnectsTotal => "hear_reconnects_total",
+            Metric::MembershipEpochs => "hear_membership_epochs_total",
+            Metric::RanksEvicted => "hear_ranks_evicted_total",
         }
     }
 
@@ -175,6 +199,7 @@ impl Metric {
             Metric::FaultDuplicate => Some(("kind", "duplicate")),
             Metric::FaultCorrupt => Some(("kind", "corrupt")),
             Metric::FaultKill => Some(("kind", "kill")),
+            Metric::FaultDisconnect => Some(("kind", "disconnect")),
             _ => None,
         }
     }

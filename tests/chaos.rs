@@ -12,7 +12,9 @@
 
 use hear::core::{Backend, CommKeys, FloatSumExpScheme, HfpFormat, Homac, IntSumScheme, Scheme};
 use hear::layer::chaos::with_packet_hooks;
-use hear::layer::{EngineCfg, EngineError, ReduceAlgo, RetryPolicy, SecureComm};
+use hear::layer::{
+    EngineCfg, EngineError, MembershipChange, PeerDeadPolicy, ReduceAlgo, RetryPolicy, SecureComm,
+};
 use hear::mpi::{FaultPlan, SimConfig, Simulator};
 use std::time::Duration;
 
@@ -331,6 +333,261 @@ fn chaos_rank_kill() {
 #[test]
 fn chaos_switch_kill() {
     sweep_kind(FaultKind::SwitchKill, 5);
+}
+
+// ---- shrink-and-continue: rank death becomes membership shrink --------
+
+/// [`chaos_policy`] with the shrink-and-continue reaction enabled and a
+/// roomier deadline floor: unlike the sweep cells (which accept a typed
+/// error as a valid outcome), these tests assert a specific Ok result on
+/// every survivor, so an attempt timeout caused by scheduler pressure —
+/// several multi-threaded simulators run concurrently under `cargo
+/// test` — must not masquerade as a membership event.
+fn shrink_policy(comm: &hear_mpi::Communicator) -> RetryPolicy {
+    let attempt = (comm.transport_rtt() * 1000).max(Duration::from_millis(1000));
+    RetryPolicy::retries(1)
+        .with_backoff(Duration::from_millis(2))
+        .with_attempt_timeout(attempt)
+        .on_peer_dead(PeerDeadPolicy::ShrinkAndContinue)
+}
+
+/// Reference aggregate over a subset of the ranks' contributions.
+fn survivor_sum(inputs: &[Vec<u32>], survivors: &[usize]) -> Vec<u32> {
+    (0..LEN)
+        .map(|j| {
+            survivors
+                .iter()
+                .fold(0u32, |a, &r| a.wrapping_add(inputs[r][j]))
+        })
+        .collect()
+}
+
+/// Per-rank SecureComm for the shrink scenarios.
+fn shrink_sc(comm: &hear_mpi::Communicator, seed: u64) -> SecureComm {
+    let keys = CommKeys::generate(WORLD, seed, Backend::best_available())
+        .into_iter()
+        .nth(comm.rank())
+        .unwrap();
+    let homac = Homac::generate(seed ^ 0x5a5a, Backend::best_available());
+    SecureComm::new(comm.clone(), keys).with_homac(homac)
+}
+
+/// Assertions shared by every shrink scenario: the victim's own call
+/// fails typed without shrinking, and every survivor reports exactly one
+/// membership change to the expected shrunk world.
+#[allow(clippy::type_complexity)]
+fn check_shrink_reports<T>(
+    results: &[(Result<Vec<T>, EngineError>, usize, Vec<MembershipChange>)],
+    victim: usize,
+) {
+    let (res, _, changes) = &results[victim];
+    assert!(
+        matches!(res, Err(EngineError::Comm(_))),
+        "the dead rank's own call must fail typed, got {:?}",
+        res.as_ref().map(|v| v.len())
+    );
+    assert!(changes.is_empty(), "the corpse must not reconfigure");
+    for (rank, (res, world, changes)) in results.iter().enumerate() {
+        if rank == victim {
+            continue;
+        }
+        assert!(res.is_ok(), "survivor {rank}: {:?}", res.as_ref().err());
+        assert_eq!(*world, WORLD - 1, "survivor {rank} world");
+        assert_eq!(
+            changes,
+            &vec![MembershipChange {
+                epoch: 1,
+                evicted: vec![victim],
+                old_world: WORLD,
+                new_world: WORLD - 1,
+            }],
+            "survivor {rank} membership report"
+        );
+    }
+}
+
+/// A rank SIGKILL-equivalent mid-reduce-scatter (its second ring hop is
+/// dropped and the endpoint dies): under `ShrinkAndContinue` the three
+/// survivors agree on the shrunk world, rebase keys, and re-run — each
+/// ends with its share of the *survivor-set* reference aggregate plus a
+/// `MembershipChange` report, and the eviction telemetry is non-zero.
+/// This is the deterministic in-memory replay of the socket_smoke drill.
+#[test]
+fn shrink_and_continue_mid_reduce_scatter() {
+    use hear::telemetry::{Metric, Registry};
+    let victim = WORLD - 1;
+    let (int_in, _) = int_inputs();
+    let expected = survivor_sum(&int_in, &[0, 1, 2]);
+    let reg = Registry::new_enabled();
+    let _g = reg.install(None);
+    let cfg = SimConfig::default().with_faults(with_packet_hooks(
+        FaultPlan::seeded(0x51C1).kill_endpoint_after(victim, 1),
+    ));
+    let int_in = &int_in;
+    let results = Simulator::with_config(WORLD, cfg).run(|comm| {
+        let mut sc = shrink_sc(comm, 0x51C1);
+        let mut s = IntSumScheme::<u32>::default();
+        let ecfg = EngineCfg::sync().verified().with_retry(shrink_policy(comm));
+        let res = sc.reduce_scatter_with(&mut s, &int_in[comm.rank()], ecfg);
+        (res, sc.world(), sc.rank(), sc.take_membership_changes())
+    });
+    let flat: Vec<_> = results
+        .iter()
+        .map(|(res, w, _, ch)| (res.clone(), *w, ch.clone()))
+        .collect();
+    check_shrink_reports(&flat, victim);
+    for (rank, (res, _, new_rank, _)) in results.iter().enumerate() {
+        if rank == victim {
+            continue;
+        }
+        // The share layout follows the *shrunk* world.
+        let (lo, hi) = hear::mpi::ring_chunk_bounds(LEN, WORLD - 1)[*new_rank];
+        assert_eq!(
+            res.as_ref().unwrap(),
+            &expected[lo..hi],
+            "survivor {rank} share"
+        );
+    }
+    assert!(reg.counter(Metric::RanksEvicted) >= 1, "eviction uncounted");
+    assert!(
+        reg.counter(Metric::MembershipEpochs) >= 1,
+        "membership epoch uncounted"
+    );
+}
+
+/// A rank killed mid-allgather (counts exchanged, first payload hop out,
+/// then dead): survivors re-run and get the rank-ordered concatenation
+/// of the *survivors'* contributions.
+#[test]
+fn shrink_and_continue_mid_allgather() {
+    let victim = WORLD - 1;
+    let (int_in, _) = int_inputs();
+    let expected: Vec<u32> = int_in[..WORLD - 1].concat();
+    let cfg = SimConfig::default().with_faults(with_packet_hooks(
+        FaultPlan::seeded(0xA64A).kill_endpoint_after(victim, 4),
+    ));
+    let int_in = &int_in;
+    let results = Simulator::with_config(WORLD, cfg).run(|comm| {
+        let mut sc = shrink_sc(comm, 0xA64A);
+        let mut s = IntSumScheme::<u32>::default();
+        let ecfg = EngineCfg::sync().verified().with_retry(shrink_policy(comm));
+        let res = sc.allgather_with(&mut s, &int_in[comm.rank()], ecfg);
+        (res, sc.world(), sc.take_membership_changes())
+    });
+    check_shrink_reports(&results, victim);
+    for (rank, (res, ..)) in results.iter().enumerate() {
+        if rank != victim {
+            assert_eq!(res.as_ref().unwrap(), &expected, "survivor {rank} gather");
+        }
+    }
+}
+
+/// A *leader* killed mid-hierarchical allreduce (group contribution
+/// collected, then dead during the inter-leader ring, before its group
+/// broadcast): survivors — including the dead leader's orphaned group
+/// member — shrink around it and converge on the survivor-set sum. Also
+/// exercises a non-suffix eviction (rank 2 of 4), so the lineage remap
+/// is pinned too.
+#[test]
+fn shrink_and_continue_mid_hierarchical_broadcast() {
+    let victim = 2;
+    let (int_in, _) = int_inputs();
+    let expected = survivor_sum(&int_in, &[0, 1, 3]);
+    let cfg = SimConfig::default().with_faults(with_packet_hooks(
+        FaultPlan::seeded(0x41E2).kill_endpoint_after(victim, 1),
+    ));
+    let int_in = &int_in;
+    let results = Simulator::with_config(WORLD, cfg).run(|comm| {
+        let mut sc = shrink_sc(comm, 0x41E2);
+        let mut s = IntSumScheme::<u32>::default();
+        let ecfg = EngineCfg::sync()
+            .verified()
+            .with_algo(ReduceAlgo::Hierarchical { group: 2 })
+            .with_retry(shrink_policy(comm));
+        let res = sc.allreduce_with(&mut s, &int_in[comm.rank()], ecfg);
+        (res, sc.world(), sc.take_membership_changes())
+    });
+    check_shrink_reports(&results, victim);
+    for (rank, (res, ..)) in results.iter().enumerate() {
+        if rank != victim {
+            assert_eq!(res.as_ref().unwrap(), &expected, "survivor {rank} sum");
+        }
+    }
+}
+
+/// The same kill under the default [`PeerDeadPolicy::Fail`]: every rank
+/// surfaces a typed transport error within its deadline budget — no
+/// shrink, no hang, no wrong result.
+#[test]
+fn fail_mode_surfaces_typed_error_on_rank_death() {
+    let victim = WORLD - 1;
+    let (int_in, _) = int_inputs();
+    let cfg = SimConfig::default().with_faults(with_packet_hooks(
+        FaultPlan::seeded(0xFA11).kill_endpoint_after(victim, 1),
+    ));
+    let int_in = &int_in;
+    let results = Simulator::with_config(WORLD, cfg).run(|comm| {
+        let mut sc = shrink_sc(comm, 0xFA11);
+        let mut s = IntSumScheme::<u32>::default();
+        let ecfg = EngineCfg::sync().verified().with_retry(chaos_policy(comm));
+        let res = sc.reduce_scatter_with(&mut s, &int_in[comm.rank()], ecfg);
+        (res, sc.is_shrunk())
+    });
+    for (rank, (res, shrunk)) in results.iter().enumerate() {
+        assert!(
+            matches!(res, Err(EngineError::Comm(_))),
+            "rank {rank}: fail-fast mode must surface a typed Comm error"
+        );
+        assert!(!shrunk, "rank {rank}: Fail mode must never reconfigure");
+    }
+}
+
+/// A transient-disconnect window (rank 0's first two ring hops dropped,
+/// link heals on its next send): the typed `Disconnected` fault stays
+/// inside the retry budget — every rank converges on the full-world
+/// result, nobody shrinks, and the reconnect is counted.
+#[test]
+fn transient_disconnect_heals_within_retry_budget() {
+    use hear::telemetry::{Metric, Registry};
+    let (int_in, int_exp) = int_inputs();
+    let reg = Registry::new_enabled();
+    let _g = reg.install(None);
+    let cfg = SimConfig::default().with_faults(with_packet_hooks(
+        FaultPlan::seeded(0xD15C).disconnect_endpoint_after(0, 0, 2),
+    ));
+    let int_in = &int_in;
+    let results = Simulator::with_config(WORLD, cfg).run(|comm| {
+        let mut sc = shrink_sc(comm, 0xD15C);
+        let mut s = IntSumScheme::<u32>::default();
+        // A dropped ring hop heals only once every rank has cycled onto
+        // the same retry attempt (the re-drive is a whole-block replay);
+        // under scheduler pressure the ranks' deadline windows can
+        // stagger for a couple of rounds, so give the cascade room.
+        let mut policy = shrink_policy(comm);
+        policy.max_attempts = 8;
+        let ecfg = EngineCfg::sync()
+            .verified()
+            .with_algo(ReduceAlgo::Ring)
+            .with_retry(policy);
+        let res = sc.allreduce_with(&mut s, &int_in[comm.rank()], ecfg);
+        (res, sc.is_shrunk())
+    });
+    for (rank, (res, shrunk)) in results.iter().enumerate() {
+        assert_eq!(
+            res.as_ref().unwrap(),
+            &int_exp,
+            "rank {rank}: a healed link must still produce the full result"
+        );
+        assert!(!shrunk, "rank {rank}: a transient fault must not evict");
+    }
+    assert!(
+        reg.counter(Metric::FaultDisconnect) >= 1,
+        "disconnect fault uncounted"
+    );
+    assert!(
+        reg.counter(Metric::ReconnectsTotal) >= 1,
+        "reconnect uncounted"
+    );
 }
 
 /// The graceful-degradation pin: with the switch tree dead on arrival,
